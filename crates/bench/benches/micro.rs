@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks for the hot data structures: cache access,
+//! TLB probe, radix walk, and Victima's probe + transform.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mem_sim::{BlockKind, Cache, CacheConfig, Hierarchy, HierarchyConfig, MemClass, ReplacementCtx};
+use page_table::{FrameAllocator, RadixPageTable};
+use std::hint::black_box;
+use tlb_sim::{PageTableWalker, SetAssocTlb, TlbConfig, TlbEntry};
+use victima::{tlb_block, TlbAwareSrrip, Victima};
+use vm_types::{Asid, PageSize, PhysAddr, SplitMix64, VirtAddr};
+
+fn bench_cache(c: &mut Criterion) {
+    let ctx = ReplacementCtx::default();
+    let mut cache = Cache::new(
+        CacheConfig { name: "L2", size_bytes: 2 << 20, ways: 16, block_bytes: 64, latency: 16 },
+        Box::new(mem_sim::Srrip::new()),
+    );
+    let mut rng = SplitMix64::new(1);
+    c.bench_function("cache_access_random", |b| {
+        b.iter(|| {
+            let pa = PhysAddr::new(rng.next_below(64 << 20) & !63);
+            if !cache.access_data(black_box(pa), false, &ctx) {
+                cache.fill_data(pa, false, false, &ctx);
+            }
+        })
+    });
+
+    let mut hier = Hierarchy::new(HierarchyConfig::default());
+    let mut rng2 = SplitMix64::new(2);
+    c.bench_function("hierarchy_access_random", |b| {
+        b.iter(|| {
+            let pa = PhysAddr::new(rng2.next_below(256 << 20) & !63);
+            black_box(hier.access(pa, false, MemClass::Data, &ctx));
+        })
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut tlb = SetAssocTlb::new(TlbConfig::l2_unified(1536, 12));
+    let asid = Asid::new(1);
+    for vpn in 0..1536u64 {
+        tlb.fill(TlbEntry::new(vpn, asid, PageSize::Size4K, vpn));
+    }
+    let mut rng = SplitMix64::new(3);
+    c.bench_function("l2_tlb_probe", |b| {
+        b.iter(|| {
+            let vpn = rng.next_below(4096);
+            black_box(tlb.probe(vpn, asid, PageSize::Size4K));
+        })
+    });
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let ctx = ReplacementCtx::default();
+    let mut alloc = FrameAllocator::new(4 << 30, 4);
+    let mut pt = RadixPageTable::new(&mut alloc);
+    for i in 0..10_000u64 {
+        let frame = alloc.alloc_4k();
+        pt.map(VirtAddr::new(0x4000_0000 + i * 4096), frame, PageSize::Size4K, &mut alloc);
+    }
+    let mut hier = Hierarchy::new(HierarchyConfig::default());
+    let mut walker = PageTableWalker::new();
+    let mut rng = SplitMix64::new(5);
+    c.bench_function("radix_walk", |b| {
+        b.iter(|| {
+            let va = VirtAddr::new(0x4000_0000 + rng.next_below(10_000) * 4096);
+            black_box(walker.walk(&mut pt, va, Asid::new(1), &mut hier, &ctx));
+        })
+    });
+}
+
+fn bench_victima(c: &mut Criterion) {
+    let ctx = ReplacementCtx { l2_tlb_mpki: 10.0, l2_cache_mpki: 0.0 };
+    let mut rng = SplitMix64::new(6);
+    c.bench_function("victima_probe", |b| {
+        let mut l2 = Cache::new(
+            CacheConfig { name: "L2", size_bytes: 2 << 20, ways: 16, block_bytes: 64, latency: 16 },
+            Box::new(TlbAwareSrrip::new()),
+        );
+        let mut v = Victima::default();
+        let sets = l2.num_sets();
+        for g in 0..4096u64 {
+            let (set, tag) = tlb_block::group_index(g, sets);
+            l2.fill_translation(set, tag, BlockKind::Tlb, Asid::new(1), PageSize::Size4K, &ctx);
+        }
+        b.iter(|| {
+            let va = VirtAddr::new(rng.next_below(1 << 30) & !0xfff);
+            black_box(v.probe(&mut l2, va, Asid::new(1), BlockKind::Tlb, &ctx));
+        })
+    });
+
+    c.bench_function("tlb_block_index_math", |b| {
+        b.iter_batched(
+            || VirtAddr::new(rng.next_u64()),
+            |va| black_box(tlb_block::tlb_block_index(va, PageSize::Size4K, 2048)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_tlb, bench_walk, bench_victima);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] all          # every figure/table, paper order
+//! experiments [--quick] fig20 fig21  # specific experiments
+//! experiments calibrate              # baseline vitals (not a paper figure)
+//! experiments --list
+//! ```
+//!
+//! Budgets: `VICTIMA_INSTR` / `VICTIMA_WARMUP` env vars (defaults
+//! 2,000,000 / 200,000); `--quick` forces 600K/60K.
+
+use victima_bench::{experiments, ExpCtx};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL_IDS {
+            println!("{id}");
+        }
+        println!("calibrate");
+        return;
+    }
+    if args.is_empty() {
+        eprintln!("usage: experiments [--quick] <all|calibrate|fig04|...|table2> ...");
+        eprintln!("       experiments --list");
+        std::process::exit(2);
+    }
+
+    let ctx = if quick { ExpCtx::quick() } else { ExpCtx::new() };
+    let start = std::time::Instant::now();
+    for arg in &args {
+        if arg == "all" {
+            for t in experiments::all(&ctx) {
+                println!("{t}");
+            }
+            continue;
+        }
+        match experiments::by_id(&ctx, arg) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{t}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment: {arg} (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("[experiments completed in {:.1}s]", start.elapsed().as_secs_f64());
+}

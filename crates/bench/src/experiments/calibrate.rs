@@ -1,0 +1,60 @@
+//! Calibration probe (not a paper figure): per-workload baseline vitals
+//! used to check that the simulator sits in the paper's operating regime
+//! (Sec. 3: average L2 TLB MPKI ≈ 39, mean PTW latency ≈ 137 cycles,
+//! ≈ 30% of cycles on translation).
+
+use crate::{pct, ExpCtx, Table};
+use sim::SystemConfig;
+use vm_types::geomean;
+use workloads::registry::WORKLOAD_NAMES;
+
+/// Runs the baseline and prints per-workload vitals.
+pub fn run(ctx: &ExpCtx) -> Vec<Table> {
+    let cfg = SystemConfig::radix();
+    let stats = ctx.suite(&cfg);
+    let mut t = Table::new("calibrate", "Baseline (Radix) vitals per workload").headers([
+        "workload",
+        "instr",
+        "refs",
+        "IPC",
+        "L1TLB-miss%",
+        "L2TLB-MPKI",
+        "PTWs",
+        "PTW-mean",
+        "transl-share",
+        "L2$-miss-lat",
+    ]);
+    let mut mpkis = Vec::new();
+    let mut shares = Vec::new();
+    let mut ptw_means = Vec::new();
+    let timing = cfg.timing;
+    for (name, s) in WORKLOAD_NAMES.iter().zip(&stats) {
+        let share = s.translation_cycle_share(timing.t_expose, timing.d_expose);
+        mpkis.push(s.l2_tlb_mpki());
+        shares.push(share);
+        if s.ptw_latency_mean > 0.0 {
+            ptw_means.push(s.ptw_latency_mean);
+        }
+        t.row([
+            name.to_string(),
+            s.instructions.to_string(),
+            s.mem_refs.to_string(),
+            format!("{:.3}", s.ipc()),
+            pct(s.l1_tlb_misses as f64 / (s.l1_tlb_hits + s.l1_tlb_misses).max(1) as f64),
+            format!("{:.1}", s.l2_tlb_mpki()),
+            s.ptws.to_string(),
+            format!("{:.0}", s.ptw_latency_mean),
+            pct(share),
+            format!("{:.0}", s.l2_miss_latency()),
+        ]);
+    }
+    let avg_mpki = mpkis.iter().sum::<f64>() / mpkis.len() as f64;
+    t.note(format!(
+        "avg L2 TLB MPKI = {:.1} (paper ≈ 39); mean PTW latency = {:.0} (paper ≈ 137); avg translation share = {} (paper ≈ 30%); GM IPC = {:.3}",
+        avg_mpki,
+        ptw_means.iter().sum::<f64>() / ptw_means.len().max(1) as f64,
+        pct(shares.iter().sum::<f64>() / shares.len() as f64),
+        geomean(&stats.iter().map(|s| s.ipc()).collect::<Vec<_>>()),
+    ));
+    vec![t]
+}

@@ -1,0 +1,28 @@
+//! Fig. 4: distribution of page-table-walk latency on the baseline
+//! (mean ≈ 137 cycles, bucketed [20,190) with a small tail beyond).
+
+use crate::{pct, ExpCtx, Table};
+use sim::SystemConfig;
+use vm_types::Histogram;
+
+/// Runs the baseline suite and merges the PTW latency histograms.
+pub fn run(ctx: &ExpCtx) -> Vec<Table> {
+    let stats = ctx.suite(&SystemConfig::radix());
+    let mut merged = Histogram::new(20, 10, 17);
+    for s in &stats {
+        merged.merge(&s.ptw_latency_hist);
+    }
+    let mut t = Table::new("fig04", "Distribution of PTW latency (baseline, all workloads)")
+        .headers(["bucket (cycles)", "walks", "share"]);
+    let total = merged.count().max(1);
+    for (lo, hi, c) in merged.rows() {
+        t.row([format!("{lo}-{hi}"), c.to_string(), pct(c as f64 / total as f64)]);
+    }
+    t.note(format!(
+        "mean = {:.1} cycles (paper: 137); max = {}; beyond-190 share = {} (paper: 0.2%)",
+        merged.mean(),
+        merged.max(),
+        pct(merged.overflow_fraction()),
+    ));
+    vec![t]
+}

@@ -1,0 +1,58 @@
+//! Fig. 25: Victima's PTW reduction across L2 cache sizes (1–8MB).
+//! Fig. 26: the TLB-aware vs. TLB-agnostic SRRIP ablation.
+
+use crate::{pct, x_factor, ExpCtx, Table};
+use sim::SystemConfig;
+use vm_types::geomean;
+use workloads::registry::WORKLOAD_NAMES;
+
+/// Fig. 25: reduction in PTWs vs. Radix at matching L2 sizes.
+pub fn fig25(ctx: &ExpCtx) -> Vec<Table> {
+    let sizes: [u64; 4] = [1 << 20, 2 << 20, 4 << 20, 8 << 20];
+    let mut t = Table::new("fig25", "Victima's PTW reduction across L2 cache sizes")
+        .headers(std::iter::once("workload".to_string()).chain(sizes.iter().map(|s| format!("{}MB", s >> 20))));
+    let mut per_size: Vec<Vec<f64>> = Vec::new();
+    let mut results = Vec::new();
+    for &bytes in &sizes {
+        let base_cfg = SystemConfig::radix().with_l2_cache_bytes(bytes);
+        let vic_cfg = SystemConfig::victima().with_l2_cache_bytes(bytes);
+        let pair = ctx.suites(&[base_cfg, vic_cfg]);
+        results.push(pair);
+    }
+    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for (si, pair) in results.iter().enumerate() {
+            let red = pair[1][wi].ptw_reduction_vs(&pair[0][wi]);
+            if per_size.len() <= si {
+                per_size.push(Vec::new());
+            }
+            per_size[si].push(red);
+            row.push(pct(red));
+        }
+        t.row(row);
+    }
+    let mut mean = vec!["AVG".to_string()];
+    for reds in &per_size {
+        mean.push(pct(reds.iter().sum::<f64>() / reds.len() as f64));
+    }
+    t.row(mean);
+    t.note("paper: reduction grows with L2 size, reaching 63% at 8MB");
+    vec![t]
+}
+
+/// Fig. 26: Victima with TLB-aware SRRIP vs. Victima with baseline SRRIP.
+pub fn fig26(ctx: &ExpCtx) -> Vec<Table> {
+    let agnostic = ctx.suite(&SystemConfig::victima_agnostic_srrip());
+    let aware = ctx.suite(&SystemConfig::victima());
+    let mut t = Table::new("fig26", "Victima: TLB-aware SRRIP speedup over TLB-agnostic SRRIP")
+        .headers(["workload", "speedup"]);
+    let mut sp = Vec::new();
+    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
+        let s = aware[wi].speedup_over(&agnostic[wi]);
+        sp.push(s);
+        t.row([name.to_string(), x_factor(s)]);
+    }
+    t.row(["GMEAN".to_string(), x_factor(geomean(&sp))]);
+    t.note("paper: the TLB-aware policy adds +1.8% on average");
+    vec![t]
+}

@@ -1,0 +1,109 @@
+//! Figs. 27–29: virtualised-execution results over the nested-paging
+//! baseline: speedups (27), guest/host PTW reductions (28) and the L2 TLB
+//! miss-latency breakdown (29).
+
+use crate::{pct, x_factor, ExpCtx, Table};
+use sim::{SimStats, SystemConfig};
+use vm_types::geomean;
+use workloads::registry::WORKLOAD_NAMES;
+
+fn run_all(ctx: &ExpCtx) -> (Vec<SimStats>, Vec<(&'static str, Vec<SimStats>)>) {
+    let base = ctx.suite(&SystemConfig::nested_paging());
+    let systems = [
+        ("POM-TLB", SystemConfig::pom_tlb_virt()),
+        ("I-SP", SystemConfig::ideal_shadow_paging()),
+        ("Victima", SystemConfig::victima_virt()),
+    ];
+    let cfgs: Vec<SystemConfig> = systems.iter().map(|(_, c)| c.clone()).collect();
+    let results = ctx.suites(&cfgs);
+    (base, systems.iter().map(|(n, _)| *n).zip(results).collect())
+}
+
+/// Fig. 27: speedup over nested paging.
+pub fn fig27(ctx: &ExpCtx) -> Vec<Table> {
+    let (base, results) = run_all(ctx);
+    let mut t = Table::new("fig27", "Speedup over Nested Paging (virtualised)")
+        .headers(std::iter::once("workload").chain(results.iter().map(|(n, _)| *n)));
+    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for (_, r) in &results {
+            row.push(x_factor(r[wi].speedup_over(&base[wi])));
+        }
+        t.row(row);
+    }
+    let mut gm = vec!["GMEAN".to_string()];
+    for (_, r) in &results {
+        let sp: Vec<f64> = r.iter().zip(&base).map(|(s, b)| s.speedup_over(b)).collect();
+        gm.push(x_factor(geomean(&sp)));
+    }
+    t.row(gm);
+    t.note("paper GMEANs over NP: POM +7.2%, I-SP +22.7%, Victima +28.7%");
+    vec![t]
+}
+
+/// Fig. 28: reduction in guest and host PTWs over nested paging.
+pub fn fig28(ctx: &ExpCtx) -> Vec<Table> {
+    let (base, results) = run_all(ctx);
+    let keep = ["POM-TLB", "Victima"];
+    let mut t = Table::new("fig28", "Reduction in guest/host PTWs over Nested Paging").headers([
+        "workload",
+        "POM guest",
+        "POM host",
+        "Victima guest",
+        "Victima host",
+    ]);
+    let mut sums = [0.0f64; 4];
+    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for (ki, k) in keep.iter().enumerate() {
+            let r = &results.iter().find(|(n, _)| n == k).expect("system present").1;
+            let g = r[wi].ptw_reduction_vs(&base[wi]);
+            let h = r[wi].host_ptw_reduction_vs(&base[wi]);
+            sums[ki * 2] += g;
+            sums[ki * 2 + 1] += h;
+            row.push(pct(g));
+            row.push(pct(h));
+        }
+        t.row(row);
+    }
+    let n = WORKLOAD_NAMES.len() as f64;
+    t.row(
+        std::iter::once("AVG".to_string())
+            .chain(sums.iter().map(|s| pct(s / n)))
+            .collect::<Vec<_>>(),
+    );
+    t.note("paper: Victima cuts guest PTWs by 50% and host PTWs by 99%");
+    vec![t]
+}
+
+/// Fig. 29: L2 TLB miss latency normalised to NP, host/guest components.
+pub fn fig29(ctx: &ExpCtx) -> Vec<Table> {
+    let (base, results) = run_all(ctx);
+    let mut t = Table::new(
+        "fig29",
+        "Virtualised L2 TLB miss latency normalised to NP (components: host / guest)",
+    )
+    .headers(["workload", "system", "total", "host", "guest"]);
+    for (k, r) in &results {
+        let mut totals = Vec::new();
+        for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
+            let s = &r[wi];
+            let b = base[wi].l2_miss_latency().max(1e-9);
+            let misses = s.l2_tlb_misses.max(1) as f64;
+            totals.push(s.l2_miss_latency() / b);
+            t.row([
+                name.to_string(),
+                k.to_string(),
+                pct(s.l2_miss_latency() / b),
+                pct(s.l2_miss_host_component as f64 / misses / b),
+                pct((s.l2_miss_walk_component + s.l2_miss_cache_component + s.l2_miss_pom_component) as f64
+                    / misses
+                    / b),
+            ]);
+        }
+        let avg = totals.iter().sum::<f64>() / totals.len() as f64;
+        t.row(["MEAN".to_string(), k.to_string(), pct(avg), String::new(), String::new()]);
+    }
+    t.note("paper: Victima cuts host latency to ~1% of NP and guest latency by 60%");
+    vec![t]
+}

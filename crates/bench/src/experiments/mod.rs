@@ -1,0 +1,60 @@
+//! One module per reproduced table/figure. `all()` runs everything in
+//! paper order; `by_id()` dispatches a single experiment.
+
+pub mod calibrate;
+pub mod fig04_ptw_latency;
+pub mod fig05_07_tlb_sweep;
+pub mod fig08_l3_tlb;
+pub mod fig09_10_miss_latency;
+pub mod fig11_reuse;
+pub mod fig20_24_native;
+pub mod fig25_26_sensitivity;
+pub mod fig27_29_virt;
+pub mod table2_predictor;
+
+use crate::{ExpCtx, Table};
+
+/// All experiment ids in paper order (sec10 is the Related-Work claim
+/// that a DUCATI-style full-memory STLB adds only ~0.8% over Victima).
+pub const ALL_IDS: [&str; 21] = [
+    "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "table2", "fig16",
+    "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "fig29",
+    "sec10",
+];
+
+/// Runs one experiment by id. Returns `None` for unknown ids.
+pub fn by_id(ctx: &ExpCtx, id: &str) -> Option<Vec<Table>> {
+    Some(match id {
+        "calibrate" => calibrate::run(ctx),
+        "fig04" => fig04_ptw_latency::run(ctx),
+        "fig05" => fig05_07_tlb_sweep::fig05(ctx),
+        "fig06" => fig05_07_tlb_sweep::fig06(ctx),
+        "fig07" => fig05_07_tlb_sweep::fig07(ctx),
+        "fig08" => fig08_l3_tlb::run(ctx),
+        "fig09" => fig09_10_miss_latency::fig09(ctx),
+        "fig10" => fig09_10_miss_latency::fig10(ctx),
+        "fig11" => fig11_reuse::run(ctx),
+        "table2" => table2_predictor::table2(ctx),
+        "fig16" => table2_predictor::fig16(ctx),
+        "fig20" => fig20_24_native::fig20(ctx),
+        "fig21" => fig20_24_native::fig21(ctx),
+        "fig22" => fig20_24_native::fig22(ctx),
+        "fig23" => fig20_24_native::fig23(ctx),
+        "fig24" => fig20_24_native::fig24(ctx),
+        "sec10" => fig20_24_native::sec10_combo(ctx),
+        "fig25" => fig25_26_sensitivity::fig25(ctx),
+        "fig26" => fig25_26_sensitivity::fig26(ctx),
+        "fig27" => fig27_29_virt::fig27(ctx),
+        "fig28" => fig27_29_virt::fig28(ctx),
+        "fig29" => fig27_29_virt::fig29(ctx),
+        _ => return None,
+    })
+}
+
+/// Runs every experiment in paper order.
+pub fn all(ctx: &ExpCtx) -> Vec<Table> {
+    ALL_IDS
+        .iter()
+        .flat_map(|id| by_id(ctx, id).expect("ALL_IDS entries are dispatchable"))
+        .collect()
+}

@@ -1,0 +1,135 @@
+//! Table 2 and Fig. 16: the PTW-CP design study.
+//!
+//! A profiling pass over the baseline collects the per-page Table 1
+//! features; pages in the top 30% by total PTW cycles are labelled
+//! costly-to-translate. We then train the paper's three MLPs from scratch
+//! and evaluate them — and the production 4-comparator model — on a held-
+//! out split. Fig. 16 renders NN-2's decision over the full
+//! (frequency, cost) grid against the comparator's bounding box.
+
+use crate::{ExpCtx, Table};
+use parking_lot::Mutex;
+use sim::SystemConfig;
+use std::sync::Arc;
+use victima::features::{FeatureTracker, Sample};
+use victima::nn::{decision_grid, evaluate_comparator, train_and_evaluate, FeatureSet, TrainConfig};
+use victima::predictor::Thresholds;
+use workloads::registry::WORKLOAD_NAMES;
+
+/// Collects the merged feature dataset from profiling runs (parallel over
+/// workloads; tracking makes runs slower, so the budget is capped).
+fn collect_dataset(ctx: &ExpCtx) -> Vec<Sample> {
+    let runner = ctx.runner().clone();
+    let instructions = runner.instructions.min(600_000);
+    let warmup = runner.warmup.min(50_000);
+    let merged = Arc::new(Mutex::new(FeatureTracker::new()));
+    let queue = Arc::new(Mutex::new(WORKLOAD_NAMES.to_vec()));
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(WORKLOAD_NAMES.len()) {
+            let queue = Arc::clone(&queue);
+            let merged = Arc::clone(&merged);
+            let runner = runner.clone();
+            scope.spawn(move |_| loop {
+                let Some(name) = queue.lock().pop() else {
+                    break;
+                };
+                let mut sys = runner.build(name, &SystemConfig::radix());
+                sys.enable_feature_tracking();
+                sys.run_with_warmup(warmup, instructions);
+                // reset_stats cleared the warm-up tracker; the measured
+                // window's features are what we label.
+                if let Some(t) = sys.tracker.take() {
+                    merged.lock().merge(&t);
+                }
+            });
+        }
+    })
+    .expect("profiling threads do not panic");
+    let tracker = Arc::try_unwrap(merged).map(Mutex::into_inner).unwrap_or_default();
+    tracker.dataset(0.3)
+}
+
+/// Table 2: model comparison.
+pub fn table2(ctx: &ExpCtx) -> Vec<Table> {
+    let dataset = collect_dataset(ctx);
+    let (train, test) = victima::nn::split_samples(&dataset, 0.3, 0xda7a);
+    let cfg = TrainConfig::default();
+    let mut t = Table::new("table2", "PTW-CP model comparison").headers([
+        "model", "features", "size (B)", "recall", "accuracy", "precision", "f1",
+    ]);
+    for (name, set) in [("NN-10", FeatureSet::All10), ("NN-5", FeatureSet::Top5), ("NN-2", FeatureSet::Two)] {
+        let (mlp, m) = train_and_evaluate(set, &train, &test, &cfg);
+        t.row([
+            name.to_string(),
+            set.len().to_string(),
+            mlp.size_bytes().to_string(),
+            format!("{:.2}%", m.recall() * 100.0),
+            format!("{:.2}%", m.accuracy() * 100.0),
+            format!("{:.2}%", m.precision() * 100.0),
+            format!("{:.2}%", m.f1() * 100.0),
+        ]);
+    }
+    let m = evaluate_comparator(&Thresholds::default(), &test);
+    t.row([
+        "Comparator".to_string(),
+        "2".to_string(),
+        "24".to_string(),
+        format!("{:.2}%", m.recall() * 100.0),
+        format!("{:.2}%", m.accuracy() * 100.0),
+        format!("{:.2}%", m.precision() * 100.0),
+        format!("{:.2}%", m.f1() * 100.0),
+    ]);
+    t.note(format!(
+        "dataset: {} pages ({} train / {} test), 30% labelled costly",
+        dataset.len(),
+        train.len(),
+        test.len()
+    ));
+    t.note("paper: NN-10 f1=90.4%, NN-5 f1=89.9%, NN-2 f1=80.7%, comparator f1=80.7% (24B)");
+    vec![t]
+}
+
+/// Fig. 16: NN-2's decision pattern over the (frequency, cost) grid.
+pub fn fig16(ctx: &ExpCtx) -> Vec<Table> {
+    let dataset = collect_dataset(ctx);
+    let (train, test) = victima::nn::split_samples(&dataset, 0.3, 0xda7a);
+    let cfg = TrainConfig::default();
+    let (nn2, _) = train_and_evaluate(FeatureSet::Two, &train, &test, &cfg);
+    let grid = decision_grid(&nn2);
+    let mut t = Table::new("fig16", "NN-2 decision grid (rows: PTW frequency 0–7; cols: PTW cost 0–15)")
+        .headers(std::iter::once("freq\\cost".to_string()).chain((0..=15).map(|c| c.to_string())));
+    let th = Thresholds::default();
+    for freq in 0..=7u8 {
+        let mut row = vec![freq.to_string()];
+        for cost in 0..=15u8 {
+            let nn = grid
+                .iter()
+                .find(|&&(f, c, _)| f == freq && c == cost)
+                .map(|&(_, _, p)| p)
+                .expect("full grid");
+            let boxed = victima::PtwCostPredictor::classify(&th, freq, cost);
+            // '#': both costly; 'n': NN-only; 'b': box-only; '.': neither.
+            row.push(
+                match (nn, boxed) {
+                    (true, true) => "#",
+                    (true, false) => "n",
+                    (false, true) => "b",
+                    (false, false) => ".",
+                }
+                .to_string(),
+            );
+        }
+        t.row(row);
+    }
+    let agree = grid
+        .iter()
+        .filter(|&&(f, c, p)| p == victima::PtwCostPredictor::classify(&th, f, c))
+        .count();
+    t.note(format!(
+        "NN-2 and the comparator bounding box agree on {}/{} grid points",
+        agree,
+        grid.len()
+    ));
+    vec![t]
+}

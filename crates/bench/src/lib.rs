@@ -1,0 +1,151 @@
+//! Experiment harness: regenerates every table and figure of the Victima
+//! paper's evaluation (see DESIGN.md for the per-experiment index).
+//!
+//! Experiments share simulation runs through a cache (e.g. Figs.
+//! 20–24 all read the same six system×workload sweeps) and execute runs in
+//! parallel across a small worker pool. Each experiment returns a
+//! [`Table`] whose rows mirror the series the paper plots.
+
+pub mod experiments;
+pub mod table;
+
+use parking_lot::Mutex;
+use sim::{Runner, SimStats, SystemConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+use workloads::{registry::WORKLOAD_NAMES, Scale};
+
+pub use table::Table;
+
+/// Shared context for all experiments.
+#[derive(Clone)]
+pub struct ExpCtx {
+    runner: Runner,
+    cache: Arc<Mutex<HashMap<(String, &'static str), SimStats>>>,
+    threads: usize,
+}
+
+impl ExpCtx {
+    /// Full-scale context (budgets from `VICTIMA_INSTR`/`VICTIMA_WARMUP`).
+    pub fn new() -> Self {
+        Self::with_runner(Runner::new(Scale::Full))
+    }
+
+    /// Quick context for CI / `cargo bench` smoke runs.
+    pub fn quick() -> Self {
+        Self::with_runner(Runner::with_budget(Scale::Full, 60_000, 600_000))
+    }
+
+    fn with_runner(runner: Runner) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+        Self { runner, cache: Arc::new(Mutex::new(HashMap::new())), threads }
+    }
+
+    /// The underlying runner.
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// Runs `cfg` over the whole 11-workload suite (cached, parallel).
+    /// Returns stats in figure order.
+    pub fn suite(&self, cfg: &SystemConfig) -> Vec<SimStats> {
+        self.suites(std::slice::from_ref(cfg)).remove(0)
+    }
+
+    /// Runs several configs over the suite, sharing the worker pool.
+    pub fn suites(&self, cfgs: &[SystemConfig]) -> Vec<Vec<SimStats>> {
+        // Collect jobs not yet cached.
+        let mut jobs: Vec<(SystemConfig, &'static str)> = Vec::new();
+        {
+            let cache = self.cache.lock();
+            for cfg in cfgs {
+                for &w in WORKLOAD_NAMES.iter() {
+                    if !cache.contains_key(&(cfg.name.clone(), w)) {
+                        jobs.push((cfg.clone(), w));
+                    }
+                }
+            }
+        }
+        self.run_jobs(jobs);
+        let cache = self.cache.lock();
+        cfgs.iter()
+            .map(|cfg| {
+                WORKLOAD_NAMES
+                    .iter()
+                    .map(|&w| cache.get(&(cfg.name.clone(), w)).expect("job just ran").clone())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Runs one (config, workload) pair through the cache.
+    pub fn one(&self, cfg: &SystemConfig, workload: &'static str) -> SimStats {
+        if let Some(s) = self.cache.lock().get(&(cfg.name.clone(), workload)) {
+            return s.clone();
+        }
+        self.run_jobs(vec![(cfg.clone(), workload)]);
+        self.cache.lock().get(&(cfg.name.clone(), workload)).expect("job just ran").clone()
+    }
+
+    fn run_jobs(&self, jobs: Vec<(SystemConfig, &'static str)>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let queue = Arc::new(Mutex::new(jobs));
+        let n = self.threads.min(queue.lock().len()).max(1);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..n {
+                let queue = Arc::clone(&queue);
+                let cache = Arc::clone(&self.cache);
+                let runner = self.runner.clone();
+                scope.spawn(move |_| loop {
+                    let job = queue.lock().pop();
+                    let Some((cfg, w)) = job else {
+                        break;
+                    };
+                    let stats = runner.run_default(w, &cfg);
+                    cache.lock().insert((cfg.name.clone(), w), stats);
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+    }
+}
+
+impl Default for ExpCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Formats a ratio as the paper's percentage strings.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a speedup factor.
+pub fn x_factor(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_deduplicates_runs() {
+        let ctx = ExpCtx::with_runner(Runner::with_budget(Scale::Tiny, 2_000, 20_000));
+        let cfg = SystemConfig::radix();
+        let a = ctx.one(&cfg, "RND");
+        let b = ctx.one(&cfg, "RND");
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(ctx.cache.lock().len(), 1);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.074), "7.4%");
+        assert_eq!(x_factor(1.2345), "1.234");
+    }
+}

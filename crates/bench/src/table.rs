@@ -1,0 +1,101 @@
+//! Plain-text result tables, one per paper figure/table.
+
+use std::fmt;
+
+/// A rendered experiment result.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id ("fig20", "table2", …).
+    pub id: &'static str,
+    /// Human-readable title (what the paper's caption says).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (calibration caveats, observed means, …).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        Self { id, title: title.into(), headers: Vec::new(), rows: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Sets the headers.
+    pub fn headers<I: IntoIterator<Item = S>, S: Into<String>>(mut self, hs: I) -> Self {
+        self.headers = hs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends one row.
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                write!(f, "{cell:>w$}  ")?;
+            }
+            writeln!(f)
+        };
+        if !self.headers.is_empty() {
+            render(f, &self.headers)?;
+        }
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("figX", "demo").headers(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "10000"]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("figX"));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("note: a note"));
+        // Both value cells end aligned at the same column.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].len(), lines[2].len());
+    }
+
+    #[test]
+    fn rows_longer_than_headers_are_ok() {
+        let mut t = Table::new("t", "x").headers(["a"]);
+        t.row(["1", "2", "3"]);
+        assert!(t.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,298 @@
+//! Per-page feature collection for the PTW-CP design study (Table 1 /
+//! Table 2 of the paper).
+//!
+//! During a profiling run, the simulator calls the `on_*` hooks; each page
+//! accumulates the paper's 10 features (saturating at their hardware bit
+//! widths) plus the ground-truth signal — total cycles spent walking the
+//! page table for that page. Pages are labelled *costly-to-translate* if
+//! they fall in the top 30% by total PTW cycles among walked pages
+//! (Sec. 5.2: PTW-CP "estimates whether the page is among the top 30% most
+//! costly-to-translate pages").
+
+use std::collections::HashMap;
+use vm_types::{Asid, PageSize, VirtAddr};
+
+/// Names, bit widths and descriptions of the 10 features (Table 1).
+pub const FEATURES: [(&str, u32); 10] = [
+    ("page_size", 1),
+    ("ptw_frequency", 3),
+    ("ptw_cost", 4),
+    ("pwc_hits", 5),
+    ("l1_tlb_misses", 5),
+    ("l2_tlb_misses", 5),
+    ("l2_cache_hits", 5),
+    ("l1_tlb_evictions", 5),
+    ("l2_tlb_evictions", 6),
+    ("accesses", 6),
+];
+
+/// Accumulated per-page features.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PageFeatures {
+    /// 1 for 2MB pages.
+    pub page_size: u8,
+    /// # of PTWs for the page (3-bit).
+    pub ptw_frequency: u8,
+    /// # of DRAM accesses during all PTWs (4-bit).
+    pub ptw_cost: u8,
+    /// # of PTWs that hit a PWC (5-bit).
+    pub pwc_hits: u8,
+    /// # of L1 TLB misses (5-bit).
+    pub l1_tlb_misses: u8,
+    /// # of L2 TLB misses (5-bit).
+    pub l2_tlb_misses: u8,
+    /// # of L2 cache hits by data accesses to the page (5-bit).
+    pub l2_cache_hits: u8,
+    /// # of L1 TLB evictions (5-bit).
+    pub l1_tlb_evictions: u8,
+    /// # of L2 TLB evictions (6-bit).
+    pub l2_tlb_evictions: u8,
+    /// # of accesses to the page (6-bit).
+    pub accesses: u8,
+    /// Ground truth: total cycles spent in PTWs for this page.
+    pub total_ptw_cycles: u64,
+}
+
+#[inline]
+fn sat_add(v: &mut u8, bits: u32) {
+    let max = ((1u16 << bits) - 1) as u8;
+    if *v < max {
+        *v += 1;
+    }
+}
+
+impl PageFeatures {
+    /// The feature vector normalised to \[0,1\] per bit width, in Table 1
+    /// order.
+    pub fn vector(&self) -> [f32; 10] {
+        let raw = [
+            self.page_size,
+            self.ptw_frequency,
+            self.ptw_cost,
+            self.pwc_hits,
+            self.l1_tlb_misses,
+            self.l2_tlb_misses,
+            self.l2_cache_hits,
+            self.l1_tlb_evictions,
+            self.l2_tlb_evictions,
+            self.accesses,
+        ];
+        let mut out = [0f32; 10];
+        for (i, (v, (_, bits))) in raw.iter().zip(FEATURES.iter()).enumerate() {
+            out[i] = *v as f32 / ((1u32 << bits) - 1) as f32;
+        }
+        out
+    }
+}
+
+/// One labelled sample of the study dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// Normalised features (Table 1 order).
+    pub features: [f32; 10],
+    /// Raw counter values for the comparator model.
+    pub ptw_frequency: u8,
+    /// Raw cost counter.
+    pub ptw_cost: u8,
+    /// Ground truth: in the top 30% by total PTW cycles.
+    pub costly: bool,
+}
+
+/// Key identifying a page.
+type PageKey = (u16, u64, bool); // (asid, vpn, is_huge)
+
+/// Collects per-page features during a profiling run.
+#[derive(Clone, Debug, Default)]
+pub struct FeatureTracker {
+    pages: HashMap<PageKey, PageFeatures>,
+}
+
+impl FeatureTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(asid: Asid, va: VirtAddr, size: PageSize) -> PageKey {
+        (asid.raw(), va.vpn(size), size.is_huge())
+    }
+
+    fn page(&mut self, asid: Asid, va: VirtAddr, size: PageSize) -> &mut PageFeatures {
+        let entry = self.pages.entry(Self::key(asid, va, size)).or_default();
+        entry.page_size = size.is_huge() as u8;
+        entry
+    }
+
+    /// Hook: any access to the page.
+    pub fn on_access(&mut self, asid: Asid, va: VirtAddr, size: PageSize) {
+        sat_add(&mut self.page(asid, va, size).accesses, 6);
+    }
+
+    /// Hook: L1 TLB miss for the page.
+    pub fn on_l1_tlb_miss(&mut self, asid: Asid, va: VirtAddr, size: PageSize) {
+        sat_add(&mut self.page(asid, va, size).l1_tlb_misses, 5);
+    }
+
+    /// Hook: L2 TLB miss for the page.
+    pub fn on_l2_tlb_miss(&mut self, asid: Asid, va: VirtAddr, size: PageSize) {
+        sat_add(&mut self.page(asid, va, size).l2_tlb_misses, 5);
+    }
+
+    /// Hook: L1 TLB eviction of the page's entry.
+    pub fn on_l1_tlb_eviction(&mut self, asid: Asid, va: VirtAddr, size: PageSize) {
+        sat_add(&mut self.page(asid, va, size).l1_tlb_evictions, 5);
+    }
+
+    /// Hook: L2 TLB eviction of the page's entry.
+    pub fn on_l2_tlb_eviction(&mut self, asid: Asid, va: VirtAddr, size: PageSize) {
+        sat_add(&mut self.page(asid, va, size).l2_tlb_evictions, 6);
+    }
+
+    /// Hook: a data access to this page hit the L2 cache.
+    pub fn on_l2_cache_hit(&mut self, asid: Asid, va: VirtAddr, size: PageSize) {
+        sat_add(&mut self.page(asid, va, size).l2_cache_hits, 5);
+    }
+
+    /// Hook: a PTW for this page completed.
+    pub fn on_walk(
+        &mut self,
+        asid: Asid,
+        va: VirtAddr,
+        size: PageSize,
+        latency: u64,
+        dram_touched: bool,
+        pwc_hit: bool,
+    ) {
+        let p = self.page(asid, va, size);
+        sat_add(&mut p.ptw_frequency, 3);
+        if dram_touched {
+            sat_add(&mut p.ptw_cost, 4);
+        }
+        if pwc_hit {
+            sat_add(&mut p.pwc_hits, 5);
+        }
+        p.total_ptw_cycles += latency;
+    }
+
+    /// Pages tracked so far.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether no pages were tracked.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Merges another tracker (e.g. from a different workload) into this
+    /// one. Keys never collide across workloads because ASIDs differ.
+    pub fn merge(&mut self, other: &FeatureTracker) {
+        for (k, v) in &other.pages {
+            let e = self.pages.entry(*k).or_default();
+            // Pages are per-ASID; a collision would mean double counting,
+            // so keep the larger snapshot (conservative).
+            if v.total_ptw_cycles > e.total_ptw_cycles {
+                *e = *v;
+            }
+        }
+    }
+
+    /// Builds the labelled dataset: walked pages only, labelled costly if
+    /// in the top `costly_fraction` (default 0.3) by total PTW cycles.
+    pub fn dataset(&self, costly_fraction: f64) -> Vec<Sample> {
+        let mut walked: Vec<&PageFeatures> =
+            self.pages.values().filter(|p| p.ptw_frequency > 0).collect();
+        if walked.is_empty() {
+            return Vec::new();
+        }
+        walked.sort_by_key(|p| std::cmp::Reverse(p.total_ptw_cycles));
+        let cut = ((walked.len() as f64 * costly_fraction).ceil() as usize).clamp(1, walked.len());
+        let threshold = walked[cut - 1].total_ptw_cycles;
+        walked
+            .iter()
+            .map(|p| Sample {
+                features: p.vector(),
+                ptw_frequency: p.ptw_frequency,
+                ptw_cost: p.ptw_cost,
+                costly: p.total_ptw_cycles >= threshold && threshold > 0,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Asid = Asid::KERNEL;
+
+    #[test]
+    fn features_saturate_at_bit_widths() {
+        let mut t = FeatureTracker::new();
+        let va = VirtAddr::new(0x1000);
+        for _ in 0..200 {
+            t.on_access(A, va, PageSize::Size4K);
+            t.on_l2_tlb_miss(A, va, PageSize::Size4K);
+            t.on_walk(A, va, PageSize::Size4K, 100, true, false);
+        }
+        let sample = &t.dataset(0.3)[0];
+        assert_eq!(sample.ptw_frequency, 7);
+        assert_eq!(sample.ptw_cost, 15);
+        // Normalised vector is capped at 1.0.
+        assert!(sample.features.iter().all(|&f| (0.0..=1.0).contains(&f)));
+    }
+
+    #[test]
+    fn only_walked_pages_enter_the_dataset() {
+        let mut t = FeatureTracker::new();
+        t.on_access(A, VirtAddr::new(0x1000), PageSize::Size4K);
+        t.on_walk(A, VirtAddr::new(0x2000), PageSize::Size4K, 150, true, false);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dataset(0.3).len(), 1);
+    }
+
+    #[test]
+    fn top_30_percent_labelling() {
+        let mut t = FeatureTracker::new();
+        // 10 pages with strictly increasing walk cost.
+        for i in 0..10u64 {
+            let va = VirtAddr::new(0x10_0000 + i * 4096);
+            for _ in 0..=i {
+                t.on_walk(A, va, PageSize::Size4K, 100, false, true);
+            }
+        }
+        let ds = t.dataset(0.3);
+        let costly = ds.iter().filter(|s| s.costly).count();
+        assert_eq!(costly, 3, "top 30% of 10 pages = 3");
+    }
+
+    #[test]
+    fn page_sizes_tracked_separately() {
+        let mut t = FeatureTracker::new();
+        let va = VirtAddr::new(0x40_0000);
+        t.on_walk(A, va, PageSize::Size4K, 10, false, false);
+        t.on_walk(A, va, PageSize::Size2M, 10, false, false);
+        assert_eq!(t.len(), 2);
+        let ds = t.dataset(1.0);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.iter().filter(|s| s.features[0] > 0.5).count(), 1);
+    }
+
+    #[test]
+    fn merge_keeps_larger_snapshot() {
+        let mut a = FeatureTracker::new();
+        let mut b = FeatureTracker::new();
+        let va = VirtAddr::new(0x9000);
+        a.on_walk(A, va, PageSize::Size4K, 100, false, false);
+        b.on_walk(A, va, PageSize::Size4K, 500, false, false);
+        b.on_walk(A, va, PageSize::Size4K, 500, false, false);
+        a.merge(&b);
+        let ds = a.dataset(1.0);
+        assert_eq!(ds[0].ptw_frequency, 2);
+    }
+
+    #[test]
+    fn dataset_handles_empty_tracker() {
+        assert!(FeatureTracker::new().dataset(0.3).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Binary-classification metrics for the PTW-CP design study (Table 2).
+//!
+//! We use the standard definitions (the paper's prose description of
+//! "recall" is idiosyncratic, but its numbers are consistent with the
+//! standard recall = TP / (TP + FN)).
+
+/// A 2×2 confusion matrix for the "costly-to-translate" classifier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Costly pages predicted costly.
+    pub tp: u64,
+    /// Non-costly pages predicted costly (cache pollution).
+    pub fp: u64,
+    /// Non-costly pages predicted non-costly.
+    pub tn: u64,
+    /// Costly pages predicted non-costly (performance left on the table).
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Fraction of positive predictions that were correct.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Fraction of actual positives that were found.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "acc={:.2}% prec={:.2}% rec={:.2}% f1={:.2}%",
+            self.accuracy() * 100.0,
+            self.precision() * 100.0,
+            self.recall() * 100.0,
+            self.f1() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(tp: u64, fp: u64, tn: u64, fn_: u64) -> ConfusionMatrix {
+        ConfusionMatrix { tp, fp, tn, fn_ }
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let m = matrix(10, 0, 10, 0);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // tp=8, fp=2, tn=85, fn=5.
+        let m = matrix(8, 2, 85, 5);
+        assert!((m.accuracy() - 0.93).abs() < 1e-12);
+        assert!((m.precision() - 0.8).abs() < 1e-12);
+        assert!((m.recall() - 8.0 / 13.0).abs() < 1e-12);
+        let p = 0.8;
+        let r = 8.0 / 13.0;
+        assert!((m.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_routes_to_cells() {
+        let mut m = ConfusionMatrix::new();
+        m.record(true, true);
+        m.record(true, false);
+        m.record(false, false);
+        m.record(false, true);
+        assert_eq!(m, matrix(1, 1, 1, 1));
+        assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn degenerate_cases_return_zero_not_nan() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        let never_positive = matrix(0, 0, 5, 5);
+        assert_eq!(never_positive.precision(), 0.0);
+        assert_eq!(never_positive.f1(), 0.0);
+    }
+}

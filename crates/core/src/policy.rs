@@ -1,0 +1,165 @@
+//! The TLB-aware SRRIP replacement policy (Listing 1 of the paper).
+//!
+//! Three deviations from baseline SRRIP, all gated on high translation
+//! pressure (L2 TLB MPKI > 5):
+//!
+//! 1. **Insertion**: TLB blocks are inserted with a re-reference interval
+//!    of 0 (near-immediate reuse predicted) instead of the long interval.
+//! 2. **Victim selection**: if the chosen victim is a TLB block, one more
+//!    attempt is made to find a non-TLB victim.
+//! 3. **Promotion**: a hit on a TLB block lowers its RRPV by 3 instead of
+//!    1, keeping hot translation clusters resident.
+
+use mem_sim::{CacheBlock, ReplacementCtx, ReplacementPolicy, Srrip, RRIP_MAX};
+
+/// Insertion RRPV for ordinary blocks (long re-reference interval).
+const RRIP_INSERT: u8 = 2;
+
+/// Victima's TLB-aware SRRIP.
+///
+/// Plugs into `mem_sim::Cache` exactly like the baseline policies:
+///
+/// ```
+/// use mem_sim::{Cache, CacheConfig};
+/// use victima::TlbAwareSrrip;
+///
+/// let cache = Cache::new(
+///     CacheConfig { name: "L2", size_bytes: 2 << 20, ways: 16, block_bytes: 64, latency: 16 },
+///     Box::new(TlbAwareSrrip::new()),
+/// );
+/// assert_eq!(cache.policy_name(), "TLB-aware-SRRIP");
+/// ```
+#[derive(Debug, Default)]
+pub struct TlbAwareSrrip;
+
+impl TlbAwareSrrip {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ReplacementPolicy for TlbAwareSrrip {
+    fn on_fill(&mut self, set: &mut [CacheBlock], way: usize, ctx: &ReplacementCtx) {
+        let block = &mut set[way];
+        if block.kind.is_translation() && ctx.tlb_pressure_high() {
+            block.rrip = 0;
+        } else {
+            block.rrip = RRIP_INSERT;
+        }
+    }
+
+    fn on_hit(&mut self, set: &mut [CacheBlock], way: usize, ctx: &ReplacementCtx) {
+        let block = &mut set[way];
+        if block.kind.is_translation() && ctx.tlb_pressure_high() {
+            block.rrip = block.rrip.saturating_sub(3);
+        } else {
+            block.rrip = block.rrip.saturating_sub(1);
+        }
+    }
+
+    fn choose_victim(&mut self, set: &mut [CacheBlock], ctx: &ReplacementCtx) -> usize {
+        let way = Srrip::scan_victim(set);
+        if set[way].valid && set[way].kind.is_translation() && ctx.tlb_pressure_high() {
+            // One more attempt (Listing 1 line 23): prefer any non-TLB
+            // block that has also aged to RRIP_MAX. If none exists, the
+            // TLB block is evicted (and dropped, not written back).
+            if let Some(alt) = set
+                .iter()
+                .position(|b| b.valid && !b.kind.is_translation() && b.rrip >= RRIP_MAX)
+            {
+                return alt;
+            }
+        }
+        way
+    }
+
+    fn name(&self) -> &'static str {
+        "TLB-aware-SRRIP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_sim::BlockKind;
+    use vm_types::{Asid, PageSize};
+
+    const PRESSURE: ReplacementCtx = ReplacementCtx { l2_tlb_mpki: 10.0, l2_cache_mpki: 0.0 };
+    const CALM: ReplacementCtx = ReplacementCtx { l2_tlb_mpki: 0.0, l2_cache_mpki: 0.0 };
+
+    fn block(kind: BlockKind, tag: u64) -> CacheBlock {
+        let mut b = CacheBlock::INVALID;
+        b.refill(tag, kind, Asid::new(1), PageSize::Size4K, false, false);
+        b
+    }
+
+    #[test]
+    fn tlb_fill_under_pressure_gets_rrpv_zero() {
+        let mut p = TlbAwareSrrip::new();
+        let mut set = vec![block(BlockKind::Tlb, 1), block(BlockKind::Data, 2)];
+        p.on_fill(&mut set, 0, &PRESSURE);
+        p.on_fill(&mut set, 1, &PRESSURE);
+        assert_eq!(set[0].rrip, 0);
+        assert_eq!(set[1].rrip, RRIP_INSERT);
+    }
+
+    #[test]
+    fn tlb_fill_without_pressure_is_ordinary() {
+        let mut p = TlbAwareSrrip::new();
+        let mut set = vec![block(BlockKind::Tlb, 1)];
+        p.on_fill(&mut set, 0, &CALM);
+        assert_eq!(set[0].rrip, RRIP_INSERT);
+    }
+
+    #[test]
+    fn tlb_hit_promotes_by_three() {
+        let mut p = TlbAwareSrrip::new();
+        let mut set = vec![block(BlockKind::Tlb, 1), block(BlockKind::Data, 2)];
+        set[0].rrip = 3;
+        set[1].rrip = 3;
+        p.on_hit(&mut set, 0, &PRESSURE);
+        p.on_hit(&mut set, 1, &PRESSURE);
+        assert_eq!(set[0].rrip, 0, "TLB promotion is -3");
+        assert_eq!(set[1].rrip, 2, "data promotion is -1");
+    }
+
+    #[test]
+    fn victim_diverts_away_from_tlb_blocks_under_pressure() {
+        let mut p = TlbAwareSrrip::new();
+        let mut set = vec![block(BlockKind::Tlb, 1), block(BlockKind::Data, 2)];
+        set[0].rrip = RRIP_MAX;
+        set[1].rrip = RRIP_MAX;
+        // Scan would find way 0 (the TLB block) first; the second attempt
+        // must divert to the data block.
+        assert_eq!(p.choose_victim(&mut set, &PRESSURE), 1);
+        // Without pressure the TLB block is fair game.
+        set[0].rrip = RRIP_MAX;
+        set[1].rrip = RRIP_MAX;
+        assert_eq!(p.choose_victim(&mut set, &CALM), 0);
+    }
+
+    #[test]
+    fn tlb_block_still_evictable_when_no_alternative() {
+        let mut p = TlbAwareSrrip::new();
+        let mut set = vec![block(BlockKind::Tlb, 1), block(BlockKind::Tlb, 2)];
+        set[0].rrip = RRIP_MAX;
+        set[1].rrip = 1;
+        assert_eq!(p.choose_victim(&mut set, &PRESSURE), 0, "all-TLB set must still yield a victim");
+    }
+
+    #[test]
+    fn nested_tlb_blocks_get_the_same_treatment() {
+        let mut p = TlbAwareSrrip::new();
+        let mut set = vec![block(BlockKind::NestedTlb, 1)];
+        p.on_fill(&mut set, 0, &PRESSURE);
+        assert_eq!(set[0].rrip, 0);
+    }
+
+    #[test]
+    fn invalid_ways_win_immediately() {
+        let mut p = TlbAwareSrrip::new();
+        let mut set = vec![block(BlockKind::Data, 1), CacheBlock::INVALID];
+        assert_eq!(p.choose_victim(&mut set, &PRESSURE), 1);
+    }
+}

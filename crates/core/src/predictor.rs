@@ -1,0 +1,165 @@
+//! The PTW cost predictor (PTW-CP, Sec. 5.2, Figs. 15–16).
+//!
+//! PTW-CP decides whether a page is likely to be among the most
+//! costly-to-translate pages using only two counters embedded in the PTE:
+//! the 3-bit PTW frequency and the 4-bit PTW cost (DRAM-touching walks).
+//! The production design is four comparators implementing the bounding box
+//! of Fig. 16 — the paper draws it from (1,1) to (12,7); since the text
+//! assigns 3 bits to frequency and 4 to cost, we place the 4-bit cost
+//! counter on the long axis, i.e. **costly ⇔ freq in \[1,7\] and cost in
+//! \[1,12\]** — and all four thresholds are exposed as registers.
+//!
+//! When the L2 *cache* MPKI is high, caching data is unprofitable anyway,
+//! so the MMU bypasses the predictor and always inserts (Fig. 15 ④).
+
+use mem_sim::ReplacementCtx;
+
+/// Comparator thresholds (four registers, Sec. 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Thresholds {
+    /// Minimum PTW frequency (inclusive).
+    pub freq_min: u8,
+    /// Maximum PTW frequency (inclusive).
+    pub freq_max: u8,
+    /// Minimum PTW cost (inclusive).
+    pub cost_min: u8,
+    /// Maximum PTW cost (inclusive).
+    pub cost_max: u8,
+}
+
+impl Default for Thresholds {
+    /// Fig. 16's bounding box.
+    fn default() -> Self {
+        Self { freq_min: 1, freq_max: 7, cost_min: 1, cost_max: 12 }
+    }
+}
+
+/// Predictor statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PredictorStats {
+    /// Predictions made (predictor consulted).
+    pub consults: u64,
+    /// Positive (costly-to-translate) predictions.
+    pub positives: u64,
+    /// Times the predictor was bypassed due to high L2 cache MPKI.
+    pub bypasses: u64,
+}
+
+/// The comparator-based PTW cost predictor.
+///
+/// # Examples
+///
+/// ```
+/// use victima::predictor::PtwCostPredictor;
+/// let mut p = PtwCostPredictor::default();
+/// assert!(p.predict(1, 1));
+/// assert!(!p.predict(1, 0)); // no DRAM-touching walk yet
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PtwCostPredictor {
+    /// The comparator registers.
+    pub thresholds: Thresholds,
+    /// Statistics.
+    pub stats: PredictorStats,
+}
+
+impl PtwCostPredictor {
+    /// Creates a predictor with custom thresholds.
+    pub fn with_thresholds(thresholds: Thresholds) -> Self {
+        Self { thresholds, stats: PredictorStats::default() }
+    }
+
+    /// Pure comparator decision for a (frequency, cost) pair.
+    pub fn classify(thresholds: &Thresholds, freq: u8, cost: u8) -> bool {
+        freq >= thresholds.freq_min
+            && freq <= thresholds.freq_max
+            && cost >= thresholds.cost_min
+            && cost <= thresholds.cost_max
+    }
+
+    /// Single-cycle prediction: is a page with these counters likely to be
+    /// costly-to-translate in the future?
+    pub fn predict(&mut self, freq: u8, cost: u8) -> bool {
+        self.stats.consults += 1;
+        let costly = Self::classify(&self.thresholds, freq, cost);
+        if costly {
+            self.stats.positives += 1;
+        }
+        costly
+    }
+
+    /// The full insertion decision, including the bypass: when the L2
+    /// cache MPKI is high the predictor is not consulted and the TLB entry
+    /// is inserted unconditionally (Fig. 15 ④, Table 3).
+    pub fn should_insert(&mut self, freq: u8, cost: u8, ctx: &ReplacementCtx) -> bool {
+        if ctx.cache_pressure_high() {
+            self.stats.bypasses += 1;
+            return true;
+        }
+        self.predict(freq, cost)
+    }
+
+    /// Fraction of consults that predicted "costly".
+    pub fn positive_rate(&self) -> f64 {
+        if self.stats.consults == 0 {
+            0.0
+        } else {
+            self.stats.positives as f64 / self.stats.consults as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounding_box_edges_are_inclusive() {
+        let t = Thresholds::default();
+        assert!(PtwCostPredictor::classify(&t, 1, 1));
+        assert!(PtwCostPredictor::classify(&t, 7, 12));
+        assert!(!PtwCostPredictor::classify(&t, 0, 5));
+        assert!(!PtwCostPredictor::classify(&t, 5, 0));
+        assert!(!PtwCostPredictor::classify(&t, 5, 13));
+    }
+
+    #[test]
+    fn saturated_counters_stay_inside_the_box() {
+        // 3-bit freq saturates at 7, 4-bit cost at 15: a hot page with
+        // saturated frequency and moderate cost must remain predicted.
+        let t = Thresholds::default();
+        assert!(PtwCostPredictor::classify(&t, 7, 7));
+    }
+
+    #[test]
+    fn bypass_skips_consultation() {
+        let mut p = PtwCostPredictor::default();
+        let pressured = ReplacementCtx { l2_tlb_mpki: 0.0, l2_cache_mpki: 50.0 };
+        assert!(p.should_insert(0, 0, &pressured), "bypass always inserts");
+        assert_eq!(p.stats.bypasses, 1);
+        assert_eq!(p.stats.consults, 0);
+        let calm = ReplacementCtx::default();
+        assert!(!p.should_insert(0, 0, &calm));
+        assert_eq!(p.stats.consults, 1);
+    }
+
+    #[test]
+    fn positive_rate_tracks_predictions() {
+        let mut p = PtwCostPredictor::default();
+        p.predict(1, 1);
+        p.predict(0, 0);
+        assert!((p.positive_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_thresholds_respected() {
+        let mut p = PtwCostPredictor::with_thresholds(Thresholds {
+            freq_min: 3,
+            freq_max: 7,
+            cost_min: 0,
+            cost_max: 15,
+        });
+        assert!(!p.predict(2, 8));
+        assert!(p.predict(3, 0));
+    }
+}

@@ -1,0 +1,160 @@
+//! Set/tag arithmetic for TLB blocks (Fig. 13 of the paper).
+//!
+//! A 64B cache block holds 8 PTEs covering 8 *contiguous* virtual pages, so
+//! a TLB block is identified by the page-group number `VPN >> 3`. Unlike a
+//! data block (indexed by physical block number), a TLB block is indexed by
+//! the low bits of the group number and tagged by the rest — which leaves
+//! spare tag bits that Victima uses for the ASID and page-size metadata
+//! (footnote 4 gives the feasibility condition).
+
+use vm_types::{PageSize, VirtAddr, PA_BITS, VA_BITS};
+
+/// PTEs per 64B TLB block.
+pub const ENTRIES_PER_BLOCK: u64 = 8;
+
+/// Memory covered by one TLB block: 8 pages of the given size.
+///
+/// # Examples
+///
+/// ```
+/// use victima::tlb_block::block_coverage_bytes;
+/// use vm_types::PageSize;
+/// assert_eq!(block_coverage_bytes(PageSize::Size4K), 32 << 10);
+/// assert_eq!(block_coverage_bytes(PageSize::Size2M), 16 << 20);
+/// ```
+pub const fn block_coverage_bytes(size: PageSize) -> u64 {
+    ENTRIES_PER_BLOCK * size.bytes()
+}
+
+/// The (set, tag) an address maps to as a TLB block, for an L2 cache of
+/// `num_sets` sets.
+///
+/// # Panics
+///
+/// Panics (debug builds) if `num_sets` is not a power of two.
+#[inline]
+pub fn tlb_block_index(va: VirtAddr, size: PageSize, num_sets: usize) -> (usize, u64) {
+    debug_assert!(num_sets.is_power_of_two());
+    group_index(va.vpn(size) >> 3, num_sets)
+}
+
+/// The (set, tag) for a page-group number (`VPN >> 3`) directly.
+#[inline]
+pub fn group_index(group: u64, num_sets: usize) -> (usize, u64) {
+    let set = (group & (num_sets as u64 - 1)) as usize;
+    let tag = group >> num_sets.trailing_zeros();
+    (set, tag)
+}
+
+/// Which of the block's 8 PTE slots serves `va` (the 3 least significant
+/// VPN bits, footnote 3).
+#[inline]
+pub const fn entry_slot(va: VirtAddr, size: PageSize) -> usize {
+    (va.vpn(size) & 0x7) as usize
+}
+
+/// Tag bits a TLB block needs: `VA_BITS - page_shift - 3 - log2(sets)`
+/// (Sec. 5.1 computes 23 for a 1MB 16-way cache with 4KB pages).
+pub const fn tlb_tag_bits(num_sets: usize, size: PageSize) -> u32 {
+    VA_BITS - size.shift() as u32 - 3 - num_sets.trailing_zeros()
+}
+
+/// Tag bits a conventional data block needs:
+/// `PA_BITS - log2(sets) - log2(64)`.
+pub const fn data_tag_bits(num_sets: usize) -> u32 {
+    PA_BITS - num_sets.trailing_zeros() - 6
+}
+
+/// Spare tag bits available to store the ASID/VMID and page-size metadata
+/// when a TLB block reuses the data block's physical tag store.
+pub const fn spare_tag_bits(num_sets: usize, size: PageSize) -> u32 {
+    data_tag_bits(num_sets).saturating_sub(tlb_tag_bits(num_sets, size))
+}
+
+/// Footnote 4's aliasing-feasibility condition: unique tagging without
+/// enlarging the hardware tag entries requires `PA_BITS > VA_BITS - 9`.
+pub const fn can_tag_uniquely(va_bits: u32, pa_bits: u32) -> bool {
+    pa_bits > va_bits - 9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L2_SETS: usize = 2048; // 2MB, 16-way, 64B blocks
+
+    #[test]
+    fn contiguous_pages_share_a_block() {
+        let base = VirtAddr::new(0x4000_0000);
+        let (s0, t0) = tlb_block_index(base, PageSize::Size4K, L2_SETS);
+        for i in 0..8u64 {
+            let (s, t) = tlb_block_index(base.add(i * 4096), PageSize::Size4K, L2_SETS);
+            assert_eq!((s, t), (s0, t0), "page {i} left the block");
+            assert_eq!(entry_slot(base.add(i * 4096), PageSize::Size4K), i as usize);
+        }
+        // The 9th page starts a new block.
+        let (s, t) = tlb_block_index(base.add(8 * 4096), PageSize::Size4K, L2_SETS);
+        assert_ne!((s, t), (s0, t0));
+    }
+
+    #[test]
+    fn adjacent_groups_map_to_adjacent_sets() {
+        let a = tlb_block_index(VirtAddr::new(0), PageSize::Size4K, L2_SETS);
+        let b = tlb_block_index(VirtAddr::new(8 * 4096), PageSize::Size4K, L2_SETS);
+        assert_eq!(b.0, a.0 + 1);
+        assert_eq!(b.1, a.1);
+    }
+
+    #[test]
+    fn set_tag_round_trip_is_injective() {
+        // Distinct groups must produce distinct (set, tag) pairs.
+        let mut seen = std::collections::HashSet::new();
+        for group in 0..10_000u64 {
+            let key = group_index(group, L2_SETS);
+            assert!(seen.insert(key), "collision for group {group}");
+        }
+    }
+
+    #[test]
+    fn paper_tag_width_example() {
+        // Sec. 5.1: 1MB 16-way cache → 1024 sets; 4KB pages → 23 tag bits;
+        // data tag = 52 - 10 - 6 = 36 bits.
+        assert_eq!(tlb_tag_bits(1024, PageSize::Size4K), 23);
+        assert_eq!(data_tag_bits(1024), 36);
+        assert_eq!(spare_tag_bits(1024, PageSize::Size4K), 13);
+    }
+
+    #[test]
+    fn our_l2_has_spare_bits_for_asid() {
+        // 2MB 16-way L2 → 2048 sets: spare bits must cover ≥11-bit ASID +
+        // page-size bit for 4KB blocks (the paper's Sec. 5.1 layout).
+        assert!(spare_tag_bits(L2_SETS, PageSize::Size4K) >= 12);
+        assert!(spare_tag_bits(L2_SETS, PageSize::Size2M) >= 12);
+    }
+
+    #[test]
+    fn aliasing_condition_matches_footnote4() {
+        assert!(can_tag_uniquely(48, 52));
+        assert!(can_tag_uniquely(57, 52)); // 52 > 48
+        assert!(!can_tag_uniquely(61, 52));
+    }
+
+    #[test]
+    fn huge_page_blocks_cover_16mb() {
+        let base = VirtAddr::new(0x1_0000_0000);
+        let (s0, t0) = tlb_block_index(base, PageSize::Size2M, L2_SETS);
+        let inside = base.add(15 << 20); // still within 8 x 2MB
+        let (s, t) = tlb_block_index(inside, PageSize::Size2M, L2_SETS);
+        assert_eq!((s, t), (s0, t0));
+        let outside = base.add(16 << 20);
+        assert_ne!(tlb_block_index(outside, PageSize::Size2M, L2_SETS), (s0, t0));
+    }
+
+    #[test]
+    fn size_disambiguates_identical_va() {
+        let va = VirtAddr::new(0x4000_0000);
+        let a = tlb_block_index(va, PageSize::Size4K, L2_SETS);
+        let b = tlb_block_index(va, PageSize::Size2M, L2_SETS);
+        assert_ne!(a, b, "4KB and 2MB views of one VA are different blocks");
+    }
+}

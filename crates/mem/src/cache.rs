@@ -1,0 +1,593 @@
+//! Set-associative cache with typed blocks.
+//!
+//! Data blocks are indexed by physical block number. Victima's TLB blocks
+//! live in the same data store but are indexed by a *virtual* set/tag pair
+//! computed by the `victima` crate (Fig. 13 of the paper shows how the same
+//! address maps to different sets as a data vs. TLB block); the typed
+//! lookup/fill/invalidate entry points here take the precomputed set and
+//! tag so this crate stays mechanism-agnostic.
+
+use crate::block::{BlockKind, CacheBlock};
+use crate::replacement::{ReplacementCtx, ReplacementPolicy};
+use vm_types::{Asid, Cycles, PageSize, PhysAddr, ReuseHistogram};
+
+/// Geometry and latency of one cache.
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// Human-readable name, e.g. "L2".
+    pub name: &'static str,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Block size in bytes (64 throughout the paper).
+    pub block_bytes: u64,
+    /// Access latency in cycles when this cache hits.
+    pub latency: Cycles,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate or not a power of two.
+    pub fn num_sets(&self) -> usize {
+        assert!(self.ways > 0 && self.block_bytes > 0 && self.size_bytes > 0);
+        let sets = (self.size_bytes / self.block_bytes) as usize / self.ways;
+        assert!(sets > 0, "{}: capacity too small for geometry", self.name);
+        assert!(sets.is_power_of_two(), "{}: set count must be a power of two", self.name);
+        sets
+    }
+}
+
+/// Statistics for one cache.
+#[derive(Clone, Debug, Default)]
+pub struct CacheStats {
+    /// Demand lookups that hit (any kind).
+    pub hits: u64,
+    /// Demand lookups that missed.
+    pub misses: u64,
+    /// Lines filled (demand).
+    pub fills: u64,
+    /// Lines filled by prefetchers.
+    pub prefetch_fills: u64,
+    /// Valid lines evicted.
+    pub evictions: u64,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+    /// Reuse at eviction for data blocks (Fig. 11).
+    pub data_reuse: ReuseHistogram,
+    /// Reuse at eviction for TLB blocks (Fig. 24).
+    pub tlb_reuse: ReuseHistogram,
+    /// Typed (TLB-block) probes that hit.
+    pub tlb_probe_hits: u64,
+    /// Typed (TLB-block) probes that missed.
+    pub tlb_probe_misses: u64,
+    /// TLB blocks evicted to make room for other lines.
+    pub tlb_block_evictions: u64,
+}
+
+impl CacheStats {
+    /// Demand accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Demand miss ratio (0 if no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses as f64 / a as f64
+        }
+    }
+}
+
+/// A block displaced by a fill, reported to the caller so upper layers can
+/// track writebacks or react to TLB-block eviction (Victima drops them).
+#[derive(Clone, Copy, Debug)]
+pub struct EvictedBlock {
+    /// Metadata of the evicted line.
+    pub block: CacheBlock,
+}
+
+/// A set-associative, typed-block cache.
+pub struct Cache {
+    cfg: CacheConfig,
+    num_sets: usize,
+    set_mask: u64,
+    blocks: Vec<CacheBlock>,
+    policy: Box<dyn ReplacementPolicy>,
+    /// Count of valid TLB/NestedTlb blocks (translation-reach sampling).
+    translation_blocks: usize,
+    /// Statistics.
+    pub stats: CacheStats,
+}
+
+impl std::fmt::Debug for Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache")
+            .field("name", &self.cfg.name)
+            .field("size_bytes", &self.cfg.size_bytes)
+            .field("ways", &self.cfg.ways)
+            .field("sets", &self.num_sets)
+            .field("policy", &self.policy.name())
+            .field("translation_blocks", &self.translation_blocks)
+            .finish()
+    }
+}
+
+impl Cache {
+    /// Creates a cache with the given geometry and replacement policy.
+    pub fn new(cfg: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+        let num_sets = cfg.num_sets();
+        Self {
+            set_mask: num_sets as u64 - 1,
+            blocks: vec![CacheBlock::INVALID; num_sets * cfg.ways],
+            num_sets,
+            cfg,
+            policy,
+            translation_blocks: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Hit latency.
+    #[inline]
+    pub fn latency(&self) -> Cycles {
+        self.cfg.latency
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Associativity.
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.cfg.ways
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of valid translation (TLB + nested TLB) blocks currently held.
+    #[inline]
+    pub fn translation_block_count(&self) -> usize {
+        self.translation_blocks
+    }
+
+    /// Replacement policy name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Set index for a physical (data) address.
+    #[inline]
+    pub fn data_set_index(&self, pa: PhysAddr) -> usize {
+        ((pa.raw() / self.cfg.block_bytes) & self.set_mask) as usize
+    }
+
+    /// Tag for a physical (data) address.
+    #[inline]
+    pub fn data_tag(&self, pa: PhysAddr) -> u64 {
+        (pa.raw() / self.cfg.block_bytes) >> self.set_mask.count_ones()
+    }
+
+    #[inline]
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let start = set * self.cfg.ways;
+        start..start + self.cfg.ways
+    }
+
+    #[inline]
+    fn set_mut(&mut self, set: usize) -> &mut [CacheBlock] {
+        let r = self.set_range(set);
+        &mut self.blocks[r]
+    }
+
+    #[inline]
+    fn set_ref(&self, set: usize) -> &[CacheBlock] {
+        let r = self.set_range(set);
+        &self.blocks[r]
+    }
+
+    /// Demand data access. Returns `true` on hit and updates replacement /
+    /// reuse state; on a miss the caller is expected to fetch the line from
+    /// the next level and call [`Cache::fill_data`].
+    pub fn access_data(&mut self, pa: PhysAddr, write: bool, ctx: &ReplacementCtx) -> bool {
+        let set = self.data_set_index(pa);
+        let tag = self.data_tag(pa);
+        let ways = self.cfg.ways;
+        let start = set * ways;
+        let way = (0..ways).find(|&w| self.blocks[start + w].matches_data(tag));
+        match way {
+            Some(w) => {
+                self.stats.hits += 1;
+                {
+                    let blocks = self.set_mut(set);
+                    blocks[w].reuse = blocks[w].reuse.saturating_add(1);
+                    if write {
+                        blocks[w].dirty = true;
+                    }
+                }
+                let set_slice = &mut self.blocks[start..start + ways];
+                self.policy.on_hit(set_slice, w, ctx);
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Non-destructive data probe: no stats, no replacement update.
+    pub fn contains_data(&self, pa: PhysAddr) -> bool {
+        let set = self.data_set_index(pa);
+        let tag = self.data_tag(pa);
+        self.set_ref(set).iter().any(|b| b.matches_data(tag))
+    }
+
+    /// Fills a data line after a miss. Returns the displaced block, if any
+    /// valid line had to be evicted.
+    pub fn fill_data(
+        &mut self,
+        pa: PhysAddr,
+        dirty: bool,
+        prefetched: bool,
+        ctx: &ReplacementCtx,
+    ) -> Option<EvictedBlock> {
+        let set = self.data_set_index(pa);
+        let tag = self.data_tag(pa);
+        self.fill_at(set, tag, BlockKind::Data, Asid::KERNEL, PageSize::Size4K, dirty, prefetched, ctx)
+    }
+
+    /// Typed probe used by Victima: looks up a translation block by
+    /// precomputed set/tag plus ASID and page size. Counts toward the TLB
+    /// probe statistics and updates replacement state on hit.
+    pub fn probe_translation(
+        &mut self,
+        set: usize,
+        tag: u64,
+        kind: BlockKind,
+        asid: Asid,
+        size: PageSize,
+        ctx: &ReplacementCtx,
+    ) -> bool {
+        debug_assert!(kind.is_translation());
+        let ways = self.cfg.ways;
+        let start = set * ways;
+        let way = (0..ways).find(|&w| self.blocks[start + w].matches(tag, kind, asid, size));
+        match way {
+            Some(w) => {
+                self.stats.tlb_probe_hits += 1;
+                self.blocks[start + w].reuse = self.blocks[start + w].reuse.saturating_add(1);
+                let set_slice = &mut self.blocks[start..start + ways];
+                self.policy.on_hit(set_slice, w, ctx);
+                true
+            }
+            None => {
+                self.stats.tlb_probe_misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Non-destructive typed probe.
+    pub fn contains_translation(&self, set: usize, tag: u64, kind: BlockKind, asid: Asid, size: PageSize) -> bool {
+        self.set_ref(set).iter().any(|b| b.matches(tag, kind, asid, size))
+    }
+
+    /// Inserts a translation block at the given (virtually indexed) set.
+    /// Returns the displaced block, if any.
+    pub fn fill_translation(
+        &mut self,
+        set: usize,
+        tag: u64,
+        kind: BlockKind,
+        asid: Asid,
+        size: PageSize,
+        ctx: &ReplacementCtx,
+    ) -> Option<EvictedBlock> {
+        debug_assert!(kind.is_translation());
+        self.fill_at(set, tag, kind, asid, size, false, false, ctx)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fill_at(
+        &mut self,
+        set: usize,
+        tag: u64,
+        kind: BlockKind,
+        asid: Asid,
+        size: PageSize,
+        dirty: bool,
+        prefetched: bool,
+        ctx: &ReplacementCtx,
+    ) -> Option<EvictedBlock> {
+        let ways = self.cfg.ways;
+        let start = set * ways;
+        let victim_way = {
+            let set_slice = &mut self.blocks[start..start + ways];
+            self.policy.choose_victim(set_slice, ctx)
+        };
+        let evicted = {
+            let victim = &self.blocks[start + victim_way];
+            victim.valid.then_some(EvictedBlock { block: *victim })
+        };
+        if let Some(ev) = &evicted {
+            self.account_eviction(&ev.block);
+        }
+        {
+            let b = &mut self.blocks[start + victim_way];
+            b.refill(tag, kind, asid, size, dirty, prefetched);
+        }
+        if kind.is_translation() {
+            self.translation_blocks += 1;
+        }
+        if prefetched {
+            self.stats.prefetch_fills += 1;
+        } else {
+            self.stats.fills += 1;
+        }
+        let set_slice = &mut self.blocks[start..start + ways];
+        self.policy.on_fill(set_slice, victim_way, ctx);
+        Some(()).and(evicted)
+    }
+
+    fn account_eviction(&mut self, block: &CacheBlock) {
+        self.stats.evictions += 1;
+        if block.dirty {
+            self.stats.writebacks += 1;
+        }
+        match block.kind {
+            BlockKind::Data => self.stats.data_reuse.record(block.reuse as u64),
+            BlockKind::Tlb | BlockKind::NestedTlb => {
+                self.stats.tlb_reuse.record(block.reuse as u64);
+                self.stats.tlb_block_evictions += 1;
+                self.translation_blocks = self.translation_blocks.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Invalidates the data block holding `pa`, if present. Returns whether
+    /// a block was invalidated. Used by Victima's block transformation: the
+    /// PTE cluster's data copy is re-tagged as a TLB block.
+    pub fn invalidate_data(&mut self, pa: PhysAddr) -> bool {
+        let set = self.data_set_index(pa);
+        let tag = self.data_tag(pa);
+        let blocks = self.set_mut(set);
+        for b in blocks.iter_mut() {
+            if b.matches_data(tag) {
+                b.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates one translation block identified by its exact location
+    /// key (single-entry shootdown, Sec. 6.2(i): invalidating one TLB entry
+    /// drops the whole 8-entry block). Returns whether a block was dropped.
+    pub fn invalidate_translation_at(
+        &mut self,
+        set: usize,
+        tag: u64,
+        kind: BlockKind,
+        asid: Asid,
+        size: PageSize,
+    ) -> bool {
+        let range = self.set_range(set);
+        for b in &mut self.blocks[range] {
+            if b.matches(tag, kind, asid, size) {
+                b.valid = false;
+                self.translation_blocks = self.translation_blocks.saturating_sub(1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates every translation block matching `pred`, returning how
+    /// many were dropped. Implements the paper's Sec. 6 maintenance
+    /// operations (full flush, per-ASID flush, per-VA shootdown).
+    pub fn invalidate_translation_blocks<F>(&mut self, mut pred: F) -> usize
+    where
+        F: FnMut(&CacheBlock) -> bool,
+    {
+        let mut dropped = 0;
+        for b in self.blocks.iter_mut() {
+            if b.valid && b.kind.is_translation() && pred(b) {
+                b.valid = false;
+                dropped += 1;
+            }
+        }
+        self.translation_blocks = self.translation_blocks.saturating_sub(dropped);
+        dropped
+    }
+
+    /// Iterates over all valid blocks (read-only), for inspection in tests
+    /// and reach sampling.
+    pub fn iter_valid(&self) -> impl Iterator<Item = &CacheBlock> {
+        self.blocks.iter().filter(|b| b.valid)
+    }
+
+    /// Clears all contents and statistics (used between warm-up and
+    /// measurement only for stats; contents are kept warm).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::{Lru, Srrip};
+
+    fn small_cache() -> Cache {
+        Cache::new(
+            CacheConfig { name: "T", size_bytes: 4096, ways: 4, block_bytes: 64, latency: 10 },
+            Box::new(Lru::new()),
+        )
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small_cache();
+        assert_eq!(c.num_sets(), 16);
+        assert_eq!(c.num_blocks(), 64);
+        assert_eq!(c.latency(), 10);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small_cache();
+        let ctx = ReplacementCtx::default();
+        let pa = PhysAddr::new(0x1040);
+        assert!(!c.access_data(pa, false, &ctx));
+        assert!(c.fill_data(pa, false, false, &ctx).is_none());
+        assert!(c.access_data(pa, false, &ctx));
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+        assert!(c.contains_data(pa));
+    }
+
+    #[test]
+    fn same_block_different_offset_hits() {
+        let mut c = small_cache();
+        let ctx = ReplacementCtx::default();
+        c.fill_data(PhysAddr::new(0x1040), false, false, &ctx);
+        assert!(c.access_data(PhysAddr::new(0x107f), false, &ctx));
+        assert!(!c.access_data(PhysAddr::new(0x1080), false, &ctx));
+    }
+
+    #[test]
+    fn eviction_reports_displaced_block_and_reuse() {
+        let mut c = small_cache();
+        let ctx = ReplacementCtx::default();
+        // Fill one set (set 0) beyond capacity: addresses with identical
+        // set index, different tags. Set stride = 16 sets * 64B = 1024B.
+        for i in 0..4u64 {
+            c.fill_data(PhysAddr::new(i * 1024), false, false, &ctx);
+        }
+        // Hit way 0 twice so its reuse counter is 2.
+        assert!(c.access_data(PhysAddr::new(0), false, &ctx));
+        assert!(c.access_data(PhysAddr::new(8), false, &ctx));
+        let evicted = c.fill_data(PhysAddr::new(4 * 1024), false, false, &ctx);
+        assert!(evicted.is_some());
+        assert_eq!(c.stats.evictions, 1);
+        // One data block was recorded in the reuse histogram.
+        assert_eq!(c.stats.data_reuse.total(), 1);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = small_cache();
+        let ctx = ReplacementCtx::default();
+        c.fill_data(PhysAddr::new(0), true, false, &ctx);
+        for i in 1..=4u64 {
+            c.fill_data(PhysAddr::new(i * 1024), false, false, &ctx);
+        }
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn translation_blocks_tracked_and_probed() {
+        let mut c = small_cache();
+        let ctx = ReplacementCtx::default();
+        let asid = Asid::new(3);
+        assert!(!c.probe_translation(5, 0xaa, BlockKind::Tlb, asid, PageSize::Size4K, &ctx));
+        c.fill_translation(5, 0xaa, BlockKind::Tlb, asid, PageSize::Size4K, &ctx);
+        assert_eq!(c.translation_block_count(), 1);
+        assert!(c.probe_translation(5, 0xaa, BlockKind::Tlb, asid, PageSize::Size4K, &ctx));
+        // Wrong ASID, page size, or kind must miss.
+        assert!(!c.probe_translation(5, 0xaa, BlockKind::Tlb, Asid::new(4), PageSize::Size4K, &ctx));
+        assert!(!c.probe_translation(5, 0xaa, BlockKind::Tlb, asid, PageSize::Size2M, &ctx));
+        assert!(!c.probe_translation(5, 0xaa, BlockKind::NestedTlb, asid, PageSize::Size4K, &ctx));
+        assert_eq!(c.stats.tlb_probe_hits, 1);
+        assert_eq!(c.stats.tlb_probe_misses, 4);
+    }
+
+    #[test]
+    fn translation_block_eviction_updates_count_and_histogram() {
+        let mut c = small_cache();
+        let ctx = ReplacementCtx::default();
+        c.fill_translation(0, 0x1, BlockKind::Tlb, Asid::new(1), PageSize::Size4K, &ctx);
+        // Displace it with data fills into the same set.
+        for i in 0..4u64 {
+            c.fill_data(PhysAddr::new(i * 1024), false, false, &ctx);
+        }
+        assert_eq!(c.translation_block_count(), 0);
+        assert_eq!(c.stats.tlb_reuse.total(), 1);
+        assert_eq!(c.stats.tlb_block_evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_data_removes_block() {
+        let mut c = small_cache();
+        let ctx = ReplacementCtx::default();
+        let pa = PhysAddr::new(0x2040);
+        c.fill_data(pa, false, false, &ctx);
+        assert!(c.invalidate_data(pa));
+        assert!(!c.contains_data(pa));
+        assert!(!c.invalidate_data(pa));
+    }
+
+    #[test]
+    fn invalidate_translation_blocks_by_asid() {
+        let mut c = small_cache();
+        let ctx = ReplacementCtx::default();
+        c.fill_translation(1, 0x1, BlockKind::Tlb, Asid::new(1), PageSize::Size4K, &ctx);
+        c.fill_translation(2, 0x2, BlockKind::Tlb, Asid::new(2), PageSize::Size4K, &ctx);
+        c.fill_translation(3, 0x3, BlockKind::NestedTlb, Asid::new(1), PageSize::Size4K, &ctx);
+        let dropped = c.invalidate_translation_blocks(|b| b.asid == Asid::new(1));
+        assert_eq!(dropped, 2);
+        assert_eq!(c.translation_block_count(), 1);
+        assert!(c.contains_translation(2, 0x2, BlockKind::Tlb, Asid::new(2), PageSize::Size4K));
+    }
+
+    #[test]
+    fn srrip_cache_end_to_end() {
+        let mut c = Cache::new(
+            CacheConfig { name: "S", size_bytes: 4096, ways: 4, block_bytes: 64, latency: 16 },
+            Box::new(Srrip::new()),
+        );
+        let ctx = ReplacementCtx::default();
+        for i in 0..64u64 {
+            let pa = PhysAddr::new(i * 64);
+            if !c.access_data(pa, false, &ctx) {
+                c.fill_data(pa, false, false, &ctx);
+            }
+        }
+        // Cache exactly full: all 64 blocks valid, no evictions.
+        assert_eq!(c.iter_valid().count(), 64);
+        assert_eq!(c.stats.evictions, 0);
+        // Re-touch everything: all hits.
+        for i in 0..64u64 {
+            assert!(c.access_data(PhysAddr::new(i * 64), false, &ctx));
+        }
+    }
+
+    #[test]
+    fn miss_ratio_math() {
+        let mut c = small_cache();
+        let ctx = ReplacementCtx::default();
+        let pa = PhysAddr::new(0);
+        c.access_data(pa, false, &ctx);
+        c.fill_data(pa, false, false, &ctx);
+        c.access_data(pa, false, &ctx);
+        assert!((c.stats.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+}

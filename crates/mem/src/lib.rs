@@ -1,0 +1,39 @@
+//! Cache hierarchy, prefetchers and DRAM model for the Victima (MICRO 2023)
+//! reproduction.
+//!
+//! The centrepiece is a set-associative [`Cache`] whose blocks are *typed*
+//! ([`BlockKind`]): ordinary data blocks are indexed by physical address,
+//! while Victima repurposes L2 blocks as TLB blocks indexed by virtual page
+//! number (the tag/set math for those lives in the `victima` crate; this
+//! crate provides the kind-aware storage, replacement and statistics).
+//!
+//! Replacement is pluggable through the [`ReplacementPolicy`] trait; LRU and
+//! SRRIP ship here, and the paper's TLB-aware SRRIP (Listing 1) is
+//! implemented in the `victima` crate against the same trait.
+//!
+//! # Examples
+//!
+//! ```
+//! use mem_sim::{Hierarchy, HierarchyConfig, MemClass, ReplacementCtx};
+//! use vm_types::PhysAddr;
+//!
+//! let mut hier = Hierarchy::new(HierarchyConfig::default());
+//! let ctx = ReplacementCtx::default();
+//! let first = hier.access(PhysAddr::new(0x4000), false, MemClass::Data, &ctx);
+//! let second = hier.access(PhysAddr::new(0x4000), false, MemClass::Data, &ctx);
+//! assert!(second.latency < first.latency, "second access should hit in L1");
+//! ```
+
+pub mod block;
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+pub mod prefetch;
+pub mod replacement;
+
+pub use block::{BlockKind, CacheBlock};
+pub use cache::{Cache, CacheConfig, CacheStats, EvictedBlock};
+pub use dram::{Dram, DramConfig};
+pub use hierarchy::{AccessResult, Hierarchy, HierarchyConfig, MemClass, MemLevel};
+pub use prefetch::{IpStridePrefetcher, StreamPrefetcher};
+pub use replacement::{Lru, ReplacementCtx, ReplacementPolicy, Srrip, RRIP_MAX};

@@ -1,0 +1,242 @@
+//! Hardware prefetchers from the paper's Table 3: an IP-stride prefetcher
+//! at the L1D [Fu+, MICRO'92] and a stream prefetcher at the L2
+//! [Chen & Baer, TC'95].
+//!
+//! Prefetchers only produce *candidate physical addresses*; the hierarchy
+//! decides to fill them (prefetch fills are not charged latency but do
+//! displace blocks, which is exactly why underutilised-cache studies such
+//! as Fig. 11 see large zero-reuse populations).
+
+use vm_types::{PhysAddr, CACHE_BLOCK_BYTES};
+
+const PAGE_4K: u64 = 4096;
+
+/// Per-PC stride detector driving L1D prefetches.
+///
+/// Prefetches never cross a 4KB page boundary (physical prefetching cannot
+/// assume contiguity beyond a page).
+#[derive(Clone, Debug)]
+pub struct IpStridePrefetcher {
+    entries: Vec<StrideEntry>,
+    mask: usize,
+    /// Prefetch candidates issued.
+    pub issued: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct StrideEntry {
+    pc_tag: u64,
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+impl IpStridePrefetcher {
+    /// Creates a prefetcher with `entries` table slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two());
+        Self { entries: vec![StrideEntry::default(); entries], mask: entries - 1, issued: 0 }
+    }
+
+    /// Trains on a demand access and possibly returns one prefetch
+    /// candidate (the next block in the detected stride, within the page).
+    pub fn train(&mut self, pc: u64, pa: PhysAddr) -> Option<PhysAddr> {
+        let idx = (vm_types::mix64(pc) as usize) & self.mask;
+        let e = &mut self.entries[idx];
+        let addr = pa.raw();
+        if e.pc_tag != pc {
+            *e = StrideEntry { pc_tag: pc, last_addr: addr, stride: 0, confidence: 0 };
+            return None;
+        }
+        let new_stride = addr as i64 - e.last_addr as i64;
+        if new_stride == 0 {
+            return None;
+        }
+        if new_stride == e.stride {
+            e.confidence = (e.confidence + 1).min(3);
+        } else {
+            e.stride = new_stride;
+            e.confidence = 0;
+        }
+        e.last_addr = addr;
+        if e.confidence >= 2 {
+            let target = addr.wrapping_add(e.stride as u64);
+            // Stay within the same 4KB page.
+            if target / PAGE_4K == addr / PAGE_4K {
+                self.issued += 1;
+                return Some(PhysAddr::new(target).block_align());
+            }
+        }
+        None
+    }
+}
+
+impl Default for IpStridePrefetcher {
+    fn default() -> Self {
+        Self::new(64)
+    }
+}
+
+/// Stream prefetcher monitoring L2 misses.
+///
+/// Tracks up to `streams` active streams; when a miss lands adjacent to a
+/// tracked stream head, the stream advances and `degree` next blocks are
+/// prefetched (within the 4KB page).
+#[derive(Clone, Debug)]
+pub struct StreamPrefetcher {
+    streams: Vec<Stream>,
+    degree: usize,
+    next_victim: usize,
+    /// Prefetch candidates issued.
+    pub issued: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Stream {
+    valid: bool,
+    last_block: u64,
+    direction: i64,
+    confidence: u8,
+}
+
+impl StreamPrefetcher {
+    /// Creates a stream prefetcher with `streams` trackers issuing
+    /// `degree` blocks per advance.
+    pub fn new(streams: usize, degree: usize) -> Self {
+        Self { streams: vec![Stream::default(); streams], degree, next_victim: 0, issued: 0 }
+    }
+
+    /// Trains on an L2 demand miss; returns prefetch candidates.
+    pub fn train(&mut self, pa: PhysAddr) -> Vec<PhysAddr> {
+        let block = pa.raw() / CACHE_BLOCK_BYTES;
+        // Find a stream whose head is within 4 blocks of this miss.
+        for s in self.streams.iter_mut() {
+            if !s.valid {
+                continue;
+            }
+            let delta = block as i64 - s.last_block as i64;
+            if delta != 0 && delta.abs() <= 4 {
+                let dir = delta.signum();
+                if dir == s.direction {
+                    s.confidence = (s.confidence + 1).min(3);
+                } else {
+                    s.direction = dir;
+                    s.confidence = 1;
+                }
+                s.last_block = block;
+                if s.confidence >= 2 {
+                    let mut out = Vec::with_capacity(self.degree);
+                    for i in 1..=self.degree as i64 {
+                        let t = block as i64 + i * s.direction;
+                        if t < 0 {
+                            break;
+                        }
+                        let target = t as u64 * CACHE_BLOCK_BYTES;
+                        if target / PAGE_4K == pa.raw() / PAGE_4K {
+                            out.push(PhysAddr::new(target));
+                        }
+                    }
+                    self.issued += out.len() as u64;
+                    return out;
+                }
+                return Vec::new();
+            }
+        }
+        // Allocate a new stream (round-robin victim).
+        let victim = self.next_victim;
+        self.next_victim = (self.next_victim + 1) % self.streams.len();
+        self.streams[victim] = Stream { valid: true, last_block: block, direction: 1, confidence: 0 };
+        Vec::new()
+    }
+}
+
+impl Default for StreamPrefetcher {
+    fn default() -> Self {
+        Self::new(16, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_stride_detects_constant_stride() {
+        let mut p = IpStridePrefetcher::default();
+        let pc = 0x400100;
+        let mut got = None;
+        for i in 0..8u64 {
+            got = p.train(pc, PhysAddr::new(0x1000 + i * 64));
+        }
+        let pf = got.expect("stride should be confirmed after several accesses");
+        assert_eq!(pf.raw() % 64, 0);
+        assert!(p.issued > 0);
+    }
+
+    #[test]
+    fn ip_stride_does_not_cross_page() {
+        let mut p = IpStridePrefetcher::default();
+        let pc = 0x400200;
+        // Stride of 1024 starting near the end of a page.
+        let mut last = None;
+        for i in 0..8u64 {
+            last = p.train(pc, PhysAddr::new(0x1800 + i * 1024));
+        }
+        // The last trained address is 0x1800+7*1024 = 0x3400; +1024 = 0x3800
+        // stays in page 3 -> allowed. Check *crossing* explicitly:
+        let _ = last;
+        let mut p2 = IpStridePrefetcher::default();
+        for a in [0xc00u64, 0xd00, 0xe00, 0xf00] {
+            last = p2.train(pc, PhysAddr::new(a));
+        }
+        assert!(last.is_none(), "prefetch from 0xf00 + 0x100 = 0x1000 crosses the page");
+    }
+
+    #[test]
+    fn ip_stride_retrains_on_pc_conflict() {
+        let mut p = IpStridePrefetcher::new(1); // force conflicts
+        assert!(p.train(1, PhysAddr::new(0x1000)).is_none());
+        assert!(p.train(2, PhysAddr::new(0x8000)).is_none());
+        assert!(p.train(1, PhysAddr::new(0x1040)).is_none());
+    }
+
+    #[test]
+    fn stream_prefetcher_follows_sequential_misses() {
+        let mut p = StreamPrefetcher::default();
+        let mut candidates = Vec::new();
+        for i in 0..6u64 {
+            candidates = p.train(PhysAddr::new(0x10_0000 + i * 64));
+        }
+        assert!(!candidates.is_empty(), "confident stream should prefetch");
+        assert_eq!(candidates[0].raw(), 0x10_0000 + 6 * 64);
+    }
+
+    #[test]
+    fn stream_prefetcher_ignores_random_misses() {
+        let mut p = StreamPrefetcher::default();
+        let mut rng = vm_types::SplitMix64::new(9);
+        let mut any = false;
+        for _ in 0..64 {
+            let pa = PhysAddr::new(rng.next_u64() & 0xfff_ffff & !63);
+            any |= !p.train(pa).is_empty();
+        }
+        assert!(!any, "random misses should not trigger streams");
+    }
+
+    #[test]
+    fn stream_prefetcher_respects_page_boundary() {
+        let mut p = StreamPrefetcher::default();
+        let base = 0x10_0000u64 + 4096 - 3 * 64; // three blocks before page end
+        let mut cands = Vec::new();
+        for i in 0..6u64 {
+            cands = p.train(PhysAddr::new(base + i * 64));
+        }
+        for c in cands {
+            assert_eq!(c.raw() / 4096, (base + 5 * 64) / 4096);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Simulated physical-memory frame allocation.
+//!
+//! A bump allocator with pseudo-random skips: real long-running systems
+//! hand out physically scattered frames (the fragmentation that makes
+//! software-managed TLBs hard to allocate, Sec. 3.2), so consecutive
+//! virtual pages should not be physically adjacent by default. 2MB
+//! allocations are naturally aligned, and a contiguous-region allocator is
+//! provided for structures like POM-TLB that demand tens of megabytes of
+//! contiguous physical space.
+
+use vm_types::{PageSize, PhysAddr, SplitMix64};
+
+const FRAME_BYTES: u64 = 4096;
+const FRAMES_PER_2M: u64 = 512;
+
+/// Allocates simulated physical frames.
+///
+/// # Examples
+///
+/// ```
+/// use page_table::FrameAllocator;
+/// let mut a = FrameAllocator::new(64 << 20, 7);
+/// let f1 = a.alloc_4k();
+/// let f2 = a.alloc_4k();
+/// assert_ne!(f1, f2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrameAllocator {
+    next_frame: u64,
+    capacity_frames: u64,
+    rng: SplitMix64,
+    /// Fragmentation knob: maximum random skip (in frames) between
+    /// consecutive 4KB allocations. 0 disables skipping.
+    pub max_skip: u64,
+    log: Vec<(u64, u32)>,
+    logging: bool,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator managing `capacity_bytes` of physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is smaller than one 2MB region.
+    pub fn new(capacity_bytes: u64, seed: u64) -> Self {
+        assert!(capacity_bytes >= 2 << 20, "physical memory too small");
+        Self {
+            next_frame: 1, // keep frame 0 unused (null-ish)
+            capacity_frames: capacity_bytes / FRAME_BYTES,
+            rng: SplitMix64::new(seed),
+            max_skip: 3,
+            log: Vec::new(),
+            logging: false,
+        }
+    }
+
+    /// Frames handed out so far (upper bound; includes skipped holes).
+    pub fn frames_used(&self) -> u64 {
+        self.next_frame
+    }
+
+    /// Remaining capacity in frames.
+    pub fn frames_left(&self) -> u64 {
+        self.capacity_frames.saturating_sub(self.next_frame)
+    }
+
+    /// Enables allocation logging ([`FrameAllocator::drain_log`]); used by
+    /// the nested-memory layer to host-map every guest-physical frame the
+    /// guest page tables consume.
+    pub fn set_logging(&mut self, on: bool) {
+        self.logging = on;
+    }
+
+    /// Drains the (frame, count) allocation log.
+    pub fn drain_log(&mut self) -> Vec<(u64, u32)> {
+        std::mem::take(&mut self.log)
+    }
+
+    fn record(&mut self, frame: u64, count: u32) {
+        if self.logging {
+            self.log.push((frame, count));
+        }
+    }
+
+    /// Allocates one 4KB frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on physical-memory exhaustion.
+    pub fn alloc_4k(&mut self) -> u64 {
+        if self.max_skip > 0 {
+            self.next_frame += self.rng.next_below(self.max_skip + 1);
+        }
+        let frame = self.next_frame;
+        self.next_frame += 1;
+        assert!(frame < self.capacity_frames, "out of simulated physical memory");
+        self.record(frame, 1);
+        frame
+    }
+
+    /// Allocates one naturally aligned 2MB region; returns its first 4KB
+    /// frame number.
+    ///
+    /// # Panics
+    ///
+    /// Panics on physical-memory exhaustion.
+    pub fn alloc_2m(&mut self) -> u64 {
+        let aligned = self.next_frame.next_multiple_of(FRAMES_PER_2M);
+        self.next_frame = aligned + FRAMES_PER_2M;
+        assert!(self.next_frame <= self.capacity_frames, "out of simulated physical memory");
+        self.record(aligned, FRAMES_PER_2M as u32);
+        aligned
+    }
+
+    /// Allocates a frame for a page of the given size.
+    pub fn alloc(&mut self, size: PageSize) -> u64 {
+        match size {
+            PageSize::Size4K => self.alloc_4k(),
+            PageSize::Size2M => self.alloc_2m(),
+        }
+    }
+
+    /// Allocates `bytes` of physically contiguous memory, 2MB-aligned,
+    /// returning its base address. POM-TLB uses this (Sec. 3.2's "10's of
+    /// MB of contiguous physical address space").
+    ///
+    /// # Panics
+    ///
+    /// Panics on physical-memory exhaustion.
+    pub fn alloc_contiguous(&mut self, bytes: u64) -> PhysAddr {
+        let frames = bytes.div_ceil(FRAME_BYTES);
+        let aligned = self.next_frame.next_multiple_of(FRAMES_PER_2M);
+        self.next_frame = aligned + frames;
+        assert!(self.next_frame <= self.capacity_frames, "out of simulated physical memory");
+        self.record(aligned, frames as u32);
+        PhysAddr::new(aligned * FRAME_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_distinct_and_nonzero() {
+        let mut a = FrameAllocator::new(16 << 20, 1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let f = a.alloc_4k();
+            assert!(f > 0);
+            assert!(seen.insert(f), "frame handed out twice");
+        }
+    }
+
+    #[test]
+    fn two_mb_allocations_are_aligned() {
+        let mut a = FrameAllocator::new(64 << 20, 2);
+        a.alloc_4k();
+        let f = a.alloc_2m();
+        assert_eq!(f % FRAMES_PER_2M, 0);
+        let g = a.alloc_2m();
+        assert_eq!(g % FRAMES_PER_2M, 0);
+        assert!(g >= f + FRAMES_PER_2M);
+    }
+
+    #[test]
+    fn contiguous_region_is_aligned_and_sized() {
+        let mut a = FrameAllocator::new(128 << 20, 3);
+        let before = a.frames_used();
+        let base = a.alloc_contiguous(10 << 20);
+        assert_eq!(base.raw() % (2 << 20), 0);
+        assert!(a.frames_used() - before >= (10 << 20) / 4096);
+    }
+
+    #[test]
+    fn fragmentation_skips_spread_frames() {
+        let mut a = FrameAllocator::new(64 << 20, 4);
+        a.max_skip = 8;
+        let frames: Vec<u64> = (0..64).map(|_| a.alloc_4k()).collect();
+        let adjacent = frames.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(adjacent < 60, "skips should break most adjacency");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of simulated physical memory")]
+    fn exhaustion_panics() {
+        let mut a = FrameAllocator::new(2 << 20, 5);
+        for _ in 0..10_000 {
+            a.alloc_4k();
+        }
+    }
+
+    #[test]
+    fn logging_records_allocations() {
+        let mut a = FrameAllocator::new(64 << 20, 6);
+        a.set_logging(true);
+        let f = a.alloc_4k();
+        let g = a.alloc_2m();
+        let log = a.drain_log();
+        assert_eq!(log, vec![(f, 1), (g, 512)]);
+        assert!(a.drain_log().is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Page-table entry layout.
+//!
+//! Bits follow x86-64 where it matters to the simulator, plus the paper's
+//! two predictor counters stowed in the ignored-bit range:
+//!
+//! ```text
+//! bit  0        present
+//! bit  7        PS (huge page, valid at the PD level)
+//! bits 12..52   frame number (4KB-frame granularity)
+//! bits 52..55   PTW frequency counter (3 bits, saturating)   — Victima
+//! bits 55..59   PTW cost counter (4 bits, saturating)        — Victima
+//! ```
+
+use vm_types::PageSize;
+
+const PRESENT_BIT: u64 = 1 << 0;
+const HUGE_BIT: u64 = 1 << 7;
+const FRAME_MASK: u64 = ((1u64 << 52) - 1) & !0xfff;
+const FREQ_SHIFT: u64 = 52;
+const FREQ_MASK: u64 = 0x7;
+const COST_SHIFT: u64 = 55;
+const COST_MASK: u64 = 0xf;
+
+/// Maximum value of the 3-bit PTW frequency counter.
+pub const PTW_FREQ_MAX: u8 = 7;
+/// Maximum value of the 4-bit PTW cost counter.
+pub const PTW_COST_MAX: u8 = 15;
+
+/// A raw 64-bit page-table entry.
+///
+/// # Examples
+///
+/// ```
+/// use page_table::Pte;
+/// use vm_types::PageSize;
+///
+/// let mut pte = Pte::leaf(0x1234, PageSize::Size4K);
+/// assert!(pte.present());
+/// assert_eq!(pte.frame(), 0x1234);
+/// pte.bump_ptw_freq();
+/// assert_eq!(pte.ptw_freq(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Pte(u64);
+
+impl Pte {
+    /// The all-zero (not-present) entry.
+    pub const EMPTY: Pte = Pte(0);
+
+    /// Builds a leaf entry pointing at `frame` (4KB-frame number).
+    pub const fn leaf(frame: u64, size: PageSize) -> Self {
+        let huge = match size {
+            PageSize::Size4K => 0,
+            PageSize::Size2M => HUGE_BIT,
+        };
+        Pte(PRESENT_BIT | huge | ((frame << 12) & FRAME_MASK))
+    }
+
+    /// Builds a non-leaf entry pointing at the child table's frame.
+    pub const fn table(frame: u64) -> Self {
+        Pte(PRESENT_BIT | ((frame << 12) & FRAME_MASK))
+    }
+
+    /// Raw bits.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs from raw bits.
+    pub const fn from_raw(raw: u64) -> Self {
+        Pte(raw)
+    }
+
+    /// Present bit.
+    pub const fn present(self) -> bool {
+        self.0 & PRESENT_BIT != 0
+    }
+
+    /// Huge (PS) bit.
+    pub const fn huge(self) -> bool {
+        self.0 & HUGE_BIT != 0
+    }
+
+    /// Frame number (4KB-frame granularity; for 2MB leaves this is the
+    /// first 4KB frame of the 2MB region).
+    pub const fn frame(self) -> u64 {
+        (self.0 & FRAME_MASK) >> 12
+    }
+
+    /// The paper's 3-bit PTW frequency counter.
+    pub const fn ptw_freq(self) -> u8 {
+        ((self.0 >> FREQ_SHIFT) & FREQ_MASK) as u8
+    }
+
+    /// The paper's 4-bit PTW cost counter.
+    pub const fn ptw_cost(self) -> u8 {
+        ((self.0 >> COST_SHIFT) & COST_MASK) as u8
+    }
+
+    /// Increments the frequency counter, saturating at 7. "If any of the
+    /// two counters overflows, its value remains at the maximum value."
+    pub fn bump_ptw_freq(&mut self) {
+        let v = (self.ptw_freq() + 1).min(PTW_FREQ_MAX) as u64;
+        self.0 = (self.0 & !(FREQ_MASK << FREQ_SHIFT)) | (v << FREQ_SHIFT);
+    }
+
+    /// Increments the cost counter, saturating at 15. Called when a PTW for
+    /// this page touched DRAM at least once.
+    pub fn bump_ptw_cost(&mut self) {
+        let v = (self.ptw_cost() + 1).min(PTW_COST_MAX) as u64;
+        self.0 = (self.0 & !(COST_MASK << COST_SHIFT)) | (v << COST_SHIFT);
+    }
+
+    /// Page size of a leaf entry.
+    pub const fn page_size(self) -> PageSize {
+        if self.huge() {
+            PageSize::Size2M
+        } else {
+            PageSize::Size4K
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_round_trip() {
+        let pte = Pte::leaf(0xabcd, PageSize::Size4K);
+        assert!(pte.present());
+        assert!(!pte.huge());
+        assert_eq!(pte.frame(), 0xabcd);
+        assert_eq!(pte.page_size(), PageSize::Size4K);
+    }
+
+    #[test]
+    fn huge_leaf() {
+        let pte = Pte::leaf(0x200, PageSize::Size2M);
+        assert!(pte.huge());
+        assert_eq!(pte.page_size(), PageSize::Size2M);
+    }
+
+    #[test]
+    fn empty_not_present() {
+        assert!(!Pte::EMPTY.present());
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut pte = Pte::leaf(1, PageSize::Size4K);
+        for _ in 0..20 {
+            pte.bump_ptw_freq();
+            pte.bump_ptw_cost();
+        }
+        assert_eq!(pte.ptw_freq(), PTW_FREQ_MAX);
+        assert_eq!(pte.ptw_cost(), PTW_COST_MAX);
+        // Counters must not corrupt the frame.
+        assert_eq!(pte.frame(), 1);
+        assert!(pte.present());
+    }
+
+    #[test]
+    fn counters_do_not_alias() {
+        let mut pte = Pte::leaf(0xfffff, PageSize::Size4K);
+        pte.bump_ptw_freq();
+        assert_eq!(pte.ptw_cost(), 0);
+        pte.bump_ptw_cost();
+        assert_eq!(pte.ptw_freq(), 1);
+        assert_eq!(pte.ptw_cost(), 1);
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let pte = Pte::leaf(77, PageSize::Size2M);
+        assert_eq!(Pte::from_raw(pte.raw()), pte);
+    }
+}

@@ -1,0 +1,154 @@
+//! Epoch-based pressure signals and translation-reach sampling.
+//!
+//! The paper keys both the TLB-aware replacement policy and the PTW-CP
+//! bypass on MPKI signals "the application experiences" (Listing 1,
+//! Fig. 15). We measure the L2 TLB MPKI and L2 cache MPKI over
+//! 100K-instruction epochs and expose the previous epoch's values as the
+//! live [`ReplacementCtx`]. Translation reach (Fig. 23) is sampled every
+//! 1K instructions.
+
+use mem_sim::ReplacementCtx;
+use vm_types::RunningMean;
+
+/// Instructions per pressure epoch.
+pub const EPOCH_INSTRUCTIONS: u64 = 100_000;
+/// Instructions per translation-reach sample (Fig. 23's epochs).
+pub const REACH_SAMPLE_INSTRUCTIONS: u64 = 1_000;
+
+/// Tracks epochs and produces the live replacement context.
+#[derive(Clone, Debug)]
+pub struct EpochTracker {
+    instr_in_epoch: u64,
+    l2_tlb_misses: u64,
+    l2_cache_misses: u64,
+    ctx: ReplacementCtx,
+    reach_clock: u64,
+    /// Mean of per-sample translation reach in bytes.
+    pub reach: RunningMean,
+    /// Largest reach sample observed.
+    pub reach_max: u64,
+}
+
+impl Default for EpochTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpochTracker {
+    /// Creates a tracker. The pre-first-epoch context reports high
+    /// pressure so mechanisms behave actively during warm-up.
+    pub fn new() -> Self {
+        Self {
+            instr_in_epoch: 0,
+            l2_tlb_misses: 0,
+            l2_cache_misses: 0,
+            ctx: ReplacementCtx { l2_tlb_mpki: 10.0, l2_cache_mpki: 10.0 },
+            reach_clock: 0,
+            reach: RunningMean::new(),
+            reach_max: 0,
+        }
+    }
+
+    /// The context mechanisms should consult right now.
+    #[inline]
+    pub fn ctx(&self) -> ReplacementCtx {
+        self.ctx
+    }
+
+    /// Advances instruction count; rolls the epoch when due. Returns true
+    /// when a reach sample is due (caller provides the sample via
+    /// [`EpochTracker::sample_reach`]).
+    #[inline]
+    pub fn on_instructions(&mut self, n: u64) -> bool {
+        self.instr_in_epoch += n;
+        if self.instr_in_epoch >= EPOCH_INSTRUCTIONS {
+            let k = self.instr_in_epoch as f64 / 1000.0;
+            self.ctx = ReplacementCtx {
+                l2_tlb_mpki: self.l2_tlb_misses as f64 / k,
+                l2_cache_mpki: self.l2_cache_misses as f64 / k,
+            };
+            self.instr_in_epoch = 0;
+            self.l2_tlb_misses = 0;
+            self.l2_cache_misses = 0;
+        }
+        self.reach_clock += n;
+        if self.reach_clock >= REACH_SAMPLE_INSTRUCTIONS {
+            self.reach_clock = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records one L2 TLB miss in the current epoch.
+    #[inline]
+    pub fn on_l2_tlb_miss(&mut self) {
+        self.l2_tlb_misses += 1;
+    }
+
+    /// Records one L2 cache (demand) miss in the current epoch.
+    #[inline]
+    pub fn on_l2_cache_miss(&mut self) {
+        self.l2_cache_misses += 1;
+    }
+
+    /// Records one translation-reach sample in bytes.
+    pub fn sample_reach(&mut self, bytes: u64) {
+        self.reach.push(bytes as f64);
+        self.reach_max = self.reach_max.max(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_context_reports_pressure() {
+        let t = EpochTracker::new();
+        assert!(t.ctx().tlb_pressure_high());
+        assert!(t.ctx().cache_pressure_high());
+    }
+
+    #[test]
+    fn epoch_rollover_computes_mpki() {
+        let mut t = EpochTracker::new();
+        for _ in 0..800 {
+            t.on_l2_tlb_miss();
+        }
+        for _ in 0..100 {
+            t.on_l2_cache_miss();
+        }
+        t.on_instructions(EPOCH_INSTRUCTIONS);
+        let ctx = t.ctx();
+        assert!((ctx.l2_tlb_mpki - 8.0).abs() < 1e-9);
+        assert!((ctx.l2_cache_mpki - 1.0).abs() < 1e-9);
+        assert!(ctx.tlb_pressure_high());
+        assert!(!ctx.cache_pressure_high());
+    }
+
+    #[test]
+    fn counters_reset_each_epoch() {
+        let mut t = EpochTracker::new();
+        t.on_l2_tlb_miss();
+        t.on_instructions(EPOCH_INSTRUCTIONS);
+        t.on_instructions(EPOCH_INSTRUCTIONS);
+        assert_eq!(t.ctx().l2_tlb_mpki, 0.0);
+    }
+
+    #[test]
+    fn reach_sampling_cadence() {
+        let mut t = EpochTracker::new();
+        let mut samples = 0;
+        for _ in 0..5000 {
+            if t.on_instructions(1) {
+                samples += 1;
+                t.sample_reach(1000);
+            }
+        }
+        assert_eq!(samples, 5);
+        assert!((t.reach.mean() - 1000.0).abs() < 1e-9);
+        assert_eq!(t.reach_max, 1000);
+    }
+}

@@ -1,0 +1,36 @@
+//! Full-system address-translation/timing simulator for the Victima
+//! (MICRO 2023) reproduction.
+//!
+//! A [`System`] wires together one core's memory system — the two-level
+//! TLB hierarchy, page-walk caches and hardware walker (`tlb-sim`), the
+//! cache hierarchy and DRAM (`mem-sim`), real radix page tables
+//! (`page-table`) and, depending on the configured
+//! [`TranslationMechanism`], POM-TLB, a hardware L3 TLB, or Victima
+//! (`victima`) — and drives it with a workload's memory-reference stream
+//! (`workloads`). Both native execution and virtualised execution (nested
+//! paging, ideal shadow paging) are supported (Sec. 8, Table 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use sim::{Runner, SystemConfig};
+//! use workloads::Scale;
+//!
+//! let cfg = SystemConfig::victima();
+//! let stats = Runner::new(Scale::Tiny).run("RND", &cfg, 20_000, 200_000);
+//! assert!(stats.instructions >= 200_000);
+//! assert!(stats.cycles() > 0);
+//! ```
+
+pub mod config;
+pub mod epochs;
+pub mod runner;
+pub mod stats;
+pub mod system;
+pub mod virt;
+
+pub use config::{ExecMode, SystemConfig, TimingConfig, TranslationMechanism};
+pub use epochs::EpochTracker;
+pub use runner::Runner;
+pub use stats::SimStats;
+pub use system::System;

@@ -1,0 +1,711 @@
+//! One simulated core's memory system, driven by a workload stream.
+//!
+//! The translation flow follows Fig. 2 (and Figs. 14/17 for Victima):
+//! L1 D-TLBs (per page size) → unified L2 TLB → mechanism-specific
+//! backstop (radix walk, hardware L3 TLB, POM-TLB lookup, Victima's
+//! parallel L2-cache probe, or the Fig. 10 ideal backstop) → page-table
+//! walk. Virtualised flows live in [`crate::virt`].
+
+use crate::config::{ExecMode, SystemConfig, TranslationMechanism};
+use crate::epochs::EpochTracker;
+use crate::stats::SimStats;
+use mem_sim::{BlockKind, Hierarchy, MemClass, MemLevel, ReplacementPolicy, Srrip};
+use page_table::{AddressSpace, FrameAllocator, MappedRegion, NestedMemory};
+use tlb_sim::{PageTableWalker, PomTlb, SetAssocTlb, TlbEntry};
+use victima::{features::FeatureTracker, TlbAwareSrrip, Victima};
+use vm_types::{AccessKind, Asid, Cycles, MemRef, PageSize, PhysAddr, VirtAddr};
+use workloads::{Workload, WorkloadStream};
+
+/// Where the translated memory image lives.
+pub(crate) enum Memory {
+    /// Native: one process address space over host physical memory.
+    Native {
+        /// Physical frame allocator.
+        alloc: FrameAllocator,
+        /// The process.
+        aspace: AddressSpace,
+    },
+    /// Virtualised: a guest VM with nested (and shadow) page tables.
+    Virt {
+        /// The guest memory image.
+        nested: NestedMemory,
+    },
+}
+
+/// A complete simulated system bound to one workload.
+pub struct System {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) hier: Hierarchy,
+    pub(crate) itlb: SetAssocTlb,
+    pub(crate) dtlb4k: SetAssocTlb,
+    pub(crate) dtlb2m: SetAssocTlb,
+    pub(crate) l2_tlb: SetAssocTlb,
+    pub(crate) l3_tlb: Option<SetAssocTlb>,
+    /// Demand walker (guest-side in virtualised mode). Its PWCs serve the
+    /// demand path.
+    pub(crate) walker: PageTableWalker,
+    /// Walker used for Victima's background (eviction-flow) walks.
+    pub(crate) bg_walker: PageTableWalker,
+    /// Host page-table walker (virtualised mode).
+    pub(crate) host_walker: PageTableWalker,
+    /// Nested TLB (gPA → hPA, virtualised mode).
+    pub(crate) nested_tlb: SetAssocTlb,
+    pub(crate) pom: Option<PomTlb>,
+    pub(crate) victima: Option<Victima>,
+    pub(crate) memory: Memory,
+    stream: WorkloadStream,
+    code: MappedRegion,
+    pub(crate) asid: Asid,
+    pub(crate) epoch: EpochTracker,
+    /// Run statistics.
+    pub stats: SimStats,
+    /// Optional per-page feature tracker (Table 2 profiling runs).
+    pub tracker: Option<FeatureTracker>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("config", &self.cfg.name)
+            .field("workload", &self.stream.name())
+            .finish()
+    }
+}
+
+/// Outcome of resolving one L2 TLB miss.
+pub(crate) struct MissResolution {
+    pub entry: TlbEntry,
+    pub latency: Cycles,
+    /// Fig. 22/29 components: (pom, l2-cache, walk, host).
+    pub components: [Cycles; 4],
+}
+
+impl System {
+    /// Builds a system: allocates physical memory, maps the workload's
+    /// regions (and the virtualised image if configured), and wires up
+    /// every component.
+    pub fn new(cfg: SystemConfig, mut workload: Box<dyn Workload>) -> Self {
+        let specs = workload.region_specs();
+        let footprint: u64 = specs.iter().map(|s| s.bytes).sum();
+        let asid = Asid::new(1);
+
+        let l2_policy: Box<dyn ReplacementPolicy> = match &cfg.mechanism {
+            TranslationMechanism::Victima(_)
+            | TranslationMechanism::PomTlb(_)
+            | TranslationMechanism::VictimaPom(..) => Box::new(TlbAwareSrrip::new()),
+            _ => Box::new(Srrip::new()),
+        };
+        let mut hier = Hierarchy::with_l2_policy(cfg.hierarchy.clone(), l2_policy);
+        let _ = &mut hier;
+
+        // Build the memory image and map regions.
+        let (memory, code, bases, pom_base) = match cfg.mode {
+            ExecMode::Native => {
+                let mut alloc = FrameAllocator::new(cfg.phys_mem_bytes, cfg.seed);
+                let mut aspace = AddressSpace::new(asid, &mut alloc, cfg.seed);
+                let code = aspace.map_small_region(256 << 10, &mut alloc);
+                let bases: Vec<VirtAddr> = specs
+                    .iter()
+                    .map(|s| aspace.map_region(s.bytes, s.huge_fraction, &mut alloc).base)
+                    .collect();
+                let pom_base = match &cfg.mechanism {
+                    TranslationMechanism::PomTlb(p) | TranslationMechanism::VictimaPom(_, p) => {
+                        Some(alloc.alloc_contiguous(p.storage_bytes()))
+                    }
+                    _ => None,
+                };
+                (Memory::Native { alloc, aspace }, code, bases, pom_base)
+            }
+            ExecMode::VirtualizedNested | ExecMode::VirtualizedShadow => {
+                // Guest-physical space: footprint plus table overheads and
+                // fragmentation-skip slack.
+                let guest_phys = footprint * 2 + (1 << 30);
+                // Hosts back VM memory with THP (EPT huge pages):
+                // 70% of the 2MB chunks of guest-physical space get a
+                // host 2MB page (calibrated; see EXPERIMENTS.md).
+                let mut nested = NestedMemory::new(asid, guest_phys, cfg.phys_mem_bytes, 0.7, cfg.seed);
+                let code = nested.map_small_region(256 << 10);
+                let bases: Vec<VirtAddr> =
+                    specs.iter().map(|s| nested.map_region(s.bytes, s.huge_fraction).base).collect();
+                let pom_base = match &cfg.mechanism {
+                    TranslationMechanism::PomTlb(p) | TranslationMechanism::VictimaPom(_, p) => {
+                        Some(nested.host_alloc.alloc_contiguous(p.storage_bytes()))
+                    }
+                    _ => None,
+                };
+                (Memory::Virt { nested }, code, bases, pom_base)
+            }
+        };
+        workload.init(&bases);
+
+        let pom = match (&cfg.mechanism, pom_base) {
+            (TranslationMechanism::PomTlb(p), Some(base))
+            | (TranslationMechanism::VictimaPom(_, p), Some(base)) => {
+                Some(PomTlb::new(p.clone(), base))
+            }
+            _ => None,
+        };
+        let victima = match &cfg.mechanism {
+            TranslationMechanism::Victima(v)
+            | TranslationMechanism::VictimaAgnostic(v)
+            | TranslationMechanism::VictimaPom(v, _) => Some(Victima::new(v.clone())),
+            _ => None,
+        };
+
+        Self {
+            itlb: SetAssocTlb::new(cfg.mmu.l1_itlb.clone()),
+            dtlb4k: SetAssocTlb::new(cfg.mmu.l1_dtlb_4k.clone()),
+            dtlb2m: SetAssocTlb::new(cfg.mmu.l1_dtlb_2m.clone()),
+            l2_tlb: SetAssocTlb::new(cfg.mmu.l2_tlb.clone()),
+            l3_tlb: cfg.mmu.l3_tlb.clone().map(SetAssocTlb::new),
+            walker: PageTableWalker::new(),
+            bg_walker: PageTableWalker::new(),
+            host_walker: PageTableWalker::new(),
+            nested_tlb: SetAssocTlb::new(cfg.mmu.nested_tlb.clone()),
+            pom,
+            victima,
+            memory,
+            stream: WorkloadStream::new(workload),
+            code,
+            asid,
+            epoch: EpochTracker::new(),
+            stats: SimStats::default(),
+            tracker: None,
+            hier,
+            cfg,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The workload name.
+    pub fn workload_name(&self) -> &'static str {
+        self.stream.name()
+    }
+
+    /// Enables per-page feature collection (Table 2 profiling).
+    pub fn enable_feature_tracking(&mut self) {
+        self.tracker = Some(FeatureTracker::new());
+    }
+
+    /// Runs for `instructions` instructions (memory + gap instructions).
+    pub fn run(&mut self, instructions: u64) {
+        let target = self.stats.instructions + instructions;
+        while self.stats.instructions < target {
+            let r = self.stream.next_ref();
+            self.step(r);
+        }
+    }
+
+    /// Runs `warmup` instructions, discards all statistics, then runs
+    /// `measured` instructions.
+    pub fn run_with_warmup(&mut self, warmup: u64, measured: u64) {
+        self.run(warmup);
+        self.reset_stats();
+        self.run(measured);
+    }
+
+    /// Clears statistics on every component; cache/TLB contents stay warm.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+        self.hier.reset_stats();
+        self.itlb.reset_stats();
+        self.dtlb4k.reset_stats();
+        self.dtlb2m.reset_stats();
+        self.l2_tlb.reset_stats();
+        if let Some(l3) = &mut self.l3_tlb {
+            l3.reset_stats();
+        }
+        self.walker.reset_stats();
+        self.host_walker.reset_stats();
+        self.epoch = EpochTracker::new();
+        if let Some(v) = &mut self.victima {
+            v.stats = Default::default();
+        }
+        if let Some(p) = &mut self.pom {
+            p.stats = Default::default();
+        }
+    }
+
+    /// Executes one memory reference through the full model.
+    fn step(&mut self, r: MemRef) {
+        let instrs = r.instructions();
+        self.stats.instructions += instrs;
+        self.stats.mem_refs += 1;
+
+        // Instruction side: translate and fetch from the small code region.
+        let ifetch_lat = self.ifetch(r.pc);
+
+        // Data side.
+        let (pa, t_lat) = self.translate_data(r.vaddr, r.kind);
+        let ctx = self.epoch.ctx();
+        let res = self.hier.access_pc(pa, r.kind.is_write(), MemClass::Data, r.pc, &ctx);
+        if matches!(res.served_by, MemLevel::L3 | MemLevel::Dram) {
+            self.epoch.on_l2_cache_miss();
+        }
+        if self.tracker.is_some() {
+            let size = self.page_size_of(r.vaddr);
+            let asid = self.asid;
+            if let Some(t) = self.tracker.as_mut() {
+                t.on_access(asid, r.vaddr, size);
+                if res.served_by == MemLevel::L2 {
+                    t.on_l2_cache_hit(asid, r.vaddr, size);
+                }
+            }
+        }
+        let d_stall = if r.kind.is_write() { 0 } else { res.latency };
+
+        self.stats.translation_cycles += t_lat + ifetch_lat;
+        self.stats.data_cycles += d_stall;
+        let t = &self.cfg.timing;
+        self.stats.add_cycles(
+            instrs as f64 / t.issue_width
+                + t.t_expose * (t_lat + ifetch_lat) as f64
+                + t.d_expose * d_stall as f64,
+        );
+
+        if self.epoch.on_instructions(instrs) {
+            let reach = self.hier.l2().translation_block_count() as u64 * 8 * 4096;
+            self.epoch.sample_reach(reach);
+            self.stats.reach_mean_bytes = self.epoch.reach.mean();
+            self.stats.reach_max_bytes = self.epoch.reach_max;
+        }
+    }
+
+    /// Instruction fetch through the I-TLB and L1I. Returns the exposed
+    /// translation latency (nonzero only on I-TLB misses, which are rare
+    /// since the code region is small).
+    fn ifetch(&mut self, pc: u64) -> Cycles {
+        let va = self.code.at(pc % self.code.bytes);
+        let vpn = va.vpn(PageSize::Size4K);
+        let (frame, lat) = match self.itlb.probe(vpn, self.asid, PageSize::Size4K) {
+            Some(e) => (e.frame, 0),
+            None => {
+                // Miss: L2 TLB, then walk. Code pages are always 4KB.
+                let mut lat = self.l2_tlb.latency();
+                let entry = match self.l2_tlb.probe(vpn, self.asid, PageSize::Size4K) {
+                    Some(e) => e,
+                    None => {
+                        let res = match self.cfg.mode {
+                            ExecMode::Native => self.resolve_l2_miss(va),
+                            _ => self.resolve_l2_miss_virt(va),
+                        };
+                        lat += res.latency;
+                        self.fill_l2_tlb(res.entry);
+                        res.entry
+                    }
+                };
+                self.itlb.fill(entry);
+                (entry.frame, lat)
+            }
+        };
+        let pa = PhysAddr::from_frame(frame, PageSize::Size4K, va.page_offset(PageSize::Size4K));
+        let ctx = self.epoch.ctx();
+        self.hier.access(pa, false, MemClass::IFetch, &ctx);
+        lat
+    }
+
+    /// Full data-side translation. Returns the physical address and the
+    /// translation latency beyond the (pipelined) L1 TLB hit.
+    pub(crate) fn translate_data(&mut self, va: VirtAddr, _kind: AccessKind) -> (PhysAddr, Cycles) {
+        // L1 D-TLBs, one per page size, probed in parallel (1 cycle,
+        // hidden in the pipeline).
+        if let Some(e) = self.dtlb4k.probe(va.vpn(PageSize::Size4K), self.asid, PageSize::Size4K) {
+            self.stats.l1_tlb_hits += 1;
+            return (self.entry_pa(&e, va), 0);
+        }
+        if let Some(e) = self.dtlb2m.probe(va.vpn(PageSize::Size2M), self.asid, PageSize::Size2M) {
+            self.stats.l1_tlb_hits += 1;
+            return (self.entry_pa(&e, va), 0);
+        }
+        self.stats.l1_tlb_misses += 1;
+
+        // Unified L2 TLB, both page sizes probed in parallel.
+        let mut latency = self.l2_tlb.latency();
+        for size in PageSize::ALL {
+            if let Some(e) = self.l2_tlb.probe(va.vpn(size), self.asid, size) {
+                self.stats.l2_tlb_hits += 1;
+                self.fill_l1(e);
+                self.track_l1_miss(va, size);
+                return (self.entry_pa(&e, va), latency);
+            }
+        }
+        self.stats.l2_tlb_misses += 1;
+        self.epoch.on_l2_tlb_miss();
+
+        let res = match self.cfg.mode {
+            ExecMode::Native => self.resolve_l2_miss(va),
+            _ => self.resolve_l2_miss_virt(va),
+        };
+        latency += res.latency;
+        self.stats.l2_miss_latency_sum += res.latency;
+        self.stats.l2_miss_pom_component += res.components[0];
+        self.stats.l2_miss_cache_component += res.components[1];
+        self.stats.l2_miss_walk_component += res.components[2];
+        self.stats.l2_miss_host_component += res.components[3];
+
+        self.fill_l2_tlb(res.entry);
+        self.fill_l1(res.entry);
+        self.track_l1_miss(va, res.entry.size);
+        self.track_l2_miss(va, res.entry.size);
+        (self.entry_pa(&res.entry, va), latency)
+    }
+
+    /// Translates once (public hook for tests and examples): runs the full
+    /// translation path with timing and returns the physical address.
+    pub fn translate_once(&mut self, va: VirtAddr) -> PhysAddr {
+        self.translate_data(va, AccessKind::Load).0
+    }
+
+    /// Ground-truth translation straight from the page tables (no timing,
+    /// no state changes). `None` if unmapped.
+    pub fn ground_truth(&self, va: VirtAddr) -> Option<PhysAddr> {
+        match &self.memory {
+            Memory::Native { aspace, .. } => aspace.page_table.translate(va).map(|(pa, _)| pa),
+            Memory::Virt { nested } => nested.full_translate(va),
+        }
+    }
+
+    /// The page size backing `va` (guest-side in virtualised mode), or
+    /// `None` if unmapped. Software lookup; no timing or state changes.
+    pub fn page_size_at(&self, va: VirtAddr) -> Option<PageSize> {
+        match &self.memory {
+            Memory::Native { aspace, .. } => aspace.page_table.translate(va).map(|(_, s)| s),
+            Memory::Virt { nested } => nested.guest.page_table.translate(va).map(|(_, s)| s),
+        }
+    }
+
+    #[inline]
+    fn entry_pa(&self, e: &TlbEntry, va: VirtAddr) -> PhysAddr {
+        match e.size {
+            PageSize::Size4K => PhysAddr::from_frame(e.frame, PageSize::Size4K, va.page_offset(PageSize::Size4K)),
+            PageSize::Size2M => {
+                PhysAddr::from_frame(e.frame >> 9, PageSize::Size2M, va.page_offset(PageSize::Size2M))
+            }
+        }
+    }
+
+    /// The page size backing `va` (software lookup).
+    pub(crate) fn page_size_of(&self, va: VirtAddr) -> PageSize {
+        match &self.memory {
+            Memory::Native { aspace, .. } => {
+                aspace.page_table.translate(va).map(|(_, s)| s).unwrap_or(PageSize::Size4K)
+            }
+            Memory::Virt { nested } => {
+                nested.guest.page_table.translate(va).map(|(_, s)| s).unwrap_or(PageSize::Size4K)
+            }
+        }
+    }
+
+    fn track_l1_miss(&mut self, va: VirtAddr, size: PageSize) {
+        if let Some(t) = self.tracker.as_mut() {
+            t.on_l1_tlb_miss(self.asid, va, size);
+        }
+    }
+
+    fn track_l2_miss(&mut self, va: VirtAddr, size: PageSize) {
+        if let Some(t) = self.tracker.as_mut() {
+            t.on_l2_tlb_miss(self.asid, va, size);
+        }
+    }
+
+    fn fill_l1(&mut self, e: TlbEntry) {
+        let evicted = match e.size {
+            PageSize::Size4K => self.dtlb4k.fill(e),
+            PageSize::Size2M => self.dtlb2m.fill(e),
+        };
+        if let (Some(ev), Some(t)) = (evicted, self.tracker.as_mut()) {
+            t.on_l1_tlb_eviction(ev.asid, VirtAddr::new(ev.vpn << ev.size.shift()), ev.size);
+        }
+    }
+
+    /// Fills the L2 TLB and runs the eviction-side hooks (Victima's
+    /// background-walk flow, POM-TLB's spill).
+    pub(crate) fn fill_l2_tlb(&mut self, e: TlbEntry) {
+        let Some(ev) = self.l2_tlb.fill(e) else {
+            return;
+        };
+        let ev_va = VirtAddr::new(ev.vpn << ev.size.shift());
+        if let Some(t) = self.tracker.as_mut() {
+            t.on_l2_tlb_eviction(ev.asid, ev_va, ev.size);
+        }
+        match &self.cfg.mechanism {
+            TranslationMechanism::PomTlb(_) => {
+                // Spill the evicted entry to the in-memory TLB (off the
+                // critical path: traffic only).
+                if let Some(pom) = self.pom.as_mut() {
+                    let line = pom.insert(ev.vpn, ev.asid, ev.size, ev.frame);
+                    let ctx = self.epoch.ctx();
+                    self.hier.access(line, true, MemClass::PomTlb, &ctx);
+                }
+            }
+            TranslationMechanism::Victima(_) | TranslationMechanism::VictimaAgnostic(_) => {
+                self.victima_eviction_flow(ev, ev_va);
+            }
+            TranslationMechanism::VictimaPom(..) => {
+                if let Some(pom) = self.pom.as_mut() {
+                    let line = pom.insert(ev.vpn, ev.asid, ev.size, ev.frame);
+                    let ctx = self.epoch.ctx();
+                    self.hier.access(line, true, MemClass::PomTlb, &ctx);
+                }
+                self.victima_eviction_flow(ev, ev_va);
+            }
+            _ => {}
+        }
+    }
+
+    /// Victima's L2-TLB-eviction flow: predictor + background walk +
+    /// block transformation (Fig. 14, right path). The background walk
+    /// generates real cache traffic but no core stall.
+    fn victima_eviction_flow(&mut self, ev: TlbEntry, ev_va: VirtAddr) {
+        if self.cfg.mode != ExecMode::Native {
+            self.victima_eviction_flow_virt(ev, ev_va);
+            return;
+        }
+        let ctx = self.epoch.ctx();
+        let v = self.victima.as_mut().expect("victima mechanism has an engine");
+        if !v.wants_eviction_insert(
+            self.hier.l2(),
+            ev_va,
+            ev.asid,
+            BlockKind::Tlb,
+            ev.size,
+            ev.ptw_freq,
+            ev.ptw_cost,
+            &ctx,
+        ) {
+            return;
+        }
+        self.stats.victima_background_walks += 1;
+        let Memory::Native { aspace, .. } = &mut self.memory else {
+            unreachable!("native flow");
+        };
+        let walk = self.bg_walker.walk(&mut aspace.page_table, ev_va, ev.asid, &mut self.hier, &ctx);
+        if let Some(w) = walk {
+            let v = self.victima.as_mut().expect("checked above");
+            if v.insert_after_eviction_walk(self.hier.l2_mut(), ev_va, ev.asid, BlockKind::Tlb, &w, &ctx) {
+                self.stats.victima_inserts += 1;
+            }
+        }
+    }
+
+    /// Resolves an L2 TLB miss in native mode.
+    pub(crate) fn resolve_l2_miss(&mut self, va: VirtAddr) -> MissResolution {
+        debug_assert_eq!(self.cfg.mode, ExecMode::Native);
+        let ctx = self.epoch.ctx();
+        let mut latency: Cycles = 0;
+        let mut components = [0u64; 4];
+
+        // Hardware L3 TLB (Fig. 8 design point).
+        if let Some(l3) = self.l3_tlb.as_mut() {
+            latency += l3.latency();
+            components[2] += l3.latency();
+            for size in PageSize::ALL {
+                if let Some(e) = l3.probe(va.vpn(size), self.asid, size) {
+                    self.stats.l3_tlb_hits += 1;
+                    return MissResolution { entry: e, latency, components };
+                }
+            }
+        }
+
+        // Fig. 10 ideal backstop: a fixed-latency oracle.
+        if let TranslationMechanism::IdealBackstop(l) = self.cfg.mechanism {
+            latency += l;
+            components[1] += l;
+            let entry = self.software_entry(va);
+            return MissResolution { entry, latency, components };
+        }
+
+        // Victima: probe the L2 cache for a TLB block in parallel with the
+        // walk (Fig. 17). A tag hit still requires the cluster's PTE to
+        // actually map this VA (a 2MB-view block spans 16MB that may also
+        // contain 4KB-mapped chunks); on a stale view the parallel PTW
+        // simply continues, costing nothing extra.
+        if let Some(v) = self.victima.as_mut() {
+            if let Some(hit) = v.probe(self.hier.l2_mut(), va, self.asid, BlockKind::Tlb, &ctx) {
+                if self.page_size_of(va) == hit.size {
+                    let l2c = self.hier.l2().latency();
+                    latency += l2c;
+                    components[1] += l2c;
+                    self.stats.victima_hits += 1;
+                    let entry = self.software_entry_sized(va, hit.size);
+                    return MissResolution { entry, latency, components };
+                }
+            }
+        }
+
+        // POM-TLB lookup (two parallel per-size probes through the data
+        // hierarchy).
+        if let Some(pom) = self.pom.as_mut() {
+            let mut hit: Option<TlbEntry> = None;
+            let mut pom_lat: Cycles = 0;
+            for size in PageSize::ALL {
+                let lk = pom.lookup(va.vpn(size), self.asid, size);
+                let r = self.hier.access(lk.line, false, MemClass::PomTlb, &ctx);
+                pom_lat = pom_lat.max(r.latency);
+                if let Some(frame) = lk.frame {
+                    hit = Some(TlbEntry::new(va.vpn(size), self.asid, size, frame));
+                    break;
+                }
+            }
+            latency += pom_lat;
+            components[0] += pom_lat;
+            if let Some(entry) = hit {
+                self.stats.pom_hits += 1;
+                return MissResolution { entry, latency, components };
+            }
+            self.stats.pom_misses += 1;
+        }
+
+        // The page-table walk.
+        let Memory::Native { aspace, .. } = &mut self.memory else {
+            unreachable!("native flow");
+        };
+        let walk = self
+            .walker
+            .walk(&mut aspace.page_table, va, self.asid, &mut self.hier, &ctx)
+            .unwrap_or_else(|| panic!("page fault at {va}: workload touched an unmapped page"));
+        self.stats.ptws += 1;
+        latency += walk.latency;
+        components[2] += walk.latency;
+        if let Some(t) = self.tracker.as_mut() {
+            let pwc_hit = walk.memory_accesses < 4 && walk.page_size == PageSize::Size4K
+                || walk.memory_accesses < 3 && walk.page_size == PageSize::Size2M;
+            t.on_walk(self.asid, va, walk.page_size, walk.latency, walk.dram_touched, pwc_hit);
+        }
+
+        let entry = TlbEntry::with_counters(
+            va.vpn(walk.page_size),
+            self.asid,
+            walk.page_size,
+            walk.frame,
+            walk.leaf_pte.ptw_freq(),
+            walk.leaf_pte.ptw_cost(),
+        );
+
+        // Post-walk insertions.
+        if let Some(l3) = self.l3_tlb.as_mut() {
+            l3.fill(entry);
+        }
+        if let Some(pom) = self.pom.as_mut() {
+            let line = pom.insert(entry.vpn, entry.asid, entry.size, entry.frame);
+            self.hier.access(line, true, MemClass::PomTlb, &ctx);
+        }
+        if let Some(v) = self.victima.as_mut() {
+            if v.insert_after_walk(self.hier.l2_mut(), va, self.asid, BlockKind::Tlb, &walk, &ctx) {
+                self.stats.victima_inserts += 1;
+            }
+        }
+        MissResolution { entry, latency, components }
+    }
+
+    /// Builds a TLB entry from the page table without timing (used by the
+    /// ideal backstop and by Victima probe hits, where the hardware reads
+    /// the PTE straight out of the hit block).
+    pub(crate) fn software_entry(&self, va: VirtAddr) -> TlbEntry {
+        let size = self.page_size_of(va);
+        self.software_entry_sized(va, size)
+    }
+
+    pub(crate) fn software_entry_sized(&self, va: VirtAddr, size: PageSize) -> TlbEntry {
+        let Memory::Native { aspace, .. } = &self.memory else {
+            unreachable!("native helper");
+        };
+        let walk = aspace.page_table.walk(va).expect("mapped");
+        debug_assert_eq!(walk.page_size, size);
+        TlbEntry::with_counters(
+            va.vpn(walk.page_size),
+            self.asid,
+            walk.page_size,
+            walk.frame,
+            walk.leaf_pte.ptw_freq(),
+            walk.leaf_pte.ptw_cost(),
+        )
+    }
+
+    /// Finalises aggregate statistics from component counters. Call after
+    /// the measured run.
+    pub fn finalize_stats(&mut self) {
+        self.stats.ptw_latency_hist = self.walker.stats.latency_hist.clone();
+        self.stats.ptw_latency_mean = self.walker.stats.mean_latency();
+        self.stats.ptw_dram_fraction = if self.walker.stats.walks == 0 {
+            0.0
+        } else {
+            self.walker.stats.dram_walks as f64 / self.walker.stats.walks as f64
+        };
+        self.stats.l2_data_reuse = self.hier.l2().stats.data_reuse;
+        self.stats.l2_tlb_block_reuse = self.hier.l2().stats.tlb_reuse;
+        // Eviction-time reuse alone under-counts the *hottest* TLB blocks:
+        // they stay resident for the whole (short) measured window and are
+        // never evicted, so snapshot the resident population too.
+        for b in self.hier.l2().iter_valid() {
+            if b.kind.is_translation() {
+                self.stats.l2_tlb_block_reuse.record(b.reuse as u64);
+            }
+        }
+        if let Some(p) = &self.pom {
+            self.stats.pom_hits = p.stats.hits;
+            self.stats.pom_misses = p.stats.misses;
+        }
+    }
+
+    /// OS-initiated TLB shootdown for one page (Sec. 6.2): invalidates the
+    /// page in every hardware TLB, the POM-TLB and Victima's TLB blocks.
+    pub fn tlb_shootdown(&mut self, va: VirtAddr) {
+        for size in PageSize::ALL {
+            let vpn = va.vpn(size);
+            self.itlb.invalidate(vpn, self.asid, size);
+            self.dtlb4k.invalidate(vpn, self.asid, size);
+            self.dtlb2m.invalidate(vpn, self.asid, size);
+            self.l2_tlb.invalidate(vpn, self.asid, size);
+            if let Some(l3) = self.l3_tlb.as_mut() {
+                l3.invalidate(vpn, self.asid, size);
+            }
+            if let Some(p) = self.pom.as_mut() {
+                p.invalidate(vpn, self.asid, size);
+            }
+        }
+        if let Some(v) = self.victima.as_mut() {
+            v.shootdown(self.hier.l2_mut(), va, self.asid);
+        }
+    }
+
+    /// Full context-switch flush (Sec. 6.1): drops every translation the
+    /// hardware holds for this address space.
+    pub fn context_switch_flush(&mut self) {
+        self.itlb.invalidate_all();
+        self.dtlb4k.invalidate_all();
+        self.dtlb2m.invalidate_all();
+        self.l2_tlb.invalidate_all();
+        if let Some(l3) = self.l3_tlb.as_mut() {
+            l3.invalidate_all();
+        }
+        self.nested_tlb.invalidate_all();
+        self.walker.pwc.flush();
+        self.host_walker.pwc.flush();
+        if let Some(v) = self.victima.as_mut() {
+            v.flush_all(self.hier.l2_mut());
+        }
+    }
+
+    /// Remaps one data page to a fresh physical frame (a migration), as
+    /// the OS would before issuing a shootdown. Returns the new ground
+    /// truth. Native mode only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is unmapped or the system is virtualised.
+    pub fn migrate_page(&mut self, va: VirtAddr) -> PhysAddr {
+        let Memory::Native { alloc, aspace } = &mut self.memory else {
+            panic!("migrate_page supports native mode only");
+        };
+        let old = aspace.page_table.unmap(va.align_down(PageSize::Size4K)).expect("page must be mapped");
+        assert_eq!(old.page_size(), PageSize::Size4K, "migration test uses 4KB pages");
+        let frame = alloc.alloc_4k();
+        aspace.page_table.map(va.align_down(PageSize::Size4K), frame, PageSize::Size4K, alloc);
+        aspace.page_table.translate(va).expect("just mapped").0
+    }
+}

@@ -1,0 +1,124 @@
+//! MMU configurations from the paper's Table 3 and the TLB-size /
+//! latency ladders used in its motivation studies (Figs. 5–8).
+
+use crate::tlb::TlbConfig;
+use vm_types::Cycles;
+
+/// The CACTI 7.0 latency ladder the paper reports for realistic L2 TLBs of
+/// growing size (Fig. 7): `(entries, cycles)`.
+pub const CACTI_L2_TLB_LATENCY: [(usize, Cycles); 6] =
+    [(2048, 13), (4096, 16), (8192, 21), (16384, 27), (32768, 34), (65536, 39)];
+
+/// The L2 TLB sizes swept in Figs. 5–7.
+pub const L2_TLB_SIZE_SWEEP: [usize; 7] = [1536, 2048, 4096, 8192, 16384, 32768, 65536];
+
+/// The L3 TLB latencies swept in Fig. 8 for a 64K-entry L3 TLB.
+pub const L3_TLB_LATENCY_SWEEP: [Cycles; 6] = [15, 20, 25, 30, 35, 39];
+
+/// Full MMU shape: the two-level TLB hierarchy plus the optional hardware
+/// L3 TLB and the nested TLB used in virtualised mode.
+#[derive(Clone, Debug)]
+pub struct MmuConfig {
+    /// L1 instruction TLB (128-entry, 8-way, 1 cycle).
+    pub l1_itlb: TlbConfig,
+    /// L1 data TLB for 4KB pages (64-entry, 4-way, 1 cycle).
+    pub l1_dtlb_4k: TlbConfig,
+    /// L1 data TLB for 2MB pages (32-entry, 4-way, 1 cycle).
+    pub l1_dtlb_2m: TlbConfig,
+    /// Unified L2 TLB (1536-entry, 12-way, 12 cycles in the baseline).
+    pub l2_tlb: TlbConfig,
+    /// Optional hardware L3 TLB (the Sec. 3.1 / Fig. 8 design point).
+    pub l3_tlb: Option<TlbConfig>,
+    /// Nested TLB for virtualised mode (64-entry, 1 cycle).
+    pub nested_tlb: TlbConfig,
+}
+
+impl Default for MmuConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+impl MmuConfig {
+    /// The paper's baseline MMU (Table 3).
+    pub fn baseline() -> Self {
+        Self {
+            l1_itlb: TlbConfig { name: "L1-ITLB", entries: 128, ways: 8, latency: 1 },
+            l1_dtlb_4k: TlbConfig { name: "L1-DTLB-4K", entries: 64, ways: 4, latency: 1 },
+            l1_dtlb_2m: TlbConfig { name: "L1-DTLB-2M", entries: 32, ways: 4, latency: 1 },
+            l2_tlb: TlbConfig { name: "L2-TLB", entries: 1536, ways: 12, latency: 12 },
+            l3_tlb: None,
+            nested_tlb: TlbConfig { name: "Nested-TLB", entries: 64, ways: 64, latency: 1 },
+        }
+    }
+
+    /// Baseline with a resized L2 TLB (16-way beyond the 1.5K baseline, as
+    /// in the paper's optimistic/realistic sweeps).
+    pub fn with_l2_tlb(entries: usize, latency: Cycles) -> Self {
+        let ways = if entries == 1536 { 12 } else { 16 };
+        let mut cfg = Self::baseline();
+        cfg.l2_tlb = TlbConfig { name: "L2-TLB", entries, ways, latency };
+        cfg
+    }
+
+    /// Baseline plus a hardware L3 TLB (Fig. 8 design point).
+    pub fn with_l3_tlb(entries: usize, latency: Cycles) -> Self {
+        let mut cfg = Self::baseline();
+        cfg.l3_tlb = Some(TlbConfig { name: "L3-TLB", entries, ways: 16, latency });
+        cfg
+    }
+
+    /// The CACTI-modelled latency for an L2 TLB of `entries` entries
+    /// (12 cycles for the 1.5K baseline, Fig. 7's ladder beyond).
+    pub fn cacti_latency(entries: usize) -> Cycles {
+        CACTI_L2_TLB_LATENCY
+            .iter()
+            .find(|(e, _)| *e == entries)
+            .map(|&(_, l)| l)
+            .unwrap_or(12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table3() {
+        let cfg = MmuConfig::baseline();
+        assert_eq!(cfg.l2_tlb.entries, 1536);
+        assert_eq!(cfg.l2_tlb.ways, 12);
+        assert_eq!(cfg.l2_tlb.latency, 12);
+        assert_eq!(cfg.l1_itlb.entries, 128);
+        assert_eq!(cfg.nested_tlb.entries, 64);
+        assert!(cfg.l3_tlb.is_none());
+    }
+
+    #[test]
+    fn all_sweep_geometries_are_constructible() {
+        for &entries in &L2_TLB_SIZE_SWEEP {
+            let cfg = MmuConfig::with_l2_tlb(entries, 12);
+            // num_sets() panics on invalid geometry.
+            assert!(cfg.l2_tlb.num_sets() > 0);
+        }
+        for &(entries, lat) in &CACTI_L2_TLB_LATENCY {
+            let cfg = MmuConfig::with_l2_tlb(entries, lat);
+            assert_eq!(cfg.l2_tlb.latency, lat);
+        }
+    }
+
+    #[test]
+    fn cacti_ladder_lookup() {
+        assert_eq!(MmuConfig::cacti_latency(65536), 39);
+        assert_eq!(MmuConfig::cacti_latency(1536), 12);
+        assert_eq!(MmuConfig::cacti_latency(4096), 16);
+    }
+
+    #[test]
+    fn l3_config_point() {
+        let cfg = MmuConfig::with_l3_tlb(65536, 15);
+        let l3 = cfg.l3_tlb.expect("l3 present");
+        assert_eq!(l3.entries, 65536);
+        assert_eq!(l3.num_sets(), 4096);
+    }
+}

@@ -1,0 +1,215 @@
+//! Split page-walk caches (PWCs).
+//!
+//! The paper's MMU has three split PWCs, one per upper page-table level
+//! (PML4 / PDPT / PD), each 32-entry 4-way with a 2-cycle latency
+//! (Table 3). A hit at the PWC of level `l` means the walker already knows
+//! the level-`l` lookup result and only issues memory accesses for levels
+//! `l-1` down to the leaf.
+
+use vm_types::{Asid, Cycles, VirtAddr};
+
+/// Entries per split PWC.
+const PWC_ENTRIES: usize = 32;
+/// Associativity of each split PWC.
+const PWC_WAYS: usize = 4;
+/// Probe latency (all three levels probed in parallel).
+pub const PWC_LATENCY: Cycles = 2;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PwcEntry {
+    valid: bool,
+    tag: u64,
+    asid: Asid,
+    lru: u64,
+}
+
+#[derive(Clone, Debug)]
+struct SplitPwc {
+    entries: [PwcEntry; PWC_ENTRIES],
+    tick: u64,
+}
+
+impl SplitPwc {
+    fn new() -> Self {
+        Self { entries: [PwcEntry::default(); PWC_ENTRIES], tick: 0 }
+    }
+
+    fn set_range(tag: u64) -> std::ops::Range<usize> {
+        let sets = PWC_ENTRIES / PWC_WAYS;
+        let set = (tag as usize) & (sets - 1);
+        set * PWC_WAYS..set * PWC_WAYS + PWC_WAYS
+    }
+
+    fn probe(&mut self, tag: u64, asid: Asid) -> bool {
+        self.tick += 1;
+        for e in &mut self.entries[Self::set_range(tag)] {
+            if e.valid && e.tag == tag && e.asid == asid {
+                e.lru = self.tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn fill(&mut self, tag: u64, asid: Asid) {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = Self::set_range(tag);
+        let set = &mut self.entries[range];
+        if let Some(e) = set.iter_mut().find(|e| e.valid && e.tag == tag && e.asid == asid) {
+            e.lru = tick;
+            return;
+        }
+        let victim = match set.iter().position(|e| !e.valid) {
+            Some(i) => i,
+            None => set.iter().enumerate().min_by_key(|(_, e)| e.lru).map(|(i, _)| i).unwrap(),
+        };
+        set[victim] = PwcEntry { valid: true, tag, asid, lru: tick };
+    }
+
+    fn flush(&mut self) {
+        self.entries = [PwcEntry::default(); PWC_ENTRIES];
+    }
+}
+
+/// The three split page-walk caches.
+///
+/// # Examples
+///
+/// ```
+/// use tlb_sim::PageWalkCaches;
+/// use vm_types::{Asid, VirtAddr};
+///
+/// let mut pwc = PageWalkCaches::new();
+/// let va = VirtAddr::new(0x7000_1234_5678);
+/// assert_eq!(pwc.deepest_hit(va, Asid::new(1), 0), None);
+/// pwc.fill_all(va, Asid::new(1), 0);
+/// assert_eq!(pwc.deepest_hit(va, Asid::new(1), 0), Some(1));
+/// ```
+pub struct PageWalkCaches {
+    // Index 0 ↔ level 1 (PD), 1 ↔ level 2 (PDPT), 2 ↔ level 3 (PML4).
+    levels: [SplitPwc; 3],
+    /// Lookups that hit at any level.
+    pub hits: u64,
+    /// Lookups that missed all levels.
+    pub misses: u64,
+}
+
+impl std::fmt::Debug for PageWalkCaches {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageWalkCaches").field("hits", &self.hits).field("misses", &self.misses).finish()
+    }
+}
+
+impl Default for PageWalkCaches {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The VA prefix a level-`l` PWC entry is tagged with: all VA bits above
+/// the part of the index the level itself resolves.
+#[inline]
+fn prefix(va: VirtAddr, level: u8) -> u64 {
+    va.raw() >> (12 + 9 * level as u64)
+}
+
+impl PageWalkCaches {
+    /// Creates empty PWCs.
+    pub fn new() -> Self {
+        Self { levels: [SplitPwc::new(), SplitPwc::new(), SplitPwc::new()], hits: 0, misses: 0 }
+    }
+
+    /// Probes all three PWCs for `va` and returns the deepest cached level
+    /// strictly above `leaf_level` (1 = PD is deepest, 3 = PML4 shallowest),
+    /// or `None` on a full miss. A return of `Some(l)` lets the walker skip
+    /// memory accesses for levels 3..=l.
+    pub fn deepest_hit(&mut self, va: VirtAddr, asid: Asid, leaf_level: u8) -> Option<u8> {
+        for level in (leaf_level + 1)..=3 {
+            if self.levels[level as usize - 1].probe(prefix(va, level), asid) {
+                self.hits += 1;
+                return Some(level);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Fills all PWC levels above `leaf_level` after a completed walk.
+    pub fn fill_all(&mut self, va: VirtAddr, asid: Asid, leaf_level: u8) {
+        for level in (leaf_level + 1)..=3 {
+            self.levels[level as usize - 1].fill(prefix(va, level), asid);
+        }
+    }
+
+    /// Flushes all PWCs (context switch without ASID reuse).
+    pub fn flush(&mut self) {
+        for l in &mut self.levels {
+            l.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_pwc_misses() {
+        let mut p = PageWalkCaches::new();
+        assert_eq!(p.deepest_hit(VirtAddr::new(0x1234_5000), Asid::new(1), 0), None);
+        assert_eq!(p.misses, 1);
+    }
+
+    #[test]
+    fn fill_then_deepest_hit_is_pd_level() {
+        let mut p = PageWalkCaches::new();
+        let va = VirtAddr::new(0x7000_1234_5678);
+        let a = Asid::new(1);
+        p.fill_all(va, a, 0);
+        assert_eq!(p.deepest_hit(va, a, 0), Some(1));
+    }
+
+    #[test]
+    fn nearby_va_hits_shallower_level() {
+        let mut p = PageWalkCaches::new();
+        let a = Asid::new(1);
+        let va = VirtAddr::new(0x7000_0000_0000);
+        p.fill_all(va, a, 0);
+        // Same PDPT region (same bits ≥30) but different PD region (bits ≥21
+        // differ): the PD-level prefix changes, the PDPT one does not.
+        let sibling = VirtAddr::new(0x7000_0020_0000);
+        assert_eq!(p.deepest_hit(sibling, a, 0), Some(2));
+        // A different PML4 region misses everywhere.
+        let far = VirtAddr::new(0x0123_4567_8000);
+        assert_eq!(p.deepest_hit(far, a, 0), None);
+    }
+
+    #[test]
+    fn huge_page_walks_ignore_pd_pwc() {
+        let mut p = PageWalkCaches::new();
+        let a = Asid::new(1);
+        let va = VirtAddr::new(0x7000_1234_5678);
+        p.fill_all(va, a, 0);
+        // For a 2MB leaf (leaf_level = 1), the PD-level PWC entry is the
+        // leaf itself, so the deepest usable cache is the PDPT (level 2).
+        assert_eq!(p.deepest_hit(va, a, 1), Some(2));
+    }
+
+    #[test]
+    fn asid_disambiguates() {
+        let mut p = PageWalkCaches::new();
+        let va = VirtAddr::new(0x7000_1234_5678);
+        p.fill_all(va, Asid::new(1), 0);
+        assert_eq!(p.deepest_hit(va, Asid::new(2), 0), None);
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut p = PageWalkCaches::new();
+        let va = VirtAddr::new(0x7000_1234_5678);
+        p.fill_all(va, Asid::new(1), 0);
+        p.flush();
+        assert_eq!(p.deepest_hit(va, Asid::new(1), 0), None);
+    }
+}

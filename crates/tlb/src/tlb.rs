@@ -1,0 +1,384 @@
+//! Set-associative translation lookaside buffers.
+//!
+//! One implementation serves every TLB in the paper's MMU: the L1 I-TLB,
+//! the split L1 D-TLBs (one per page size), the unified multi-page-size L2
+//! TLB, the hardware L3 TLBs of Sec. 3.1, and the 64-entry nested TLB of
+//! virtualised mode (where the "virtual page number" key is a
+//! guest-physical frame number).
+
+use vm_types::{Asid, Cycles, PageSize};
+
+/// One TLB entry.
+///
+/// Besides the translation itself, entries snapshot the PTE's PTW
+/// frequency/cost counters at fill time: Victima's eviction flow consults
+/// the predictor with these values when the entry leaves the L2 TLB
+/// (Sec. 5.2).
+#[derive(Clone, Copy, Debug)]
+pub struct TlbEntry {
+    /// Valid bit.
+    pub valid: bool,
+    /// Virtual page number (for `size`-sized pages).
+    pub vpn: u64,
+    /// Address-space identifier.
+    pub asid: Asid,
+    /// Page size of the mapping.
+    pub size: PageSize,
+    /// Output frame (4KB-frame number of the page base).
+    pub frame: u64,
+    /// PTW frequency counter snapshot (3-bit).
+    pub ptw_freq: u8,
+    /// PTW cost counter snapshot (4-bit).
+    pub ptw_cost: u8,
+    lru_stamp: u64,
+}
+
+impl TlbEntry {
+    /// Creates a valid entry with zeroed counters.
+    pub fn new(vpn: u64, asid: Asid, size: PageSize, frame: u64) -> Self {
+        Self { valid: true, vpn, asid, size, frame, ptw_freq: 0, ptw_cost: 0, lru_stamp: 0 }
+    }
+
+    /// Creates a valid entry carrying counter snapshots.
+    pub fn with_counters(vpn: u64, asid: Asid, size: PageSize, frame: u64, freq: u8, cost: u8) -> Self {
+        Self { valid: true, vpn, asid, size, frame, ptw_freq: freq, ptw_cost: cost, lru_stamp: 0 }
+    }
+
+    const INVALID: TlbEntry = TlbEntry {
+        valid: false,
+        vpn: 0,
+        asid: Asid::KERNEL,
+        size: PageSize::Size4K,
+        frame: 0,
+        ptw_freq: 0,
+        ptw_cost: 0,
+        lru_stamp: 0,
+    };
+
+    #[inline]
+    fn matches(&self, vpn: u64, asid: Asid, size: PageSize) -> bool {
+        self.valid && self.vpn == vpn && self.asid == asid && self.size == size
+    }
+}
+
+/// Geometry of a TLB.
+#[derive(Clone, Debug)]
+pub struct TlbConfig {
+    /// Name for diagnostics, e.g. "L2-TLB".
+    pub name: &'static str,
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Probe latency in cycles.
+    pub latency: Cycles,
+}
+
+impl TlbConfig {
+    /// The paper's unified L2 TLB shape: `entries` total, 12-cycle latency.
+    pub fn l2_unified(entries: usize, ways: usize) -> Self {
+        Self { name: "L2-TLB", entries, ways, latency: 12 }
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if geometry is inconsistent or the set count is not a power
+    /// of two.
+    pub fn num_sets(&self) -> usize {
+        assert!(self.ways > 0 && self.entries.is_multiple_of(self.ways), "{}: entries must divide by ways", self.name);
+        let sets = self.entries / self.ways;
+        assert!(sets.is_power_of_two(), "{}: set count {} must be a power of two", self.name, sets);
+        sets
+    }
+}
+
+/// Hit/miss statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TlbStats {
+    /// Probes that hit.
+    pub hits: u64,
+    /// Probes that missed.
+    pub misses: u64,
+    /// Entries filled.
+    pub fills: u64,
+    /// Valid entries displaced by fills.
+    pub evictions: u64,
+    /// Entries invalidated by maintenance operations.
+    pub invalidations: u64,
+}
+
+impl TlbStats {
+    /// Total probes.
+    pub fn probes(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio (0 when unused).
+    pub fn miss_ratio(&self) -> f64 {
+        let p = self.probes();
+        if p == 0 {
+            0.0
+        } else {
+            self.misses as f64 / p as f64
+        }
+    }
+}
+
+/// A set-associative, LRU TLB.
+pub struct SetAssocTlb {
+    cfg: TlbConfig,
+    set_mask: u64,
+    entries: Vec<TlbEntry>,
+    tick: u64,
+    /// Statistics.
+    pub stats: TlbStats,
+}
+
+impl std::fmt::Debug for SetAssocTlb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SetAssocTlb")
+            .field("name", &self.cfg.name)
+            .field("entries", &self.cfg.entries)
+            .field("ways", &self.cfg.ways)
+            .field("latency", &self.cfg.latency)
+            .finish()
+    }
+}
+
+impl SetAssocTlb {
+    /// Creates a TLB.
+    pub fn new(cfg: TlbConfig) -> Self {
+        let sets = cfg.num_sets();
+        Self {
+            set_mask: sets as u64 - 1,
+            entries: vec![TlbEntry::INVALID; cfg.entries],
+            cfg,
+            tick: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Probe latency.
+    #[inline]
+    pub fn latency(&self) -> Cycles {
+        self.cfg.latency
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_of(&self, vpn: u64) -> usize {
+        (vpn & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn set_range(&self, vpn: u64) -> std::ops::Range<usize> {
+        let s = self.set_of(vpn) * self.cfg.ways;
+        s..s + self.cfg.ways
+    }
+
+    /// Looks up a translation, updating LRU and statistics.
+    pub fn probe(&mut self, vpn: u64, asid: Asid, size: PageSize) -> Option<TlbEntry> {
+        let range = self.set_range(vpn);
+        self.tick += 1;
+        let tick = self.tick;
+        for e in &mut self.entries[range] {
+            if e.matches(vpn, asid, size) {
+                e.lru_stamp = tick;
+                self.stats.hits += 1;
+                return Some(*e);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Non-destructive lookup (no LRU or statistics updates).
+    pub fn contains(&self, vpn: u64, asid: Asid, size: PageSize) -> bool {
+        let range = self.set_range(vpn);
+        self.entries[range].iter().any(|e| e.matches(vpn, asid, size))
+    }
+
+    /// Inserts an entry; returns the entry displaced, if a valid one was.
+    /// Re-filling an already-present translation refreshes it in place.
+    pub fn fill(&mut self, mut entry: TlbEntry) -> Option<TlbEntry> {
+        self.stats.fills += 1;
+        self.tick += 1;
+        entry.lru_stamp = self.tick;
+        entry.valid = true;
+        let range = self.set_range(entry.vpn);
+        let set = &mut self.entries[range];
+        // Refresh in place if present.
+        if let Some(e) = set.iter_mut().find(|e| e.matches(entry.vpn, entry.asid, entry.size)) {
+            *e = entry;
+            return None;
+        }
+        // Otherwise pick an invalid way or the LRU victim.
+        let victim_idx = match set.iter().position(|e| !e.valid) {
+            Some(i) => i,
+            None => {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.lru_stamp)
+                    .map(|(i, _)| i)
+                    .expect("TLB sets are never empty")
+            }
+        };
+        let displaced = set[victim_idx].valid.then_some(set[victim_idx]);
+        if displaced.is_some() {
+            self.stats.evictions += 1;
+        }
+        set[victim_idx] = entry;
+        displaced
+    }
+
+    /// Invalidates one translation; returns whether one was present.
+    pub fn invalidate(&mut self, vpn: u64, asid: Asid, size: PageSize) -> bool {
+        let range = self.set_range(vpn);
+        for e in &mut self.entries[range] {
+            if e.matches(vpn, asid, size) {
+                e.valid = false;
+                self.stats.invalidations += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates every entry of an address space; returns the count.
+    pub fn invalidate_asid(&mut self, asid: Asid) -> u64 {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if e.valid && e.asid == asid {
+                e.valid = false;
+                n += 1;
+            }
+        }
+        self.stats.invalidations += n;
+        n
+    }
+
+    /// Invalidates everything; returns the count.
+    pub fn invalidate_all(&mut self) -> u64 {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if e.valid {
+                e.valid = false;
+                n += 1;
+            }
+        }
+        self.stats.invalidations += n;
+        n
+    }
+
+    /// Number of currently valid entries.
+    pub fn valid_entries(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Clears statistics (contents stay warm).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb(entries: usize, ways: usize) -> SetAssocTlb {
+        SetAssocTlb::new(TlbConfig { name: "T", entries, ways, latency: 1 })
+    }
+
+    #[test]
+    fn probe_miss_then_fill_then_hit() {
+        let mut t = tlb(64, 4);
+        let a = Asid::new(1);
+        assert!(t.probe(10, a, PageSize::Size4K).is_none());
+        t.fill(TlbEntry::new(10, a, PageSize::Size4K, 99));
+        let e = t.probe(10, a, PageSize::Size4K).expect("hit");
+        assert_eq!(e.frame, 99);
+        assert_eq!(t.stats.hits, 1);
+        assert_eq!(t.stats.misses, 1);
+    }
+
+    #[test]
+    fn asid_and_size_disambiguate() {
+        let mut t = tlb(64, 4);
+        t.fill(TlbEntry::new(10, Asid::new(1), PageSize::Size4K, 99));
+        assert!(t.probe(10, Asid::new(2), PageSize::Size4K).is_none());
+        assert!(t.probe(10, Asid::new(1), PageSize::Size2M).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut t = tlb(4, 4); // single set
+        let a = Asid::new(1);
+        for vpn in 0..4u64 {
+            t.fill(TlbEntry::new(vpn, a, PageSize::Size4K, vpn));
+        }
+        // Note: with one set all vpns collide. Touch vpn 0 to refresh it.
+        t.probe(0, a, PageSize::Size4K);
+        let displaced = t.fill(TlbEntry::new(100, a, PageSize::Size4K, 7)).expect("full set evicts");
+        assert_eq!(displaced.vpn, 1, "vpn 1 is least recently used");
+    }
+
+    #[test]
+    fn refill_in_place_does_not_evict() {
+        let mut t = tlb(4, 4);
+        let a = Asid::new(1);
+        for vpn in 0..4u64 {
+            t.fill(TlbEntry::new(vpn, a, PageSize::Size4K, vpn));
+        }
+        assert!(t.fill(TlbEntry::new(2, a, PageSize::Size4K, 42)).is_none());
+        assert_eq!(t.probe(2, a, PageSize::Size4K).unwrap().frame, 42);
+        assert_eq!(t.valid_entries(), 4);
+    }
+
+    #[test]
+    fn invalidate_single_and_asid_and_all() {
+        let mut t = tlb(64, 4);
+        t.fill(TlbEntry::new(1, Asid::new(1), PageSize::Size4K, 1));
+        t.fill(TlbEntry::new(2, Asid::new(1), PageSize::Size4K, 2));
+        t.fill(TlbEntry::new(3, Asid::new(2), PageSize::Size4K, 3));
+        assert!(t.invalidate(1, Asid::new(1), PageSize::Size4K));
+        assert!(!t.invalidate(1, Asid::new(1), PageSize::Size4K));
+        assert_eq!(t.invalidate_asid(Asid::new(1)), 1);
+        assert_eq!(t.invalidate_all(), 1);
+        assert_eq!(t.valid_entries(), 0);
+        assert_eq!(t.stats.invalidations, 3);
+    }
+
+    #[test]
+    fn counters_survive_fill_and_probe() {
+        let mut t = tlb(64, 4);
+        t.fill(TlbEntry::with_counters(5, Asid::new(1), PageSize::Size4K, 50, 3, 7));
+        let e = t.probe(5, Asid::new(1), PageSize::Size4K).unwrap();
+        assert_eq!((e.ptw_freq, e.ptw_cost), (3, 7));
+    }
+
+    #[test]
+    fn paper_l2_geometry_is_valid() {
+        // 1536 entries, 12 ways -> 128 sets.
+        let t = SetAssocTlb::new(TlbConfig::l2_unified(1536, 12));
+        assert_eq!(t.config().num_sets(), 128);
+        assert_eq!(t.latency(), 12);
+    }
+
+    #[test]
+    fn eviction_happens_only_when_set_full() {
+        let mut t = tlb(8, 4); // 2 sets
+        let a = Asid::new(1);
+        // vpns 0,2,4,6 land in set 0; 1,3 in set 1.
+        for vpn in [0u64, 2, 4, 6] {
+            assert!(t.fill(TlbEntry::new(vpn, a, PageSize::Size4K, vpn)).is_none());
+        }
+        assert!(t.fill(TlbEntry::new(8, a, PageSize::Size4K, 8)).is_some());
+        assert!(t.fill(TlbEntry::new(1, a, PageSize::Size4K, 1)).is_none());
+    }
+}

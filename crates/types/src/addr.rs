@@ -1,0 +1,256 @@
+//! Virtual and physical address newtypes.
+//!
+//! The reference design point is the paper's: a modern x86-64 system with
+//! 48-bit virtual addresses and 52-bit physical addresses (Sec. 5).
+
+use crate::page::PageSize;
+use std::fmt;
+
+/// Number of meaningful virtual-address bits (x86-64 4-level paging).
+pub const VA_BITS: u32 = 48;
+/// Number of meaningful physical-address bits.
+pub const PA_BITS: u32 = 52;
+/// Cache block size in bytes, used across the whole hierarchy.
+pub const CACHE_BLOCK_BYTES: u64 = 64;
+
+/// A 48-bit virtual address.
+///
+/// # Examples
+///
+/// ```
+/// use vm_types::{VirtAddr, PageSize};
+/// let va = VirtAddr::new(0x0000_1234_5678_9abc);
+/// assert_eq!(va.vpn(PageSize::Size4K), 0x1234_5678_9);
+/// assert_eq!(va.align_down(PageSize::Size2M).raw(), 0x0000_1234_5660_0000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address, masking to [`VA_BITS`].
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw & ((1u64 << VA_BITS) - 1))
+    }
+
+    /// Returns the raw 48-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Virtual page number for the given page size.
+    #[inline]
+    pub const fn vpn(self, size: PageSize) -> u64 {
+        self.0 >> size.shift()
+    }
+
+    /// Byte offset within a page of the given size.
+    #[inline]
+    pub const fn page_offset(self, size: PageSize) -> u64 {
+        self.0 & (size.bytes() - 1)
+    }
+
+    /// Rounds down to the page boundary.
+    #[inline]
+    pub const fn align_down(self, size: PageSize) -> Self {
+        Self(self.0 & !(size.bytes() - 1))
+    }
+
+    /// Rounds up to the next page boundary (saturating at the VA limit).
+    #[inline]
+    pub const fn align_up(self, size: PageSize) -> Self {
+        Self::new((self.0 + size.bytes() - 1) & !(size.bytes() - 1))
+    }
+
+    /// Address `bytes` later in the address space.
+    #[inline]
+    pub const fn add(self, bytes: u64) -> Self {
+        Self::new(self.0 + bytes)
+    }
+
+    /// Index into the radix page table at `level` (3 = PML4 … 0 = PT).
+    ///
+    /// Each level consumes 9 bits of the VPN, exactly as in Fig. 1 of the
+    /// paper.
+    #[inline]
+    pub const fn radix_index(self, level: u8) -> usize {
+        ((self.0 >> (12 + 9 * level as u64)) & 0x1ff) as usize
+    }
+
+    /// Cache-block-aligned address (64B blocks).
+    #[inline]
+    pub const fn block_align(self) -> Self {
+        Self(self.0 & !(CACHE_BLOCK_BYTES - 1))
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtAddr({:#014x})", self.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#014x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        Self::new(raw)
+    }
+}
+
+/// A 52-bit physical address.
+///
+/// # Examples
+///
+/// ```
+/// use vm_types::{PhysAddr, PageSize};
+/// let pa = PhysAddr::new(0x0003_dead_b000);
+/// assert_eq!(pa.frame(PageSize::Size4K), 0x0003_dead_b000 >> 12);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address, masking to [`PA_BITS`].
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw & ((1u64 << PA_BITS) - 1))
+    }
+
+    /// Returns the raw 52-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Physical frame number for the given page size.
+    #[inline]
+    pub const fn frame(self, size: PageSize) -> u64 {
+        self.0 >> size.shift()
+    }
+
+    /// Byte offset within a frame of the given size.
+    #[inline]
+    pub const fn page_offset(self, size: PageSize) -> u64 {
+        self.0 & (size.bytes() - 1)
+    }
+
+    /// Address `bytes` later in physical memory.
+    #[inline]
+    pub const fn add(self, bytes: u64) -> Self {
+        Self::new(self.0 + bytes)
+    }
+
+    /// Cache-block-aligned address (64B blocks).
+    #[inline]
+    pub const fn block_align(self) -> Self {
+        Self(self.0 & !(CACHE_BLOCK_BYTES - 1))
+    }
+
+    /// The cache block number (address divided by the 64B block size).
+    #[inline]
+    pub const fn block_number(self) -> u64 {
+        self.0 / CACHE_BLOCK_BYTES
+    }
+
+    /// Builds a physical address from a frame number and an in-page offset.
+    #[inline]
+    pub const fn from_frame(frame: u64, size: PageSize, offset: u64) -> Self {
+        Self::new((frame << size.shift()) | (offset & (size.bytes() - 1)))
+    }
+}
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PhysAddr({:#014x})", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#014x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        Self::new(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_addr_masks_to_48_bits() {
+        let va = VirtAddr::new(u64::MAX);
+        assert_eq!(va.raw(), (1u64 << 48) - 1);
+    }
+
+    #[test]
+    fn phys_addr_masks_to_52_bits() {
+        let pa = PhysAddr::new(u64::MAX);
+        assert_eq!(pa.raw(), (1u64 << 52) - 1);
+    }
+
+    #[test]
+    fn radix_indices_cover_nine_bits_each() {
+        // VA = PML4 index 1, PDPT index 2, PD index 3, PT index 4.
+        let raw = (1u64 << 39) | (2 << 30) | (3 << 21) | (4 << 12);
+        let va = VirtAddr::new(raw);
+        assert_eq!(va.radix_index(3), 1);
+        assert_eq!(va.radix_index(2), 2);
+        assert_eq!(va.radix_index(1), 3);
+        assert_eq!(va.radix_index(0), 4);
+    }
+
+    #[test]
+    fn align_round_trip() {
+        let va = VirtAddr::new(0x1234_5678);
+        assert_eq!(va.align_down(PageSize::Size4K).page_offset(PageSize::Size4K), 0);
+        assert!(va.align_up(PageSize::Size2M).raw() >= va.raw());
+        assert_eq!(va.align_up(PageSize::Size2M).page_offset(PageSize::Size2M), 0);
+    }
+
+    #[test]
+    fn vpn_and_offset_recompose() {
+        let va = VirtAddr::new(0x0dea_dbee_f123);
+        for size in [PageSize::Size4K, PageSize::Size2M] {
+            let recomposed = (va.vpn(size) << size.shift()) | va.page_offset(size);
+            assert_eq!(recomposed, va.raw());
+        }
+    }
+
+    #[test]
+    fn from_frame_recomposes() {
+        let pa = PhysAddr::new(0x0000_0042_3456);
+        let f = pa.frame(PageSize::Size4K);
+        let o = pa.page_offset(PageSize::Size4K);
+        assert_eq!(PhysAddr::from_frame(f, PageSize::Size4K, o), pa);
+    }
+
+    #[test]
+    fn block_alignment() {
+        let pa = PhysAddr::new(0x1043);
+        assert_eq!(pa.block_align().raw(), 0x1040);
+        assert_eq!(pa.block_number(), 0x1040 / 64);
+    }
+}

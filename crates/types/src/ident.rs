@@ -1,0 +1,110 @@
+//! Address-space and virtual-machine identifiers.
+//!
+//! The paper stores the ASID/VMID in spare tag bits of Victima's TLB blocks
+//! (Sec. 5.1) and notes that Linux uses at most 12 ASIDs per core, so a
+//! handful of bits suffice.
+
+use std::fmt;
+
+/// Address-space identifier (per process).
+///
+/// # Examples
+///
+/// ```
+/// use vm_types::Asid;
+/// let a = Asid::new(3);
+/// assert_eq!(a.raw(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Asid(u16);
+
+impl Asid {
+    /// The kernel / boot address space.
+    pub const KERNEL: Asid = Asid(0);
+
+    /// Creates an ASID. Values are masked to 12 bits (the x86 PCID width).
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        Self(raw & 0xfff)
+    }
+
+    /// Raw 12-bit value.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Truncates the ASID to `bits` bits, as happens when Victima has fewer
+    /// spare tag bits than the full ASID width (Sec. 5.1).
+    #[inline]
+    pub const fn truncate(self, bits: u32) -> u16 {
+        if bits >= 16 {
+            self.0
+        } else {
+            self.0 & ((1u16 << bits) - 1)
+        }
+    }
+}
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asid{}", self.0)
+    }
+}
+
+impl From<u16> for Asid {
+    fn from(raw: u16) -> Self {
+        Self::new(raw)
+    }
+}
+
+/// Virtual-machine identifier (per guest).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Vmid(u16);
+
+impl Vmid {
+    /// The host itself.
+    pub const HOST: Vmid = Vmid(0);
+
+    /// Creates a VMID.
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        Self(raw)
+    }
+
+    /// Raw value.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for Vmid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vmid{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asid_masks_to_12_bits() {
+        assert_eq!(Asid::new(0xffff).raw(), 0xfff);
+    }
+
+    #[test]
+    fn truncate_keeps_low_bits() {
+        let a = Asid::new(0b1011_0110);
+        assert_eq!(a.truncate(4), 0b0110);
+        assert_eq!(a.truncate(16), a.raw());
+        assert_eq!(a.truncate(12), a.raw());
+    }
+
+    #[test]
+    fn kernel_is_zero() {
+        assert_eq!(Asid::KERNEL.raw(), 0);
+        assert_eq!(Vmid::HOST.raw(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Common virtual-memory types shared by every crate in the Victima
+//! (MICRO 2023) reproduction.
+//!
+//! The crate is intentionally dependency-free: it provides the address
+//! newtypes ([`VirtAddr`], [`PhysAddr`]), page-size arithmetic
+//! ([`PageSize`]), identifier newtypes ([`Asid`], [`Vmid`]), the memory
+//! reference record produced by workload generators ([`MemRef`]), a family
+//! of small statistics helpers ([`Histogram`], [`ReuseHistogram`],
+//! [`RunningMean`]) and a deterministic, allocation-free random number
+//! generator ([`SplitMix64`]) used by the procedural workloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use vm_types::{VirtAddr, PageSize};
+//!
+//! let va = VirtAddr::new(0x7f12_3456_7890);
+//! assert_eq!(va.page_offset(PageSize::Size4K), 0x890);
+//! assert_eq!(va.vpn(PageSize::Size4K), 0x7f12_3456_7890 >> 12);
+//! ```
+
+pub mod access;
+pub mod addr;
+pub mod ident;
+pub mod page;
+pub mod rng;
+pub mod stats;
+
+pub use access::{AccessKind, MemRef};
+pub use addr::{PhysAddr, VirtAddr, CACHE_BLOCK_BYTES, PA_BITS, VA_BITS};
+pub use ident::{Asid, Vmid};
+pub use page::PageSize;
+pub use rng::{mix2, mix64, SplitMix64, DEFAULT_SEED};
+pub use stats::{geomean, Histogram, ReuseHistogram, RunningMean, REUSE_BUCKET_LABELS};
+
+/// Simulated clock cycles. A plain alias keeps arithmetic friction-free in
+/// the hot simulation loops while the address types stay strongly typed.
+pub type Cycles = u64;

@@ -1,0 +1,110 @@
+//! Page sizes supported by the simulated MMU.
+//!
+//! The paper's systems use 4KB base pages and 2MB transparent huge pages
+//! (Sec. 2.4, Table 3). All TLBs and Victima's TLB blocks are page-size
+//! aware.
+
+use std::fmt;
+
+/// A translation granule.
+///
+/// # Examples
+///
+/// ```
+/// use vm_types::PageSize;
+/// assert_eq!(PageSize::Size4K.bytes(), 4096);
+/// assert_eq!(PageSize::Size2M.shift(), 21);
+/// assert_eq!(PageSize::Size2M.pages_covered_by(32 << 20), 16);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum PageSize {
+    /// 4KB base page (leaf of the 4-level radix walk).
+    #[default]
+    Size4K,
+    /// 2MB huge page (leaf at the PD level).
+    Size2M,
+}
+
+impl PageSize {
+    /// All supported sizes, smallest first.
+    pub const ALL: [PageSize; 2] = [PageSize::Size4K, PageSize::Size2M];
+
+    /// log2 of the page size in bytes.
+    #[inline]
+    pub const fn shift(self) -> u64 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+        }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        1u64 << self.shift()
+    }
+
+    /// Radix level at which the leaf PTE for this size lives
+    /// (0 = PT for 4KB pages, 1 = PD for 2MB pages).
+    #[inline]
+    pub const fn leaf_level(self) -> u8 {
+        match self {
+            PageSize::Size4K => 0,
+            PageSize::Size2M => 1,
+        }
+    }
+
+    /// Number of pages of this size needed to cover `bytes` (rounded up).
+    #[inline]
+    pub const fn pages_covered_by(self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.bytes())
+    }
+
+    /// Whether this is a huge page.
+    #[inline]
+    pub const fn is_huge(self) -> bool {
+        matches!(self, PageSize::Size2M)
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Size4K => write!(f, "4KB"),
+            PageSize::Size2M => write!(f, "2MB"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_consistent() {
+        for s in PageSize::ALL {
+            assert_eq!(s.bytes(), 1 << s.shift());
+        }
+        assert!(PageSize::Size4K < PageSize::Size2M);
+    }
+
+    #[test]
+    fn leaf_levels_match_x86() {
+        assert_eq!(PageSize::Size4K.leaf_level(), 0);
+        assert_eq!(PageSize::Size2M.leaf_level(), 1);
+    }
+
+    #[test]
+    fn coverage_rounds_up() {
+        assert_eq!(PageSize::Size4K.pages_covered_by(1), 1);
+        assert_eq!(PageSize::Size4K.pages_covered_by(4096), 1);
+        assert_eq!(PageSize::Size4K.pages_covered_by(4097), 2);
+        assert_eq!(PageSize::Size2M.pages_covered_by(0), 0);
+    }
+
+    #[test]
+    fn display_matches_paper_terms() {
+        assert_eq!(PageSize::Size4K.to_string(), "4KB");
+        assert_eq!(PageSize::Size2M.to_string(), "2MB");
+    }
+}

@@ -1,0 +1,319 @@
+//! Small statistics helpers used by the simulator's counters: a bucketed
+//! histogram (Fig. 4), the paper's reuse-level histogram (Figs. 11 and 24),
+//! and a numerically stable running mean.
+
+use std::fmt;
+
+/// Fixed-width-bucket histogram over `u64` samples.
+///
+/// Buckets are `[lo, lo+width)`, `[lo+width, lo+2*width)`, …; samples below
+/// `lo` land in the first bucket and samples at or above the top in the
+/// overflow bucket, matching how the paper cuts off Fig. 4 at 190 cycles.
+///
+/// # Examples
+///
+/// ```
+/// use vm_types::Histogram;
+/// let mut h = Histogram::new(20, 10, 17); // [20,190) in 10-cycle buckets
+/// h.record(25);
+/// h.record(137);
+/// assert_eq!(h.count(), 2);
+/// assert!((h.mean() - 81.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: u64,
+    width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n` buckets of `width` starting at `lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `n == 0`.
+    pub fn new(lo: u64, width: u64, n: usize) -> Self {
+        assert!(width > 0, "bucket width must be positive");
+        assert!(n > 0, "need at least one bucket");
+        Self { lo, width, buckets: vec![0; n], overflow: 0, count: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        self.count += 1;
+        self.sum += sample;
+        self.max = self.max.max(sample);
+        if sample < self.lo {
+            self.buckets[0] += 1;
+            return;
+        }
+        let idx = ((sample - self.lo) / self.width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all recorded samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Fraction of samples in the overflow bucket.
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.overflow as f64 / self.count as f64
+        }
+    }
+
+    /// Iterates over `(bucket_lo, bucket_hi, count)` rows.
+    pub fn rows(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets.iter().enumerate().map(move |(i, &c)| {
+            let lo = self.lo + i as u64 * self.width;
+            (lo, lo + self.width, c)
+        })
+    }
+
+    /// Merges another histogram with identical geometry into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram lo mismatch");
+        assert_eq!(self.width, other.width, "histogram width mismatch");
+        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket count mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "histogram: n={} mean={:.1} max={}", self.count, self.mean(), self.max)?;
+        for (lo, hi, c) in self.rows() {
+            writeln!(f, "  [{lo:>6},{hi:>6}) {c}")?;
+        }
+        writeln!(f, "  overflow {}", self.overflow)
+    }
+}
+
+/// The paper's reuse-level buckets: `0`, `1-5`, `5-10`, `10-20`, `>20`
+/// (Figs. 11 and 24).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReuseHistogram {
+    counts: [u64; 5],
+}
+
+/// Labels for the reuse buckets, in order.
+pub const REUSE_BUCKET_LABELS: [&str; 5] = ["0", "1-5", "5-10", "10-20", ">20"];
+
+impl ReuseHistogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        Self { counts: [0; 5] }
+    }
+
+    /// Records the final reuse count of one evicted block.
+    pub fn record(&mut self, reuse: u64) {
+        let idx = match reuse {
+            0 => 0,
+            1..=4 => 1,
+            5..=9 => 2,
+            10..=19 => 3,
+            _ => 4,
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Total blocks recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of blocks in each bucket (zeros if empty).
+    pub fn fractions(&self) -> [f64; 5] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 5];
+        }
+        let mut out = [0.0; 5];
+        for (o, &c) in out.iter_mut().zip(&self.counts) {
+            *o = c as f64 / t as f64;
+        }
+        out
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> [u64; 5] {
+        self.counts
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &ReuseHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for ReuseHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fr = self.fractions();
+        for (label, frac) in REUSE_BUCKET_LABELS.iter().zip(fr) {
+            write!(f, "{label}:{:.1}% ", frac * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Numerically stable running mean (Welford without the variance term).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunningMean {
+    n: u64,
+    mean: f64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Self {
+        Self { n: 0, mean: 0.0 }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.mean += (x - self.mean) / self.n as f64;
+    }
+
+    /// Current mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Geometric mean of a slice of positive values, the paper's GMEAN columns.
+/// Returns 1.0 for an empty slice; non-positive values are clamped to a tiny
+/// epsilon so a single degenerate run cannot poison the mean.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(20, 10, 17);
+        h.record(5); // below lo -> first bucket
+        h.record(20);
+        h.record(29);
+        h.record(30);
+        h.record(1000); // overflow
+        let rows: Vec<_> = h.rows().collect();
+        assert_eq!(rows[0].2, 3); // 5, 20, 29
+        assert_eq!(rows[1].2, 1); // 30
+        assert!(h.overflow_fraction() > 0.0);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = Histogram::new(0, 10, 4);
+        let mut b = Histogram::new(0, 10, 4);
+        a.record(5);
+        b.record(15);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo mismatch")]
+    fn histogram_merge_rejects_mismatch() {
+        let mut a = Histogram::new(0, 10, 4);
+        let b = Histogram::new(1, 10, 4);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn reuse_buckets_match_paper() {
+        let mut r = ReuseHistogram::new();
+        for (reuse, expected_bucket) in [(0, 0), (1, 1), (4, 1), (5, 2), (9, 2), (10, 3), (19, 3), (20, 4), (500, 4)] {
+            let before = r.counts();
+            r.record(reuse);
+            let after = r.counts();
+            for i in 0..5 {
+                let delta = after[i] - before[i];
+                assert_eq!(delta, u64::from(i == expected_bucket), "reuse={reuse} bucket={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_fractions_sum_to_one() {
+        let mut r = ReuseHistogram::new();
+        for i in 0..100 {
+            r.record(i % 25);
+        }
+        let s: f64 = r.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_mean_matches_naive() {
+        let mut m = RunningMean::new();
+        let xs = [1.0, 2.0, 3.5, -4.0, 10.0];
+        for x in xs {
+            m.push(x);
+        }
+        let naive: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((m.mean() - naive).abs() < 1e-12);
+        assert_eq!(m.count(), 5);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+        assert!(geomean(&[0.0, 1.0]) >= 0.0);
+    }
+}

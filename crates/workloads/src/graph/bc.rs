@@ -1,0 +1,179 @@
+//! Betweenness centrality (GraphBIG **BC**).
+//!
+//! Brandes-style: a forward BFS accumulating shortest-path counts
+//! (`sigma`), then a backward sweep over the traversal order accumulating
+//! dependencies (`delta`). Two phases with different directions over the
+//! same CSR — the backward phase revisits pages long after the forward
+//! phase touched them, stressing translation reach.
+
+use super::{GraphCore, PropKind};
+use crate::{pc, RegionSpec, Scale, Workload};
+use vm_types::{MemRef, SplitMix64, VirtAddr};
+
+const PROPS: [PropKind; 3] = [PropKind::Word, PropKind::Word, PropKind::Word]; // sigma, depth, delta
+
+/// The BC workload.
+pub struct Bc {
+    core: GraphCore,
+    specs: Vec<RegionSpec>,
+    depth: Vec<u16>,
+    order: Vec<u32>,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+    backward_pos: usize,
+    phase_backward: bool,
+    rng: SplitMix64,
+}
+
+impl Bc {
+    /// Creates the workload.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let (core, specs, _) = GraphCore::new(scale, seed, &PROPS);
+        let v = core.graph.num_vertices() as usize;
+        Self {
+            core,
+            specs,
+            depth: vec![u16::MAX; v],
+            order: Vec::new(),
+            frontier: Vec::new(),
+            next: Vec::new(),
+            backward_pos: 0,
+            phase_backward: false,
+            rng: SplitMix64::new(seed ^ 0xbc),
+        }
+    }
+
+    fn restart(&mut self) {
+        self.depth.iter_mut().for_each(|d| *d = u16::MAX);
+        self.order.clear();
+        self.frontier.clear();
+        self.next.clear();
+        self.phase_backward = false;
+        let root = self.rng.next_below(self.core.graph.num_vertices());
+        self.depth[root as usize] = 0;
+        self.frontier.push(root as u32);
+        // Bound the forward phase so `order` stays small at Tiny scale.
+    }
+
+    fn forward_step(&mut self, out: &mut Vec<MemRef>) {
+        let v = loop {
+            match self.frontier.pop() {
+                Some(v) => break v as u64,
+                None => {
+                    if self.next.is_empty() || self.order.len() > 200_000 {
+                        // Forward phase done: flip to the backward sweep.
+                        self.phase_backward = true;
+                        self.backward_pos = self.order.len();
+                        return;
+                    }
+                    std::mem::swap(&mut self.frontier, &mut self.next);
+                }
+            }
+        };
+        self.order.push(v as u32);
+        self.core.emit_offsets(v, 80, out);
+        out.push(MemRef::load(self.core.prop_word(0, v), pc(81), 1)); // sigma[v]
+        let dv = self.depth[v as usize];
+        for i in 0..self.core.graph.degree(v) {
+            let u = self.core.emit_edge(v, i, 82, out);
+            out.push(MemRef::load(self.core.prop_word(1, u), pc(83), 1)); // depth[u]
+            if self.depth[u as usize] == u16::MAX {
+                self.depth[u as usize] = dv.saturating_add(1);
+                out.push(MemRef::store(self.core.prop_word(1, u), pc(84), 0));
+                out.push(MemRef::store(self.core.prop_word(0, u), pc(85), 0)); // sigma[u] +=
+                self.next.push(u as u32);
+            }
+        }
+    }
+
+    fn backward_step(&mut self, out: &mut Vec<MemRef>) {
+        if self.backward_pos == 0 {
+            self.restart();
+            return;
+        }
+        self.backward_pos -= 1;
+        let v = self.order[self.backward_pos] as u64;
+        self.core.emit_offsets(v, 86, out);
+        out.push(MemRef::load(self.core.prop_word(2, v), pc(87), 1)); // delta[v]
+        for i in 0..self.core.graph.degree(v) {
+            let u = self.core.emit_edge(v, i, 88, out);
+            out.push(MemRef::load(self.core.prop_word(2, u), pc(89), 1)); // delta[u]
+            out.push(MemRef::load(self.core.prop_word(0, u), pc(90), 1)); // sigma[u]
+        }
+        out.push(MemRef::store(self.core.prop_word(2, v), pc(91), 2));
+    }
+}
+
+impl Workload for Bc {
+    fn name(&self) -> &'static str {
+        "BC"
+    }
+
+    fn region_specs(&self) -> Vec<RegionSpec> {
+        self.specs.clone()
+    }
+
+    fn init(&mut self, bases: &[VirtAddr]) {
+        self.core.bind(bases, PROPS.len());
+        self.restart();
+    }
+
+    fn fill(&mut self, out: &mut Vec<MemRef>) {
+        for _ in 0..4 {
+            if self.phase_backward {
+                self.backward_step(out);
+            } else {
+                self.forward_step(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadStream;
+
+    fn stream() -> WorkloadStream {
+        let mut w = Box::new(Bc::new(Scale::Tiny, 11));
+        let specs = w.region_specs();
+        let bases: Vec<VirtAddr> =
+            (0..specs.len()).map(|i| VirtAddr::new(0x10_0000_0000 + i as u64 * 0x4_0000_0000)).collect();
+        w.init(&bases);
+        WorkloadStream::new(w)
+    }
+
+    #[test]
+    fn both_phases_run() {
+        let mut w = Bc::new(Scale::Tiny, 11);
+        let specs = w.region_specs();
+        let bases: Vec<VirtAddr> =
+            (0..specs.len()).map(|i| VirtAddr::new(0x10_0000_0000 + i as u64 * 0x4_0000_0000)).collect();
+        w.init(&bases);
+        let mut out = Vec::new();
+        let mut saw_backward = false;
+        for _ in 0..500_000 {
+            w.fill(&mut out);
+            out.clear();
+            if w.phase_backward {
+                saw_backward = true;
+                break;
+            }
+        }
+        assert!(saw_backward, "BC must reach its backward phase");
+    }
+
+    #[test]
+    fn stream_is_infinite() {
+        let mut s = stream();
+        for _ in 0..300_000 {
+            s.next_ref();
+        }
+    }
+
+    #[test]
+    fn has_five_regions() {
+        let w = Bc::new(Scale::Tiny, 11);
+        assert_eq!(w.region_specs().len(), 5); // offsets, edges, sigma, depth, delta
+    }
+}

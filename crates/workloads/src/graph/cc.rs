@@ -1,0 +1,112 @@
+//! Connected components via label propagation (GraphBIG **CC**).
+//!
+//! Rounds of "adopt the minimum neighbour label": per vertex, load its
+//! label, gather neighbour labels, store when improved. Real label state
+//! is kept host-side so convergence behaviour (store frequency decaying
+//! over rounds) is genuine.
+
+use super::{GraphCore, PropKind};
+use crate::{pc, RegionSpec, Scale, Workload};
+use vm_types::{MemRef, VirtAddr};
+
+const PROPS: [PropKind; 1] = [PropKind::Word]; // labels
+
+/// The CC workload.
+pub struct ConnectedComponents {
+    core: GraphCore,
+    specs: Vec<RegionSpec>,
+    labels: Vec<u32>,
+    cursor: u64,
+}
+
+impl ConnectedComponents {
+    /// Creates the workload.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let (core, specs, _) = GraphCore::new(scale, seed, &PROPS);
+        let v = core.graph.num_vertices() as usize;
+        Self { core, specs, labels: (0..v as u32).collect(), cursor: 0 }
+    }
+}
+
+impl Workload for ConnectedComponents {
+    fn name(&self) -> &'static str {
+        "CC"
+    }
+
+    fn region_specs(&self) -> Vec<RegionSpec> {
+        self.specs.clone()
+    }
+
+    fn init(&mut self, bases: &[VirtAddr]) {
+        self.core.bind(bases, PROPS.len());
+    }
+
+    fn fill(&mut self, out: &mut Vec<MemRef>) {
+        for _ in 0..4 {
+            let v = self.cursor % self.core.graph.num_vertices();
+            self.cursor += 1;
+            self.core.emit_offsets(v, 60, out);
+            out.push(MemRef::load(self.core.prop_word(0, v), pc(61), 1));
+            let mut best = self.labels[v as usize];
+            for i in 0..self.core.graph.degree(v) {
+                let u = self.core.emit_edge(v, i, 62, out);
+                out.push(MemRef::load(self.core.prop_word(0, u), pc(63), 1));
+                best = best.min(self.labels[u as usize]);
+            }
+            if best < self.labels[v as usize] {
+                self.labels[v as usize] = best;
+                out.push(MemRef::store(self.core.prop_word(0, v), pc(64), 1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadStream;
+
+    fn stream() -> WorkloadStream {
+        let mut w = Box::new(ConnectedComponents::new(Scale::Tiny, 8));
+        let specs = w.region_specs();
+        let bases: Vec<VirtAddr> =
+            (0..specs.len()).map(|i| VirtAddr::new(0x10_0000_0000 + i as u64 * 0x4_0000_0000)).collect();
+        w.init(&bases);
+        WorkloadStream::new(w)
+    }
+
+    #[test]
+    fn labels_converge_so_stores_decay() {
+        let mut w = ConnectedComponents::new(Scale::Tiny, 8);
+        let specs = w.region_specs();
+        let bases: Vec<VirtAddr> =
+            (0..specs.len()).map(|i| VirtAddr::new(0x10_0000_0000 + i as u64 * 0x4_0000_0000)).collect();
+        w.init(&bases);
+        let v = w.core.graph.num_vertices();
+        let mut out = Vec::new();
+        let mut stores_per_sweep = Vec::new();
+        for _ in 0..5 {
+            let end = w.cursor + v;
+            let mut stores = 0u64;
+            while w.cursor < end {
+                out.clear();
+                w.fill(&mut out);
+                stores += out.iter().filter(|r| r.kind.is_write()).count() as u64;
+            }
+            stores_per_sweep.push(stores);
+        }
+        let (first, last) = (stores_per_sweep[0], *stores_per_sweep.last().unwrap());
+        assert!(
+            last < first * 4 / 5,
+            "label propagation converges: {stores_per_sweep:?}"
+        );
+    }
+
+    #[test]
+    fn infinite_stream() {
+        let mut s = stream();
+        for _ in 0..10_000 {
+            s.next_ref();
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Greedy graph coloring (GraphBIG **GC**).
+//!
+//! Sequential sweep assigning each vertex the smallest colour unused by
+//! its neighbours: per vertex, a gather of neighbour colours and one
+//! store. Similar shape to CC but with a single property array and no
+//! convergence (one pass, then restart).
+
+use super::{GraphCore, PropKind};
+use crate::{pc, RegionSpec, Scale, Workload};
+use vm_types::{MemRef, VirtAddr};
+
+const PROPS: [PropKind; 1] = [PropKind::Word]; // colors
+
+/// The GC workload.
+pub struct GraphColoring {
+    core: GraphCore,
+    specs: Vec<RegionSpec>,
+    colors: Vec<u16>,
+    cursor: u64,
+}
+
+impl GraphColoring {
+    /// Creates the workload.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let (core, specs, _) = GraphCore::new(scale, seed, &PROPS);
+        let v = core.graph.num_vertices() as usize;
+        Self { core, specs, colors: vec![u16::MAX; v], cursor: 0 }
+    }
+}
+
+impl Workload for GraphColoring {
+    fn name(&self) -> &'static str {
+        "GC"
+    }
+
+    fn region_specs(&self) -> Vec<RegionSpec> {
+        self.specs.clone()
+    }
+
+    fn init(&mut self, bases: &[VirtAddr]) {
+        self.core.bind(bases, PROPS.len());
+    }
+
+    fn fill(&mut self, out: &mut Vec<MemRef>) {
+        for _ in 0..4 {
+            let v = self.cursor % self.core.graph.num_vertices();
+            if v == 0 {
+                self.colors.iter_mut().for_each(|c| *c = u16::MAX);
+            }
+            self.cursor += 1;
+            self.core.emit_offsets(v, 100, out);
+            let mut used = 0u64; // bitmask over the first 64 colours
+            for i in 0..self.core.graph.degree(v) {
+                let u = self.core.emit_edge(v, i, 101, out);
+                out.push(MemRef::load(self.core.prop_word(0, u), pc(102), 1));
+                let c = self.colors[u as usize];
+                if c < 64 {
+                    used |= 1 << c;
+                }
+            }
+            self.colors[v as usize] = (!used).trailing_zeros().min(63) as u16;
+            out.push(MemRef::store(self.core.prop_word(0, v), pc(103), 2));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadStream;
+
+    fn make() -> GraphColoring {
+        let mut w = GraphColoring::new(Scale::Tiny, 13);
+        let specs = w.region_specs();
+        let bases: Vec<VirtAddr> =
+            (0..specs.len()).map(|i| VirtAddr::new(0x10_0000_0000 + i as u64 * 0x4_0000_0000)).collect();
+        w.init(&bases);
+        w
+    }
+
+    #[test]
+    fn every_vertex_gets_one_store() {
+        let mut w = make();
+        let mut out = Vec::new();
+        w.fill(&mut out);
+        let stores = out.iter().filter(|r| r.kind.is_write()).count();
+        assert_eq!(stores, 4, "one colour store per processed vertex");
+    }
+
+    #[test]
+    fn coloring_is_proper_over_first_64_colors() {
+        let mut w = make();
+        let mut out = Vec::new();
+        // Colour a chunk of the graph.
+        for _ in 0..5_000 {
+            w.fill(&mut out);
+            out.clear();
+        }
+        // Spot-check: no vertex among the first chunk shares a (small)
+        // colour with a coloured neighbour it observed *before* being
+        // coloured itself (greedy order = ascending ids).
+        let g = &w.core.graph;
+        for v in 1..1000u64 {
+            for i in 0..g.degree(v) {
+                let u = g.neighbor(v, i);
+                if u < v {
+                    let (cu, cv) = (w.colors[u as usize], w.colors[v as usize]);
+                    if cu < 63 && cv < 63 {
+                        assert_ne!(cu, cv, "v={v} u={u} share colour {cu}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_runs() {
+        let mut s = WorkloadStream::new(Box::new(make()));
+        for _ in 0..50_000 {
+            s.next_ref();
+        }
+    }
+}

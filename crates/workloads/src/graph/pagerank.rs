@@ -1,0 +1,117 @@
+//! PageRank, pull variant (GraphBIG **PR**).
+//!
+//! Sequential sweep over vertices; per vertex, gather the ranks of all
+//! neighbours (random 8B loads over a vertex-sized array) and store the
+//! new rank. The regular sweep makes offsets/edges prefetch-friendly
+//! while the gathers thrash the TLB.
+
+use super::{GraphCore, PropKind};
+use crate::{pc, RegionSpec, Scale, Workload};
+use vm_types::{MemRef, VirtAddr};
+
+const PROPS: [PropKind; 2] = [PropKind::Word, PropKind::Word]; // rank, rank_new
+
+/// The PR workload.
+pub struct PageRank {
+    core: GraphCore,
+    specs: Vec<RegionSpec>,
+    cursor: u64,
+}
+
+impl PageRank {
+    /// Creates the workload.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let (core, specs, _) = GraphCore::new(scale, seed, &PROPS);
+        Self { core, specs, cursor: 0 }
+    }
+}
+
+impl Workload for PageRank {
+    fn name(&self) -> &'static str {
+        "PR"
+    }
+
+    fn region_specs(&self) -> Vec<RegionSpec> {
+        self.specs.clone()
+    }
+
+    fn init(&mut self, bases: &[VirtAddr]) {
+        self.core.bind(bases, PROPS.len());
+    }
+
+    fn fill(&mut self, out: &mut Vec<MemRef>) {
+        // Process 4 vertices per batch.
+        for _ in 0..4 {
+            let v = self.cursor % self.core.graph.num_vertices();
+            self.cursor += 1;
+            self.core.emit_offsets(v, 50, out);
+            for i in 0..self.core.graph.degree(v) {
+                let u = self.core.emit_edge(v, i, 51, out);
+                out.push(MemRef::load(self.core.prop_word(0, u), pc(52), 2));
+            }
+            out.push(MemRef::store(self.core.prop_word(1, v), pc(53), 3));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadStream;
+
+    fn stream() -> (WorkloadStream, Vec<(u64, u64)>) {
+        let mut w = Box::new(PageRank::new(Scale::Tiny, 6));
+        let specs = w.region_specs();
+        let mut bases = Vec::new();
+        let mut ranges = Vec::new();
+        for (i, s) in specs.iter().enumerate() {
+            let b = 0x10_0000_0000 + i as u64 * 0x4_0000_0000;
+            bases.push(VirtAddr::new(b));
+            ranges.push((b, s.bytes));
+        }
+        w.init(&bases);
+        (WorkloadStream::new(w), ranges)
+    }
+
+    #[test]
+    fn region_layout_has_two_property_arrays() {
+        let w = PageRank::new(Scale::Tiny, 6);
+        assert_eq!(w.region_specs().len(), 4);
+    }
+
+    #[test]
+    fn accesses_in_bounds_and_stores_hit_rank_new() {
+        let (mut s, ranges) = stream();
+        let (rank_new_base, rank_new_bytes) = ranges[3];
+        for _ in 0..50_000 {
+            let r = s.next_ref();
+            assert!(ranges.iter().any(|&(b, sz)| r.vaddr.raw() >= b && r.vaddr.raw() < b + sz));
+            if r.kind.is_write() {
+                assert!(
+                    r.vaddr.raw() >= rank_new_base && r.vaddr.raw() < rank_new_base + rank_new_bytes,
+                    "stores only write the new-rank array"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_sequential_in_offsets() {
+        let (mut s, ranges) = stream();
+        let (off_base, off_bytes) = ranges[0];
+        let mut last = 0;
+        let mut monotonic = 0;
+        let mut total = 0;
+        for _ in 0..20_000 {
+            let r = s.next_ref();
+            if r.vaddr.raw() >= off_base && r.vaddr.raw() < off_base + off_bytes {
+                if r.vaddr.raw() >= last {
+                    monotonic += 1;
+                }
+                last = r.vaddr.raw();
+                total += 1;
+            }
+        }
+        assert!(monotonic as f64 > total as f64 * 0.95, "offset sweep is ascending");
+    }
+}

@@ -1,0 +1,91 @@
+//! The paper's Table 4 workload suite, constructed by name.
+
+use crate::graph::{bc::Bc, bfs::Bfs, cc::ConnectedComponents, gc::GraphColoring, pagerank::PageRank, sssp::Sssp, tc::TriangleCount};
+use crate::{dlrm::Dlrm, genomics::Genomics, gups::Gups, xsbench::XsBench, Scale, Workload};
+use vm_types::DEFAULT_SEED;
+
+/// The 11 workload abbreviations in the paper's figure order.
+pub const WORKLOAD_NAMES: [&str; 11] =
+    ["BC", "BFS", "CC", "DLRM", "GEN", "GC", "PR", "RND", "SSSP", "TC", "XS"];
+
+/// Constructs one workload by its paper abbreviation.
+pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
+    let seed = DEFAULT_SEED;
+    Some(match name {
+        "BC" => Box::new(Bc::new(scale, seed ^ 0xbc)),
+        "BFS" => Box::new(Bfs::new(scale, seed ^ 0xbf5)),
+        "CC" => Box::new(ConnectedComponents::new(scale, seed ^ 0xcc)),
+        "DLRM" => Box::new(Dlrm::new(scale, seed ^ 0xd1)),
+        "GEN" => Box::new(Genomics::new(scale, seed ^ 0x6e)),
+        "GC" => Box::new(GraphColoring::new(scale, seed ^ 0x6c)),
+        "PR" => Box::new(PageRank::new(scale, seed ^ 0x97)),
+        "RND" => Box::new(Gups::new(scale, seed ^ 0x9d)),
+        "SSSP" => Box::new(Sssp::new(scale, seed ^ 0x55)),
+        "TC" => Box::new(TriangleCount::new(scale, seed ^ 0x7c)),
+        "XS" => Box::new(XsBench::new(scale, seed ^ 0x5b)),
+        _ => return None,
+    })
+}
+
+/// Constructs the full suite in figure order.
+pub fn all(scale: Scale) -> Vec<Box<dyn Workload>> {
+    WORKLOAD_NAMES.iter().map(|n| by_name(n, scale).expect("registry covers its own names")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm_types::VirtAddr;
+
+    #[test]
+    fn registry_builds_all_eleven() {
+        let suite = all(Scale::Tiny);
+        assert_eq!(suite.len(), 11);
+        let names: Vec<&str> = suite.iter().map(|w| w.name()).collect();
+        assert_eq!(names, WORKLOAD_NAMES.to_vec());
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("NOPE", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn every_workload_streams_after_init() {
+        for name in WORKLOAD_NAMES {
+            let mut w = by_name(name, Scale::Tiny).unwrap();
+            let specs = w.region_specs();
+            assert!(!specs.is_empty(), "{name} declares regions");
+            assert!(specs.iter().all(|s| s.bytes > 0));
+            assert!(specs.iter().all(|s| (0.0..=1.0).contains(&s.huge_fraction)));
+            let bases: Vec<VirtAddr> = (0..specs.len())
+                .map(|i| VirtAddr::new(0x10_0000_0000 + i as u64 * 0x8_0000_0000))
+                .collect();
+            w.init(&bases);
+            let mut stream = crate::WorkloadStream::new(w);
+            for _ in 0..10_000 {
+                let r = stream.next_ref();
+                // Every reference must fall inside a declared region.
+                let ok = specs.iter().enumerate().any(|(i, s)| {
+                    let b = 0x10_0000_0000 + i as u64 * 0x8_0000_0000;
+                    r.vaddr.raw() >= b && r.vaddr.raw() < b + s.bytes
+                });
+                assert!(ok, "{name}: stray access at {:#x}", r.vaddr.raw());
+            }
+        }
+    }
+
+    #[test]
+    fn full_scale_footprints_dwarf_tlb_reach() {
+        // The baseline L2 TLB covers at most 1536 × 4KB = 6MB (4KB pages).
+        for name in WORKLOAD_NAMES {
+            let w = by_name(name, Scale::Full).unwrap();
+            let footprint: u64 = w.region_specs().iter().map(|s| s.bytes).sum();
+            assert!(
+                footprint > (40 * 6) << 20,
+                "{name}: footprint {}MB too small vs TLB reach",
+                footprint >> 20
+            );
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Bring your own workload: implement the `Workload` trait and run any of
+//! the paper's systems over it. Here: a pointer-chasing linked-list
+//! traversal — a pattern the paper's suite doesn't include — showing how
+//! serial dependent misses interact with Victima.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use victima_repro::sim::{System, SystemConfig};
+use victima_repro::types::{mix2, MemRef, VirtAddr};
+use victima_repro::workloads::{RegionSpec, Workload};
+
+/// A pseudo-random pointer chase over a large node pool: node i's
+/// successor is a hash of i. Every hop is a dependent load to a random
+/// page — translation latency is fully exposed.
+struct PointerChase {
+    pool_bytes: u64,
+    base: VirtAddr,
+    node: u64,
+    seed: u64,
+}
+
+impl PointerChase {
+    fn new(pool_bytes: u64, seed: u64) -> Self {
+        Self { pool_bytes, base: VirtAddr::new(0), node: 0, seed }
+    }
+}
+
+const NODE_BYTES: u64 = 64;
+
+impl Workload for PointerChase {
+    fn name(&self) -> &'static str {
+        "CHASE"
+    }
+
+    fn region_specs(&self) -> Vec<RegionSpec> {
+        vec![RegionSpec { name: "node_pool", bytes: self.pool_bytes, huge_fraction: 0.25 }]
+    }
+
+    fn init(&mut self, bases: &[VirtAddr]) {
+        assert_eq!(bases.len(), 1, "one region expected");
+        self.base = bases[0];
+    }
+
+    fn fill(&mut self, out: &mut Vec<MemRef>) {
+        let nodes = self.pool_bytes / NODE_BYTES;
+        for _ in 0..64 {
+            out.push(MemRef::load(self.base.add(self.node * NODE_BYTES), 0x40_0000, 4));
+            self.node = mix2(self.seed, self.node) % nodes;
+        }
+    }
+}
+
+fn main() {
+    let pool = 1u64 << 30; // 1GB of list nodes
+    for cfg in [SystemConfig::radix(), SystemConfig::victima()] {
+        let mut sys = System::new(cfg, Box::new(PointerChase::new(pool, 0xc0ffee)));
+        sys.run_with_warmup(100_000, 1_000_000);
+        sys.finalize_stats();
+        let s = &sys.stats;
+        println!(
+            "{:<10} IPC {:.3}  L2TLB-MPKI {:>6.1}  PTWs {:>7}  mean walk {:>5.0} cyc  L2-miss lat {:>5.0} cyc",
+            sys.config().name,
+            s.ipc(),
+            s.l2_tlb_mpki(),
+            s.ptws,
+            s.ptw_latency_mean,
+            s.l2_miss_latency(),
+        );
+    }
+    println!("\nPointer chasing misses the L2 TLB on nearly every hop; Victima turns most of");
+    println!("those full radix walks into single L2 cache hits.");
+}

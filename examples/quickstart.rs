@@ -1,0 +1,43 @@
+//! Quickstart: run the GUPS random-access workload on the baseline and on
+//! Victima, and print the headline numbers the paper leads with.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use victima_repro::sim::{Runner, SystemConfig};
+use victima_repro::workloads::Scale;
+
+fn main() {
+    // Paper-scale footprints; ~1M measured instructions keeps this quick.
+    let runner = Runner::with_budget(Scale::Full, 100_000, 1_000_000);
+
+    println!("building + warming the baseline (Radix) on RND ...");
+    let baseline = runner.run_default("RND", &SystemConfig::radix());
+
+    println!("building + warming Victima on RND ...");
+    let victima = runner.run_default("RND", &SystemConfig::victima());
+
+    println!();
+    println!("                      {:>12} {:>12}", "Radix", "Victima");
+    println!("IPC                   {:>12.3} {:>12.3}", baseline.ipc(), victima.ipc());
+    println!("L2 TLB MPKI           {:>12.1} {:>12.1}", baseline.l2_tlb_mpki(), victima.l2_tlb_mpki());
+    println!("page-table walks      {:>12} {:>12}", baseline.ptws, victima.ptws);
+    println!(
+        "L2-miss latency (cyc) {:>12.0} {:>12.0}",
+        baseline.l2_miss_latency(),
+        victima.l2_miss_latency()
+    );
+    println!(
+        "TLB-block reach       {:>12} {:>9.0} MB",
+        "-",
+        victima.reach_mean_bytes / (1 << 20) as f64
+    );
+    println!();
+    println!(
+        "Victima speedup over Radix: {:.1}%  (PTW reduction {:.0}%, served {} misses from the L2 cache)",
+        (victima.speedup_over(&baseline) - 1.0) * 100.0,
+        victima.ptw_reduction_vs(&baseline) * 100.0,
+        victima.victima_hits,
+    );
+}

@@ -1,0 +1,47 @@
+//! Virtualised execution: nested paging vs. ideal shadow paging vs.
+//! Victima with nested TLB blocks (Secs. 5.4 and 9.3 of the paper).
+//!
+//! ```text
+//! cargo run --release --example virtualized [WORKLOAD]
+//! ```
+
+use victima_repro::sim::{Runner, SystemConfig};
+use victima_repro::workloads::{registry::WORKLOAD_NAMES, Scale};
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "CC".to_owned());
+    assert!(
+        WORKLOAD_NAMES.contains(&workload.as_str()),
+        "unknown workload {workload}; pick one of {WORKLOAD_NAMES:?}"
+    );
+    let runner = Runner::with_budget(Scale::Full, 100_000, 1_000_000);
+
+    println!("workload: {workload} (guest VM, two-level translation)\n");
+    let np = runner.run_default(&workload, &SystemConfig::nested_paging());
+    let systems = vec![
+        SystemConfig::nested_paging(),
+        SystemConfig::pom_tlb_virt(),
+        SystemConfig::ideal_shadow_paging(),
+        SystemConfig::victima_virt(),
+    ];
+    println!(
+        "{:<16} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "system", "IPC", "guest PTWs", "host PTWs", "miss lat", "speedup"
+    );
+    for cfg in &systems {
+        let s = runner.run_default(&workload, cfg);
+        println!(
+            "{:<16} {:>8.3} {:>12} {:>12} {:>12.0} {:>9.1}%",
+            cfg.name,
+            s.ipc(),
+            s.ptws,
+            s.host_ptws,
+            s.l2_miss_latency(),
+            (s.speedup_over(&np) - 1.0) * 100.0,
+        );
+    }
+    println!("\nVictima eliminates most host walks by caching nested TLB blocks in the L2 cache");
+    println!("(Figs. 18/19) and skips guest walks entirely on TLB-block hits. Across the full");
+    println!("suite it beats even an idealised shadow-paging design that maintains its shadow");
+    println!("table for free (Sec. 9.3) — though I-SP wins on a few individual workloads.");
+}

@@ -1,0 +1,41 @@
+//! # victima-repro
+//!
+//! A from-scratch Rust reproduction of **Victima: Drastically Increasing
+//! Address Translation Reach by Leveraging Underutilized Cache Resources**
+//! (Kanellopoulos et al., MICRO 2023).
+//!
+//! This facade crate re-exports the workspace's public API and hosts the
+//! runnable examples (`examples/`) and the cross-crate integration and
+//! property tests (`tests/`). The heavy lifting happens in:
+//!
+//! - [`types`] (`vm-types`) — addresses, page sizes, deterministic RNG;
+//! - [`mem`] (`mem-sim`) — typed-block caches, prefetchers, DRAM;
+//! - [`pt`] (`page-table`) — radix page tables, frame allocation, the
+//!   nested/shadow virtualisation substrate;
+//! - [`tlb`] (`tlb-sim`) — TLBs, page-walk caches, the hardware walker,
+//!   POM-TLB;
+//! - [`victima`] — the paper's contribution: TLB blocks in the L2 cache,
+//!   the PTW cost predictor, the TLB-aware SRRIP policy, and the Table 2
+//!   predictor design study;
+//! - [`sim`] — the full-system simulator and every evaluated system;
+//! - `workloads` — procedural analogues of the 11 evaluated workloads.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use victima_repro::sim::{Runner, SystemConfig};
+//! use victima_repro::workloads::Scale;
+//!
+//! let runner = Runner::with_budget(Scale::Tiny, 10_000, 100_000);
+//! let baseline = runner.run_default("RND", &SystemConfig::radix());
+//! let victima = runner.run_default("RND", &SystemConfig::victima());
+//! assert!(victima.speedup_over(&baseline) > 1.0);
+//! ```
+
+pub use mem_sim as mem;
+pub use page_table as pt;
+pub use sim;
+pub use tlb_sim as tlb;
+pub use victima;
+pub use vm_types as types;
+pub use workloads;
