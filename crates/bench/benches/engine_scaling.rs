@@ -1,0 +1,61 @@
+//! Engine scaling macro-benchmark (harness = false): runs the full
+//! 11-workload Tiny-scale suite through [`sim::SimEngine`] at 1 worker
+//! and at 4 workers, prints the wall-clock for each, and checks the
+//! results are byte-identical.
+//!
+//! ```text
+//! cargo bench --bench engine_scaling
+//! ```
+//!
+//! Determinism is always enforced. The wall-clock comparison is
+//! reported for the log; set `VICTIMA_ENFORCE_SCALING=1` to also assert
+//! the 4-worker run wins (only meaningful on a quiet multi-core
+//! machine — shared CI runners throttle unpredictably).
+
+use sim::{suite_specs, SimEngine, SystemConfig};
+use std::time::Instant;
+use workloads::Scale;
+
+fn main() {
+    let warmup = 20_000;
+    let instructions = 400_000;
+    let cfg = SystemConfig::victima();
+    let specs = suite_specs(&cfg, Scale::Tiny, warmup, instructions);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "engine_scaling: 11-workload Tiny suite, {warmup} warmup + {instructions} measured instructions, {cores} core(s)"
+    );
+
+    let t1 = Instant::now();
+    let seq = SimEngine::with_jobs(1).run_batch(specs.clone());
+    let wall_1 = t1.elapsed();
+    println!("  jobs=1: {:.2}s", wall_1.as_secs_f64());
+
+    let t4 = Instant::now();
+    let par = SimEngine::with_jobs(4).run_batch(specs);
+    let wall_4 = t4.elapsed();
+    println!(
+        "  jobs=4: {:.2}s  (speedup {:.2}x)",
+        wall_4.as_secs_f64(),
+        wall_1.as_secs_f64() / wall_4.as_secs_f64()
+    );
+
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.workload, b.workload, "result order must match submission order");
+        assert_eq!(a.stats, b.stats, "{}: stats diverged across worker counts", a.workload);
+    }
+    println!("  determinism: all 11 results byte-identical across worker counts");
+
+    let enforce = std::env::var("VICTIMA_ENFORCE_SCALING").map(|v| v == "1").unwrap_or(false);
+    if enforce && cores >= 2 {
+        assert!(
+            wall_4 < wall_1,
+            "4 workers must beat 1 worker on a {cores}-core machine: {:.2}s vs {:.2}s",
+            wall_4.as_secs_f64(),
+            wall_1.as_secs_f64()
+        );
+        println!("  scaling: 4 workers beat 1 worker (enforced)");
+    } else {
+        println!("  scaling: wall-clock comparison reported, not enforced (set VICTIMA_ENFORCE_SCALING=1 on a quiet multi-core machine)");
+    }
+}

@@ -1,102 +1,107 @@
-//! Criterion micro-benchmarks for the hot data structures: cache access,
-//! TLB probe, radix walk, and Victima's probe + transform.
+//! Micro-benchmarks for the hot data structures: cache access, TLB probe,
+//! radix walk, and Victima's probe (harness = false; a self-contained
+//! timing loop keeps the workspace dependency-free).
+//!
+//! ```text
+//! cargo bench --bench micro [filter]
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mem_sim::{BlockKind, Cache, CacheConfig, Hierarchy, HierarchyConfig, MemClass, ReplacementCtx};
 use page_table::{FrameAllocator, RadixPageTable};
 use std::hint::black_box;
+use std::time::Instant;
 use tlb_sim::{PageTableWalker, SetAssocTlb, TlbConfig, TlbEntry};
 use victima::{tlb_block, TlbAwareSrrip, Victima};
 use vm_types::{Asid, PageSize, PhysAddr, SplitMix64, VirtAddr};
 
-fn bench_cache(c: &mut Criterion) {
+/// Times `iters` calls of `f` after a short warm-up and prints ns/op.
+fn bench(filter: &[String], name: &str, iters: u64, mut f: impl FnMut()) {
+    if !filter.is_empty() && !filter.iter().any(|p| name.contains(p.as_str())) {
+        return;
+    }
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{name:<28} {:>9.1} ns/op   ({iters} iters, {:.2}s)",
+        elapsed.as_nanos() as f64 / iters as f64,
+        elapsed.as_secs_f64()
+    );
+}
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
     let ctx = ReplacementCtx::default();
+
     let mut cache = Cache::new(
         CacheConfig { name: "L2", size_bytes: 2 << 20, ways: 16, block_bytes: 64, latency: 16 },
         Box::new(mem_sim::Srrip::new()),
     );
     let mut rng = SplitMix64::new(1);
-    c.bench_function("cache_access_random", |b| {
-        b.iter(|| {
-            let pa = PhysAddr::new(rng.next_below(64 << 20) & !63);
-            if !cache.access_data(black_box(pa), false, &ctx) {
-                cache.fill_data(pa, false, false, &ctx);
-            }
-        })
+    bench(&filter, "cache_access_random", 2_000_000, || {
+        let pa = PhysAddr::new(rng.next_below(64 << 20) & !63);
+        if !cache.access_data(black_box(pa), false, &ctx) {
+            cache.fill_data(pa, false, false, &ctx);
+        }
     });
 
     let mut hier = Hierarchy::new(HierarchyConfig::default());
     let mut rng2 = SplitMix64::new(2);
-    c.bench_function("hierarchy_access_random", |b| {
-        b.iter(|| {
-            let pa = PhysAddr::new(rng2.next_below(256 << 20) & !63);
-            black_box(hier.access(pa, false, MemClass::Data, &ctx));
-        })
+    bench(&filter, "hierarchy_access_random", 1_000_000, || {
+        let pa = PhysAddr::new(rng2.next_below(256 << 20) & !63);
+        black_box(hier.access(pa, false, MemClass::Data, &ctx));
     });
-}
 
-fn bench_tlb(c: &mut Criterion) {
     let mut tlb = SetAssocTlb::new(TlbConfig::l2_unified(1536, 12));
     let asid = Asid::new(1);
     for vpn in 0..1536u64 {
         tlb.fill(TlbEntry::new(vpn, asid, PageSize::Size4K, vpn));
     }
-    let mut rng = SplitMix64::new(3);
-    c.bench_function("l2_tlb_probe", |b| {
-        b.iter(|| {
-            let vpn = rng.next_below(4096);
-            black_box(tlb.probe(vpn, asid, PageSize::Size4K));
-        })
+    let mut rng3 = SplitMix64::new(3);
+    bench(&filter, "l2_tlb_probe", 5_000_000, || {
+        let vpn = rng3.next_below(4096);
+        black_box(tlb.probe(vpn, asid, PageSize::Size4K));
     });
-}
 
-fn bench_walk(c: &mut Criterion) {
-    let ctx = ReplacementCtx::default();
     let mut alloc = FrameAllocator::new(4 << 30, 4);
     let mut pt = RadixPageTable::new(&mut alloc);
     for i in 0..10_000u64 {
         let frame = alloc.alloc_4k();
         pt.map(VirtAddr::new(0x4000_0000 + i * 4096), frame, PageSize::Size4K, &mut alloc);
     }
-    let mut hier = Hierarchy::new(HierarchyConfig::default());
+    let mut walk_hier = Hierarchy::new(HierarchyConfig::default());
     let mut walker = PageTableWalker::new();
-    let mut rng = SplitMix64::new(5);
-    c.bench_function("radix_walk", |b| {
-        b.iter(|| {
-            let va = VirtAddr::new(0x4000_0000 + rng.next_below(10_000) * 4096);
-            black_box(walker.walk(&mut pt, va, Asid::new(1), &mut hier, &ctx));
-        })
+    let mut rng4 = SplitMix64::new(5);
+    bench(&filter, "radix_walk", 1_000_000, || {
+        let va = VirtAddr::new(0x4000_0000 + rng4.next_below(10_000) * 4096);
+        black_box(walker.walk(&mut pt, va, Asid::new(1), &mut walk_hier, &ctx));
+    });
+
+    let vctx = ReplacementCtx { l2_tlb_mpki: 10.0, l2_cache_mpki: 0.0 };
+    let mut l2 = Cache::new(
+        CacheConfig { name: "L2", size_bytes: 2 << 20, ways: 16, block_bytes: 64, latency: 16 },
+        Box::new(TlbAwareSrrip::new()),
+    );
+    let mut v = Victima::default();
+    let sets = l2.num_sets();
+    for g in 0..4096u64 {
+        let (set, tag) = tlb_block::group_index(g, sets);
+        l2.fill_translation(set, tag, BlockKind::Tlb, Asid::new(1), PageSize::Size4K, &vctx);
+    }
+    let mut rng5 = SplitMix64::new(6);
+    bench(&filter, "victima_probe", 2_000_000, || {
+        let va = VirtAddr::new(rng5.next_below(1 << 30) & !0xfff);
+        black_box(v.probe(&mut l2, va, Asid::new(1), BlockKind::Tlb, &vctx));
+    });
+
+    let mut rng6 = SplitMix64::new(7);
+    bench(&filter, "tlb_block_index_math", 10_000_000, || {
+        let va = VirtAddr::new(rng6.next_u64());
+        black_box(tlb_block::tlb_block_index(va, PageSize::Size4K, 2048));
     });
 }
-
-fn bench_victima(c: &mut Criterion) {
-    let ctx = ReplacementCtx { l2_tlb_mpki: 10.0, l2_cache_mpki: 0.0 };
-    let mut rng = SplitMix64::new(6);
-    c.bench_function("victima_probe", |b| {
-        let mut l2 = Cache::new(
-            CacheConfig { name: "L2", size_bytes: 2 << 20, ways: 16, block_bytes: 64, latency: 16 },
-            Box::new(TlbAwareSrrip::new()),
-        );
-        let mut v = Victima::default();
-        let sets = l2.num_sets();
-        for g in 0..4096u64 {
-            let (set, tag) = tlb_block::group_index(g, sets);
-            l2.fill_translation(set, tag, BlockKind::Tlb, Asid::new(1), PageSize::Size4K, &ctx);
-        }
-        b.iter(|| {
-            let va = VirtAddr::new(rng.next_below(1 << 30) & !0xfff);
-            black_box(v.probe(&mut l2, va, Asid::new(1), BlockKind::Tlb, &ctx));
-        })
-    });
-
-    c.bench_function("tlb_block_index_math", |b| {
-        b.iter_batched(
-            || VirtAddr::new(rng.next_u64()),
-            |va| black_box(tlb_block::tlb_block_index(va, PageSize::Size4K, 2048)),
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-criterion_group!(benches, bench_cache, bench_tlb, bench_walk, bench_victima);
-criterion_main!(benches);

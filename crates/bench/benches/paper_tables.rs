@@ -7,8 +7,7 @@ use victima_bench::{experiments, ExpCtx};
 fn main() {
     // Respect `cargo bench -- <filter>`-style arguments minimally: any
     // non-flag argument restricts to matching experiment ids.
-    let filters: Vec<String> =
-        std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let filters: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
     let ctx = ExpCtx::quick();
     let start = std::time::Instant::now();
     let ids: Vec<&str> = experiments::ALL_IDS

@@ -1,14 +1,15 @@
 //! Experiment driver: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] all          # every figure/table, paper order
-//! experiments [--quick] fig20 fig21  # specific experiments
-//! experiments calibrate              # baseline vitals (not a paper figure)
+//! experiments [--quick] [--jobs N] all          # every figure/table, paper order
+//! experiments [--quick] fig20 fig21             # specific experiments
+//! experiments calibrate                         # baseline vitals (not a paper figure)
 //! experiments --list
 //! ```
 //!
 //! Budgets: `VICTIMA_INSTR` / `VICTIMA_WARMUP` env vars (defaults
-//! 2,000,000 / 200,000); `--quick` forces 600K/60K.
+//! 2,000,000 / 200,000); `--quick` forces 600K/60K. Simulations fan out
+//! over `--jobs`/`VICTIMA_JOBS` workers (default: all cores).
 
 use victima_bench::{experiments, ExpCtx};
 
@@ -16,6 +17,14 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        let n: usize = args.get(i + 1).and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!("--jobs needs a positive integer");
+            std::process::exit(2);
+        });
+        std::env::set_var("VICTIMA_JOBS", n.to_string());
+        args.drain(i..=i + 1);
+    }
 
     if args.iter().any(|a| a == "--list") {
         for id in experiments::ALL_IDS {

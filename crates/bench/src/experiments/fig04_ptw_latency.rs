@@ -12,8 +12,11 @@ pub fn run(ctx: &ExpCtx) -> Vec<Table> {
     for s in &stats {
         merged.merge(&s.ptw_latency_hist);
     }
-    let mut t = Table::new("fig04", "Distribution of PTW latency (baseline, all workloads)")
-        .headers(["bucket (cycles)", "walks", "share"]);
+    let mut t = Table::new("fig04", "Distribution of PTW latency (baseline, all workloads)").headers([
+        "bucket (cycles)",
+        "walks",
+        "share",
+    ]);
     let total = merged.count().max(1);
     for (lo, hi, c) in merged.rows() {
         t.row([format!("{lo}-{hi}"), c.to_string(), pct(c as f64 / total as f64)]);

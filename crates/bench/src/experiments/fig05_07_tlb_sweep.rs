@@ -23,9 +23,8 @@ pub fn fig05(ctx: &ExpCtx) -> Vec<Table> {
     let cfgs: Vec<SystemConfig> =
         L2_TLB_SIZE_SWEEP.iter().map(|&e| SystemConfig::with_l2_tlb(e, 12)).collect();
     let results = ctx.suites(&cfgs);
-    let mut t = Table::new("fig05", "L2 TLB MPKI vs. L2 TLB size").headers(
-        std::iter::once("workload".to_string()).chain(L2_TLB_SIZE_SWEEP.iter().map(|&e| label(e))),
-    );
+    let mut t = Table::new("fig05", "L2 TLB MPKI vs. L2 TLB size")
+        .headers(std::iter::once("workload".to_string()).chain(L2_TLB_SIZE_SWEEP.iter().map(|&e| label(e))));
     for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
         let mut row = vec![name.to_string()];
         for r in &results {
@@ -51,8 +50,7 @@ fn speedup_table(
     note: &str,
 ) -> Vec<Table> {
     let base = ctx.suite(&SystemConfig::radix());
-    let cfgs: Vec<SystemConfig> =
-        points.iter().map(|&(e, l)| SystemConfig::with_l2_tlb(e, l)).collect();
+    let cfgs: Vec<SystemConfig> = points.iter().map(|&(e, l)| SystemConfig::with_l2_tlb(e, l)).collect();
     let results = ctx.suites(&cfgs);
     let mut t = Table::new(id, title).headers(
         std::iter::once("workload".to_string())
@@ -78,8 +76,7 @@ fn speedup_table(
 /// Fig. 6: speedup of larger L2 TLBs at a fixed optimistic 12-cycle
 /// latency, over the 1.5K-entry baseline.
 pub fn fig06(ctx: &ExpCtx) -> Vec<Table> {
-    let points: Vec<(usize, u64)> =
-        L2_TLB_SIZE_SWEEP.iter().skip(1).map(|&e| (e, 12u64)).collect();
+    let points: Vec<(usize, u64)> = L2_TLB_SIZE_SWEEP.iter().skip(1).map(|&e| (e, 12u64)).collect();
     speedup_table(
         "fig06",
         "Speedup of larger L2 TLBs, equal (optimistic) 12-cycle latency",

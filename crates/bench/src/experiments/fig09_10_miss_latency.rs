@@ -59,11 +59,7 @@ pub fn fig10(ctx: &ExpCtx) -> Vec<Table> {
         t.row(row);
     }
     let n = WORKLOAD_NAMES.len() as f64;
-    t.row(
-        std::iter::once("MEAN".to_string())
-            .chain(sums.iter().map(|s| pct(s / n)))
-            .collect::<Vec<_>>(),
-    );
+    t.row(std::iter::once("MEAN".to_string()).chain(sums.iter().map(|s| pct(s / n))).collect::<Vec<_>>());
     t.note("paper: even LLC-served misses cut L2 TLB miss latency by 71.9% on average");
     vec![t]
 }

@@ -20,9 +20,6 @@ pub fn run(ctx: &ExpCtx) -> Vec<Table> {
     }
     let fr = merged.fractions();
     t.row(std::iter::once("ALL".to_string()).chain(fr.iter().map(|&f| pct(f))).collect::<Vec<_>>());
-    t.note(format!(
-        "zero-reuse share = {} (paper: 92% zero reuse, 8% reuse ≥ 1)",
-        pct(fr[0])
-    ));
+    t.note(format!("zero-reuse share = {} (paper: 92% zero reuse, 8% reuse ≥ 1)", pct(fr[0])));
     vec![t]
 }

@@ -72,12 +72,7 @@ pub fn fig21(ctx: &ExpCtx) -> Vec<Table> {
     let mut mean = vec!["AVG".to_string()];
     for k in keep {
         let r = &results.iter().find(|(n, _)| *n == k).expect("system present").1;
-        let avg = r
-            .iter()
-            .zip(&base)
-            .map(|(s, b)| s.ptw_reduction_vs(b))
-            .sum::<f64>()
-            / base.len() as f64;
+        let avg = r.iter().zip(&base).map(|(s, b)| s.ptw_reduction_vs(b)).sum::<f64>() / base.len() as f64;
         mean.push(pct(avg));
     }
     t.row(mean);
@@ -89,11 +84,8 @@ pub fn fig21(ctx: &ExpCtx) -> Vec<Table> {
 /// POM / L2-cache / radix-walk breakdown.
 pub fn fig22(ctx: &ExpCtx) -> Vec<Table> {
     let (base, results) = run_all(ctx);
-    let mut t = Table::new(
-        "fig22",
-        "L2 TLB miss latency normalised to Radix (components: POM / L2$ / walk)",
-    )
-    .headers(["workload", "system", "total", "POM", "L2$", "walk"]);
+    let mut t = Table::new("fig22", "L2 TLB miss latency normalised to Radix (components: POM / L2$ / walk)")
+        .headers(["workload", "system", "total", "POM", "L2$", "walk"]);
     for k in ["POM-TLB", "Victima"] {
         let r = &results.iter().find(|(n, _)| *n == k).expect("system present").1;
         let mut totals = Vec::new();
@@ -176,9 +168,6 @@ pub fn fig24(ctx: &ExpCtx) -> Vec<Table> {
     }
     let fr = merged.fractions();
     t.row(std::iter::once("ALL".to_string()).chain(fr.iter().map(|&f| pct(f))).collect::<Vec<_>>());
-    t.note(format!(
-        ">20-reuse share = {} (paper: 65% of TLB blocks see more than 20 hits)",
-        pct(fr[4])
-    ));
+    t.note(format!(">20-reuse share = {} (paper: 65% of TLB blocks see more than 20 hits)", pct(fr[4])));
     vec![t]
 }

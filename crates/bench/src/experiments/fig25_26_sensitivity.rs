@@ -9,16 +9,22 @@ use workloads::registry::WORKLOAD_NAMES;
 /// Fig. 25: reduction in PTWs vs. Radix at matching L2 sizes.
 pub fn fig25(ctx: &ExpCtx) -> Vec<Table> {
     let sizes: [u64; 4] = [1 << 20, 2 << 20, 4 << 20, 8 << 20];
-    let mut t = Table::new("fig25", "Victima's PTW reduction across L2 cache sizes")
-        .headers(std::iter::once("workload".to_string()).chain(sizes.iter().map(|s| format!("{}MB", s >> 20))));
+    let mut t = Table::new("fig25", "Victima's PTW reduction across L2 cache sizes").headers(
+        std::iter::once("workload".to_string()).chain(sizes.iter().map(|s| format!("{}MB", s >> 20))),
+    );
+    // All (size × {Radix, Victima}) runs go out as one engine batch.
+    let cfgs: Vec<SystemConfig> = sizes
+        .iter()
+        .flat_map(|&bytes| {
+            [
+                SystemConfig::radix().with_l2_cache_bytes(bytes),
+                SystemConfig::victima().with_l2_cache_bytes(bytes),
+            ]
+        })
+        .collect();
     let mut per_size: Vec<Vec<f64>> = Vec::new();
-    let mut results = Vec::new();
-    for &bytes in &sizes {
-        let base_cfg = SystemConfig::radix().with_l2_cache_bytes(bytes);
-        let vic_cfg = SystemConfig::victima().with_l2_cache_bytes(bytes);
-        let pair = ctx.suites(&[base_cfg, vic_cfg]);
-        results.push(pair);
-    }
+    let flat = ctx.suites(&cfgs);
+    let results: Vec<_> = flat.chunks_exact(2).collect();
     for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
         let mut row = vec![name.to_string()];
         for (si, pair) in results.iter().enumerate() {

@@ -67,11 +67,7 @@ pub fn fig28(ctx: &ExpCtx) -> Vec<Table> {
         t.row(row);
     }
     let n = WORKLOAD_NAMES.len() as f64;
-    t.row(
-        std::iter::once("AVG".to_string())
-            .chain(sums.iter().map(|s| pct(s / n)))
-            .collect::<Vec<_>>(),
-    );
+    t.row(std::iter::once("AVG".to_string()).chain(sums.iter().map(|s| pct(s / n))).collect::<Vec<_>>());
     t.note("paper: Victima cuts guest PTWs by 50% and host PTWs by 99%");
     vec![t]
 }
@@ -79,11 +75,9 @@ pub fn fig28(ctx: &ExpCtx) -> Vec<Table> {
 /// Fig. 29: L2 TLB miss latency normalised to NP, host/guest components.
 pub fn fig29(ctx: &ExpCtx) -> Vec<Table> {
     let (base, results) = run_all(ctx);
-    let mut t = Table::new(
-        "fig29",
-        "Virtualised L2 TLB miss latency normalised to NP (components: host / guest)",
-    )
-    .headers(["workload", "system", "total", "host", "guest"]);
+    let mut t =
+        Table::new("fig29", "Virtualised L2 TLB miss latency normalised to NP (components: host / guest)")
+            .headers(["workload", "system", "total", "host", "guest"]);
     for (k, r) in &results {
         let mut totals = Vec::new();
         for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {

@@ -17,9 +17,8 @@ use crate::{ExpCtx, Table};
 /// All experiment ids in paper order (sec10 is the Related-Work claim
 /// that a DUCATI-style full-memory STLB adds only ~0.8% over Victima).
 pub const ALL_IDS: [&str; 21] = [
-    "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "table2", "fig16",
-    "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "fig29",
-    "sec10",
+    "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "table2", "fig16", "fig20",
+    "fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "fig29", "sec10",
 ];
 
 /// Runs one experiment by id. Returns `None` for unknown ids.
@@ -53,8 +52,5 @@ pub fn by_id(ctx: &ExpCtx, id: &str) -> Option<Vec<Table>> {
 
 /// Runs every experiment in paper order.
 pub fn all(ctx: &ExpCtx) -> Vec<Table> {
-    ALL_IDS
-        .iter()
-        .flat_map(|id| by_id(ctx, id).expect("ALL_IDS entries are dispatchable"))
-        .collect()
+    ALL_IDS.iter().flat_map(|id| by_id(ctx, id).expect("ALL_IDS entries are dispatchable")).collect()
 }

@@ -8,46 +8,32 @@
 //! (frequency, cost) grid against the comparator's bounding box.
 
 use crate::{ExpCtx, Table};
-use parking_lot::Mutex;
-use sim::SystemConfig;
-use std::sync::Arc;
+use sim::{RunSpec, SystemConfig};
 use victima::features::{FeatureTracker, Sample};
 use victima::nn::{decision_grid, evaluate_comparator, train_and_evaluate, FeatureSet, TrainConfig};
 use victima::predictor::Thresholds;
 use workloads::registry::WORKLOAD_NAMES;
 
-/// Collects the merged feature dataset from profiling runs (parallel over
-/// workloads; tracking makes runs slower, so the budget is capped).
+/// Collects the merged feature dataset from profiling runs (one engine
+/// batch over the suite; tracking makes runs slower, so the budget is
+/// capped).
 fn collect_dataset(ctx: &ExpCtx) -> Vec<Sample> {
-    let runner = ctx.runner().clone();
+    let runner = ctx.runner();
     let instructions = runner.instructions.min(600_000);
     let warmup = runner.warmup.min(50_000);
-    let merged = Arc::new(Mutex::new(FeatureTracker::new()));
-    let queue = Arc::new(Mutex::new(WORKLOAD_NAMES.to_vec()));
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(WORKLOAD_NAMES.len()) {
-            let queue = Arc::clone(&queue);
-            let merged = Arc::clone(&merged);
-            let runner = runner.clone();
-            scope.spawn(move |_| loop {
-                let Some(name) = queue.lock().pop() else {
-                    break;
-                };
-                let mut sys = runner.build(name, &SystemConfig::radix());
-                sys.enable_feature_tracking();
-                sys.run_with_warmup(warmup, instructions);
-                // reset_stats cleared the warm-up tracker; the measured
-                // window's features are what we label.
-                if let Some(t) = sys.tracker.take() {
-                    merged.lock().merge(&t);
-                }
-            });
-        }
-    })
-    .expect("profiling threads do not panic");
-    let tracker = Arc::try_unwrap(merged).map(Mutex::into_inner).unwrap_or_default();
-    tracker.dataset(0.3)
+    let specs: Vec<RunSpec> = WORKLOAD_NAMES
+        .iter()
+        .map(|&name| {
+            RunSpec::new(name, SystemConfig::radix(), runner.scale, warmup, instructions).with_features()
+        })
+        .collect();
+    let mut merged = FeatureTracker::new();
+    for result in ctx.engine().run_batch(specs) {
+        // The measured window's features are what we label.
+        let tracker = result.features.expect("spec asked for feature collection");
+        merged.merge(&tracker);
+    }
+    merged.dataset(0.3)
 }
 
 /// Table 2: model comparison.
@@ -56,7 +42,13 @@ pub fn table2(ctx: &ExpCtx) -> Vec<Table> {
     let (train, test) = victima::nn::split_samples(&dataset, 0.3, 0xda7a);
     let cfg = TrainConfig::default();
     let mut t = Table::new("table2", "PTW-CP model comparison").headers([
-        "model", "features", "size (B)", "recall", "accuracy", "precision", "f1",
+        "model",
+        "features",
+        "size (B)",
+        "recall",
+        "accuracy",
+        "precision",
+        "f1",
     ]);
     for (name, set) in [("NN-10", FeatureSet::All10), ("NN-5", FeatureSet::Top5), ("NN-2", FeatureSet::Two)] {
         let (mlp, m) = train_and_evaluate(set, &train, &test, &cfg);
@@ -122,14 +114,7 @@ pub fn fig16(ctx: &ExpCtx) -> Vec<Table> {
         }
         t.row(row);
     }
-    let agree = grid
-        .iter()
-        .filter(|&&(f, c, p)| p == victima::PtwCostPredictor::classify(&th, f, c))
-        .count();
-    t.note(format!(
-        "NN-2 and the comparator bounding box agree on {}/{} grid points",
-        agree,
-        grid.len()
-    ));
+    let agree = grid.iter().filter(|&&(f, c, p)| p == victima::PtwCostPredictor::classify(&th, f, c)).count();
+    t.note(format!("NN-2 and the comparator bounding box agree on {}/{} grid points", agree, grid.len()));
     vec![t]
 }

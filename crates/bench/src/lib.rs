@@ -2,17 +2,17 @@
 //! paper's evaluation (see DESIGN.md for the per-experiment index).
 //!
 //! Experiments share simulation runs through a cache (e.g. Figs.
-//! 20–24 all read the same six system×workload sweeps) and execute runs in
-//! parallel across a small worker pool. Each experiment returns a
-//! [`Table`] whose rows mirror the series the paper plots.
+//! 20–24 all read the same six system×workload sweeps) and execute
+//! uncached runs as one batch on the [`SimEngine`] worker pool
+//! (`VICTIMA_JOBS` workers). Each experiment returns a [`Table`] whose
+//! rows mirror the series the paper plots.
 
 pub mod experiments;
 pub mod table;
 
-use parking_lot::Mutex;
-use sim::{Runner, SimStats, SystemConfig};
+use sim::{RunSpec, Runner, SimEngine, SimStats, SystemConfig};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use workloads::{registry::WORKLOAD_NAMES, Scale};
 
 pub use table::Table;
@@ -21,12 +21,13 @@ pub use table::Table;
 #[derive(Clone)]
 pub struct ExpCtx {
     runner: Runner,
+    engine: SimEngine,
     cache: Arc<Mutex<HashMap<(String, &'static str), SimStats>>>,
-    threads: usize,
 }
 
 impl ExpCtx {
-    /// Full-scale context (budgets from `VICTIMA_INSTR`/`VICTIMA_WARMUP`).
+    /// Full-scale context (budgets from `VICTIMA_INSTR`/`VICTIMA_WARMUP`,
+    /// workers from `VICTIMA_JOBS`).
     pub fn new() -> Self {
         Self::with_runner(Runner::new(Scale::Full))
     }
@@ -37,13 +38,17 @@ impl ExpCtx {
     }
 
     fn with_runner(runner: Runner) -> Self {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
-        Self { runner, cache: Arc::new(Mutex::new(HashMap::new())), threads }
+        Self { runner, engine: SimEngine::new(), cache: Arc::new(Mutex::new(HashMap::new())) }
     }
 
-    /// The underlying runner.
+    /// The underlying runner (scale + budget defaults).
     pub fn runner(&self) -> &Runner {
         &self.runner
+    }
+
+    /// The underlying batch engine.
+    pub fn engine(&self) -> &SimEngine {
+        &self.engine
     }
 
     /// Runs `cfg` over the whole 11-workload suite (cached, parallel).
@@ -52,12 +57,13 @@ impl ExpCtx {
         self.suites(std::slice::from_ref(cfg)).remove(0)
     }
 
-    /// Runs several configs over the suite, sharing the worker pool.
+    /// Runs several configs over the suite as one batch on the worker
+    /// pool, skipping runs the cache already holds.
     pub fn suites(&self, cfgs: &[SystemConfig]) -> Vec<Vec<SimStats>> {
         // Collect jobs not yet cached.
         let mut jobs: Vec<(SystemConfig, &'static str)> = Vec::new();
         {
-            let cache = self.cache.lock();
+            let cache = self.cache.lock().expect("run cache poisoned");
             for cfg in cfgs {
                 for &w in WORKLOAD_NAMES.iter() {
                     if !cache.contains_key(&(cfg.name.clone(), w)) {
@@ -67,7 +73,7 @@ impl ExpCtx {
             }
         }
         self.run_jobs(jobs);
-        let cache = self.cache.lock();
+        let cache = self.cache.lock().expect("run cache poisoned");
         cfgs.iter()
             .map(|cfg| {
                 WORKLOAD_NAMES
@@ -80,35 +86,29 @@ impl ExpCtx {
 
     /// Runs one (config, workload) pair through the cache.
     pub fn one(&self, cfg: &SystemConfig, workload: &'static str) -> SimStats {
-        if let Some(s) = self.cache.lock().get(&(cfg.name.clone(), workload)) {
+        if let Some(s) = self.cache.lock().expect("run cache poisoned").get(&(cfg.name.clone(), workload)) {
             return s.clone();
         }
         self.run_jobs(vec![(cfg.clone(), workload)]);
-        self.cache.lock().get(&(cfg.name.clone(), workload)).expect("job just ran").clone()
+        self.cache
+            .lock()
+            .expect("run cache poisoned")
+            .get(&(cfg.name.clone(), workload))
+            .expect("job just ran")
+            .clone()
     }
 
+    /// Fans the uncached jobs out as one engine batch and fills the cache.
     fn run_jobs(&self, jobs: Vec<(SystemConfig, &'static str)>) {
         if jobs.is_empty() {
             return;
         }
-        let queue = Arc::new(Mutex::new(jobs));
-        let n = self.threads.min(queue.lock().len()).max(1);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..n {
-                let queue = Arc::clone(&queue);
-                let cache = Arc::clone(&self.cache);
-                let runner = self.runner.clone();
-                scope.spawn(move |_| loop {
-                    let job = queue.lock().pop();
-                    let Some((cfg, w)) = job else {
-                        break;
-                    };
-                    let stats = runner.run_default(w, &cfg);
-                    cache.lock().insert((cfg.name.clone(), w), stats);
-                });
-            }
-        })
-        .expect("worker threads do not panic");
+        let specs: Vec<RunSpec> = jobs.iter().map(|(cfg, w)| self.runner.spec(w, cfg)).collect();
+        let results = self.engine.run_batch(specs);
+        let mut cache = self.cache.lock().expect("run cache poisoned");
+        for ((cfg, w), r) in jobs.into_iter().zip(results) {
+            cache.insert((cfg.name, w), r.stats);
+        }
     }
 }
 
@@ -140,7 +140,20 @@ mod tests {
         let b = ctx.one(&cfg, "RND");
         assert_eq!(a.instructions, b.instructions);
         assert_eq!(a.cycles(), b.cycles());
-        assert_eq!(ctx.cache.lock().len(), 1);
+        assert_eq!(ctx.cache.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn suites_batch_through_the_engine() {
+        let ctx = ExpCtx::with_runner(Runner::with_budget(Scale::Tiny, 500, 5_000));
+        let cfgs = [SystemConfig::radix(), SystemConfig::victima()];
+        let results = ctx.suites(&cfgs);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.len() == WORKLOAD_NAMES.len()));
+        assert_eq!(ctx.cache.lock().unwrap().len(), 2 * WORKLOAD_NAMES.len());
+        // A second call is served entirely from the cache.
+        let again = ctx.suites(&cfgs);
+        assert_eq!(again[0][0], results[0][0]);
     }
 
     #[test]

@@ -200,8 +200,7 @@ impl FeatureTracker {
     /// Builds the labelled dataset: walked pages only, labelled costly if
     /// in the top `costly_fraction` (default 0.3) by total PTW cycles.
     pub fn dataset(&self, costly_fraction: f64) -> Vec<Sample> {
-        let mut walked: Vec<&PageFeatures> =
-            self.pages.values().filter(|p| p.ptw_frequency > 0).collect();
+        let mut walked: Vec<&PageFeatures> = self.pages.values().filter(|p| p.ptw_frequency > 0).collect();
         if walked.is_empty() {
             return Vec::new();
         }

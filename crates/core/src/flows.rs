@@ -127,7 +127,14 @@ impl Victima {
     }
 
     /// Non-destructive presence check (step ② in Figs. 14/18).
-    pub fn block_present(&self, l2: &Cache, va: VirtAddr, asid: Asid, kind: BlockKind, size: PageSize) -> bool {
+    pub fn block_present(
+        &self,
+        l2: &Cache,
+        va: VirtAddr,
+        asid: Asid,
+        kind: BlockKind,
+        size: PageSize,
+    ) -> bool {
         let (set, tag) = tlb_block_index(va, size, l2.num_sets());
         l2.contains_translation(set, tag, kind, asid, size)
     }
@@ -399,7 +406,16 @@ mod tests {
         // Now present → second eviction of the same page does nothing.
         assert!(!v.wants_eviction_insert(&l2, va, a, BlockKind::Tlb, PageSize::Size4K, 2, 3, &PRESSURE));
         // Zero counters → predictor rejects.
-        assert!(!v.wants_eviction_insert(&l2, VirtAddr::new(0x9990_0000), a, BlockKind::Tlb, PageSize::Size4K, 0, 0, &PRESSURE));
+        assert!(!v.wants_eviction_insert(
+            &l2,
+            VirtAddr::new(0x9990_0000),
+            a,
+            BlockKind::Tlb,
+            PageSize::Size4K,
+            0,
+            0,
+            &PRESSURE
+        ));
     }
 
     #[test]
@@ -419,7 +435,8 @@ mod tests {
         let mut v = Victima::default();
         assert!(v.insert_after_walk(&mut l2, va, Asid::new(1), BlockKind::Tlb, &walk, &PRESSURE));
         // Any address within the 16MB the block covers hits.
-        let hit = v.probe(&mut l2, VirtAddr::new(0x8000_0000 + (5 << 20)), Asid::new(1), BlockKind::Tlb, &PRESSURE);
+        let hit =
+            v.probe(&mut l2, VirtAddr::new(0x8000_0000 + (5 << 20)), Asid::new(1), BlockKind::Tlb, &PRESSURE);
         assert_eq!(hit.unwrap().size, PageSize::Size2M);
         assert_eq!(v.stats.probe_hits_2m, 1);
     }

@@ -12,14 +12,43 @@
 //!
 //! We implement the networks directly (ReLU hidden layers, sigmoid output,
 //! weighted binary cross-entropy, plain SGD with momentum) — no external
-//! ML dependency, just `rand` for initialisation and shuffling.
+//! dependency at all: initialisation and shuffling draw from the
+//! workspace's deterministic [`SplitMix64`] generator.
 
 use crate::features::Sample;
 use crate::metrics::ConfusionMatrix;
 use crate::predictor::{PtwCostPredictor, Thresholds};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use vm_types::SplitMix64;
+
+/// Deterministic training RNG: uniform floats and Fisher–Yates shuffles
+/// over SplitMix64.
+#[derive(Clone, Debug)]
+struct TrainRng(SplitMix64);
+
+impl TrainRng {
+    fn new(seed: u64) -> Self {
+        Self(SplitMix64::new(seed))
+    }
+
+    /// Uniform f32 in `[lo, hi)`.
+    fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.0.next_f64() as f32
+    }
+
+    /// Uniform draw in `[0, bound)` (only test datasets need integers).
+    #[cfg(test)]
+    fn below(&mut self, bound: u64) -> u64 {
+        self.0.next_below(bound)
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.0.next_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
 
 /// Which Table 1 features a model consumes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -79,10 +108,10 @@ struct Layer {
 }
 
 impl Layer {
-    fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut TrainRng) -> Self {
         // He initialisation for the ReLU layers.
         let scale = (2.0 / in_dim as f32).sqrt();
-        let w = (0..in_dim * out_dim).map(|_| rng.random_range(-scale..scale)).collect();
+        let w = (0..in_dim * out_dim).map(|_| rng.uniform(-scale, scale)).collect();
         Self {
             w,
             b: vec![0.0; out_dim],
@@ -142,7 +171,7 @@ impl Mlp {
     pub fn new(sizes: &[usize], seed: u64) -> Self {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
         assert_eq!(*sizes.last().unwrap(), 1, "binary classifier has one output");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TrainRng::new(seed);
         let layers = sizes.windows(2).map(|w| Layer::new(w[0], w[1], &mut rng)).collect();
         Self { layers }
     }
@@ -191,7 +220,7 @@ impl Mlp {
         let pos = data.iter().filter(|(_, y)| *y).count().max(1);
         let neg = (data.len() - pos).max(1);
         let pos_weight = neg as f32 / pos as f32;
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7e57);
+        let mut rng = TrainRng::new(cfg.seed ^ 0x7e57);
         let mut order: Vec<usize> = (0..data.len()).collect();
 
         // Forward activations per layer (post-activation), reused buffers.
@@ -200,7 +229,7 @@ impl Mlp {
         let mut zs: Vec<Vec<f32>> = vec![Vec::new(); n_layers];
 
         for _ in 0..cfg.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             for &i in &order {
                 let (x, y) = &data[i];
                 // Forward.
@@ -274,14 +303,11 @@ fn sigmoid(z: f32) -> f32 {
 /// Splits samples into (train, test) deterministically.
 pub fn split_samples(samples: &[Sample], test_fraction: f64, seed: u64) -> (Vec<Sample>, Vec<Sample>) {
     let mut idx: Vec<usize> = (0..samples.len()).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
-    idx.shuffle(&mut rng);
+    let mut rng = TrainRng::new(seed);
+    rng.shuffle(&mut idx);
     let n_test = ((samples.len() as f64) * test_fraction) as usize;
     let (test_idx, train_idx) = idx.split_at(n_test);
-    (
-        train_idx.iter().map(|&i| samples[i]).collect(),
-        test_idx.iter().map(|&i| samples[i]).collect(),
-    )
+    (train_idx.iter().map(|&i| samples[i]).collect(), test_idx.iter().map(|&i| samples[i]).collect())
 }
 
 /// Converts samples to a model's (input, label) pairs.
@@ -332,11 +358,11 @@ mod tests {
 
     /// Synthetic dataset whose ground truth *is* the bounding box.
     fn box_dataset(n: usize, seed: u64) -> Vec<Sample> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TrainRng::new(seed);
         (0..n)
             .map(|_| {
-                let freq: u8 = rng.random_range(0..=7);
-                let cost: u8 = rng.random_range(0..=15);
+                let freq: u8 = rng.below(8) as u8;
+                let cost: u8 = rng.below(16) as u8;
                 let costly = (1..=7).contains(&freq) && (1..=12).contains(&cost);
                 let mut features = [0f32; 10];
                 features[1] = freq as f32 / 7.0;

@@ -64,9 +64,8 @@ impl ReplacementPolicy for TlbAwareSrrip {
             // One more attempt (Listing 1 line 23): prefer any non-TLB
             // block that has also aged to RRIP_MAX. If none exists, the
             // TLB block is evicted (and dropped, not written back).
-            if let Some(alt) = set
-                .iter()
-                .position(|b| b.valid && !b.kind.is_translation() && b.rrip >= RRIP_MAX)
+            if let Some(alt) =
+                set.iter().position(|b| b.valid && !b.kind.is_translation() && b.rrip >= RRIP_MAX)
             {
                 return alt;
             }

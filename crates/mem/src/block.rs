@@ -90,7 +90,15 @@ impl CacheBlock {
 
     /// Resets the block to hold a freshly filled line.
     #[inline]
-    pub fn refill(&mut self, tag: u64, kind: BlockKind, asid: Asid, size: PageSize, dirty: bool, prefetched: bool) {
+    pub fn refill(
+        &mut self,
+        tag: u64,
+        kind: BlockKind,
+        asid: Asid,
+        size: PageSize,
+        dirty: bool,
+        prefetched: bool,
+    ) {
         self.valid = true;
         self.dirty = dirty;
         self.tag = tag;

@@ -286,7 +286,14 @@ impl Cache {
     }
 
     /// Non-destructive typed probe.
-    pub fn contains_translation(&self, set: usize, tag: u64, kind: BlockKind, asid: Asid, size: PageSize) -> bool {
+    pub fn contains_translation(
+        &self,
+        set: usize,
+        tag: u64,
+        kind: BlockKind,
+        asid: Asid,
+        size: PageSize,
+    ) -> bool {
         self.set_ref(set).iter().any(|b| b.matches(tag, kind, asid, size))
     }
 

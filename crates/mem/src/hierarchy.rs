@@ -193,7 +193,13 @@ impl Hierarchy {
     }
 
     /// One demand access with `pc = 0` (no prefetcher training context).
-    pub fn access(&mut self, pa: PhysAddr, write: bool, class: MemClass, ctx: &ReplacementCtx) -> AccessResult {
+    pub fn access(
+        &mut self,
+        pa: PhysAddr,
+        write: bool,
+        class: MemClass,
+        ctx: &ReplacementCtx,
+    ) -> AccessResult {
         self.access_pc(pa, write, class, 0, ctx)
     }
 

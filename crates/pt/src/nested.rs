@@ -48,10 +48,7 @@ pub struct NestedMemory {
 
 impl std::fmt::Debug for NestedMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NestedMemory")
-            .field("guest", &self.guest)
-            .field("host_pt", &self.host_pt)
-            .finish()
+        f.debug_struct("NestedMemory").field("guest", &self.guest).field("host_pt", &self.host_pt).finish()
     }
 }
 
@@ -129,7 +126,12 @@ impl NestedMemory {
                 } else {
                     for i in 0..512u64 {
                         let hframe = self.host_alloc.alloc_4k();
-                        self.host_pt.map(gpa_base.add(i * 4096), hframe, PageSize::Size4K, &mut self.host_alloc);
+                        self.host_pt.map(
+                            gpa_base.add(i * 4096),
+                            hframe,
+                            PageSize::Size4K,
+                            &mut self.host_alloc,
+                        );
                     }
                 }
             }
@@ -143,18 +145,20 @@ impl NestedMemory {
         let mut off = 0;
         while off < region.bytes {
             let gva = region.at(off);
-            let (gpa, gsize) = self
-                .guest
-                .page_table
-                .translate(gva)
-                .expect("region must be guest-mapped");
+            let (gpa, gsize) = self.guest.page_table.translate(gva).expect("region must be guest-mapped");
             if gsize == PageSize::Size2M {
                 let (hpa, hsize) = self.host_translate(gpa).expect("gpa must be host-mapped");
                 if hsize == PageSize::Size2M && hpa.page_offset(PageSize::Size2M) == 0 {
-                    self.shadow.table.map(gva, hpa.frame(PageSize::Size4K), PageSize::Size2M, &mut self.host_alloc);
+                    self.shadow.table.map(
+                        gva,
+                        hpa.frame(PageSize::Size4K),
+                        PageSize::Size2M,
+                        &mut self.host_alloc,
+                    );
                 } else {
                     for i in 0..512u64 {
-                        let (hpa, _) = self.host_translate(gpa.add(i * 4096)).expect("gpa must be host-mapped");
+                        let (hpa, _) =
+                            self.host_translate(gpa.add(i * 4096)).expect("gpa must be host-mapped");
                         self.shadow.table.map(
                             gva.add(i * 4096),
                             hpa.frame(PageSize::Size4K),
@@ -166,9 +170,12 @@ impl NestedMemory {
                 off += 2 << 20;
             } else {
                 let (hpa, _) = self.host_translate(gpa).expect("gpa must be host-mapped");
-                self.shadow
-                    .table
-                    .map(gva, hpa.frame(PageSize::Size4K), PageSize::Size4K, &mut self.host_alloc);
+                self.shadow.table.map(
+                    gva,
+                    hpa.frame(PageSize::Size4K),
+                    PageSize::Size4K,
+                    &mut self.host_alloc,
+                );
                 off += 4096;
             }
         }

@@ -67,7 +67,11 @@ impl Walk {
 
     /// Full output physical address for `va`.
     pub fn output(&self, va: VirtAddr) -> PhysAddr {
-        PhysAddr::from_frame(self.frame >> (self.page_size.shift() - 12), self.page_size, va.page_offset(self.page_size))
+        PhysAddr::from_frame(
+            self.frame >> (self.page_size.shift() - 12),
+            self.page_size,
+            va.page_offset(self.page_size),
+        )
     }
 }
 
@@ -192,7 +196,13 @@ impl RadixPageTable {
             }
             if is_leaf(entry) {
                 let pte = decode_leaf(entry);
-                return Some(Walk { steps, len, frame: pte.frame(), page_size: pte.page_size(), leaf_pte: pte });
+                return Some(Walk {
+                    steps,
+                    len,
+                    frame: pte.frame(),
+                    page_size: pte.page_size(),
+                    leaf_pte: pte,
+                });
             }
             if level == 0 {
                 return None; // malformed: non-leaf at PT level

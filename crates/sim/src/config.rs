@@ -132,7 +132,11 @@ impl SystemConfig {
 
     /// Victima (the paper's design point).
     pub fn victima() -> Self {
-        Self::base("Victima", TranslationMechanism::Victima(victima::VictimaConfig::default()), ExecMode::Native)
+        Self::base(
+            "Victima",
+            TranslationMechanism::Victima(victima::VictimaConfig::default()),
+            ExecMode::Native,
+        )
     }
 
     /// Victima plus a 64K-entry in-memory STLB behind it (Sec. 10's

@@ -1,0 +1,305 @@
+//! Parallel batch execution engine.
+//!
+//! Every result in the paper is a matrix of (workload × config × mode)
+//! simulations. [`SimEngine`] takes that matrix as a flat `Vec` of
+//! [`RunSpec`]s, fans the runs out across a scoped worker pool, and
+//! returns [`RunResult`]s in submission order. Each run is a pure
+//! function of its spec — workloads are constructed *on the worker* from
+//! the registry's `Send` builders and seeded per spec — so the returned
+//! statistics are byte-identical regardless of worker count or schedule.
+//!
+//! The worker count comes from the `VICTIMA_JOBS` environment variable,
+//! defaulting to the machine's available parallelism (see DESIGN.md,
+//! "Scale knobs").
+//!
+//! # Examples
+//!
+//! ```
+//! use sim::{RunSpec, SimEngine, SystemConfig};
+//! use workloads::Scale;
+//!
+//! let engine = SimEngine::with_jobs(2);
+//! let specs = vec![
+//!     RunSpec::new("RND", SystemConfig::radix(), Scale::Tiny, 5_000, 50_000),
+//!     RunSpec::new("RND", SystemConfig::victima(), Scale::Tiny, 5_000, 50_000),
+//! ];
+//! let results = engine.run_batch(specs);
+//! assert_eq!(results[0].config_name, "Radix");
+//! assert!(results[1].stats.instructions >= 50_000);
+//! ```
+
+use crate::config::SystemConfig;
+use crate::stats::SimStats;
+use crate::system::System;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use victima::features::FeatureTracker;
+use workloads::{registry, Scale};
+
+/// One simulation to run: a (workload, config, scale, budgets, seed)
+/// tuple. Specs are cheap to clone and `Send`, so batches can be built
+/// anywhere and executed on any worker.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Registry workload abbreviation ("BFS", "RND", …).
+    pub workload: String,
+    /// The system to simulate.
+    pub config: SystemConfig,
+    /// Workload footprint scale.
+    pub scale: Scale,
+    /// Warm-up instructions (statistics discarded).
+    pub warmup: u64,
+    /// Measured instructions.
+    pub instructions: u64,
+    /// Base seed for the run: drives the workload generator and the
+    /// system's allocators. Defaults to the config's seed; two specs
+    /// differing only in seed simulate statistically independent runs.
+    pub seed: u64,
+    /// Collect per-page Table 1 features during the measured window
+    /// (slower; used by the Table 2 design study).
+    pub collect_features: bool,
+}
+
+impl RunSpec {
+    /// Creates a spec with no feature collection. The run seed is taken
+    /// from `config.seed`, so a caller-seeded [`SystemConfig`] keeps its
+    /// seed; [`RunSpec::with_seed`] overrides it for the whole run.
+    pub fn new(
+        workload: impl Into<String>,
+        config: SystemConfig,
+        scale: Scale,
+        warmup: u64,
+        instructions: u64,
+    ) -> Self {
+        let seed = config.seed;
+        Self { workload: workload.into(), config, scale, warmup, instructions, seed, collect_features: false }
+    }
+
+    /// Overrides the run seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables per-page feature collection.
+    pub fn with_features(mut self) -> Self {
+        self.collect_features = true;
+        self
+    }
+
+    /// A short "config/workload" label for logs.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.config.name, self.workload)
+    }
+}
+
+/// The outcome of one [`RunSpec`].
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Index of the spec in the submitted batch.
+    pub index: usize,
+    /// The spec's workload abbreviation.
+    pub workload: String,
+    /// The spec's config display name.
+    pub config_name: String,
+    /// End-of-run statistics.
+    pub stats: SimStats,
+    /// Wall-clock time this run took on its worker.
+    pub wall: Duration,
+    /// The feature tracker, when the spec asked for collection.
+    pub features: Option<FeatureTracker>,
+}
+
+/// Multi-threaded batch runner over [`RunSpec`]s.
+#[derive(Clone, Debug)]
+pub struct SimEngine {
+    jobs: usize,
+}
+
+fn env_jobs() -> usize {
+    std::env::var("VICTIMA_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+impl SimEngine {
+    /// Creates an engine with the worker count from `VICTIMA_JOBS`
+    /// (default: available parallelism).
+    pub fn new() -> Self {
+        Self::with_jobs(env_jobs())
+    }
+
+    /// Creates an engine with an explicit worker count (clamped to ≥ 1).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Builds and runs one spec to completion. Pure function of the spec
+    /// (plus `index`, which is echoed into the result): this is the unit
+    /// of work the pool schedules, and the determinism guarantee rests on
+    /// it touching no shared state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec names an unknown workload or pairs a mechanism
+    /// with an unsupported execution mode.
+    pub fn run_one(index: usize, spec: &RunSpec) -> RunResult {
+        let start = Instant::now();
+        let mut cfg = spec.config.clone();
+        cfg.seed = spec.seed;
+        crate::virt::assert_mode_supported(&cfg.mechanism, cfg.mode);
+        let workload = registry::by_name_seeded(&spec.workload, spec.scale, spec.seed)
+            .unwrap_or_else(|| panic!("unknown workload {}", spec.workload));
+        let mut sys = System::new(cfg, workload);
+        if spec.collect_features {
+            sys.enable_feature_tracking();
+        }
+        sys.run_with_warmup(spec.warmup, spec.instructions);
+        sys.finalize_stats();
+        RunResult {
+            index,
+            workload: spec.workload.clone(),
+            config_name: spec.config.name.clone(),
+            stats: sys.stats.clone(),
+            wall: start.elapsed(),
+            features: sys.tracker.take(),
+        }
+    }
+
+    /// Runs a batch across the worker pool. Results come back in
+    /// submission order and are byte-identical for any worker count.
+    pub fn run_batch(&self, specs: Vec<RunSpec>) -> Vec<RunResult> {
+        let n = self.jobs.min(specs.len());
+        if n <= 1 {
+            return specs.iter().enumerate().map(|(i, s)| Self::run_one(i, s)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..n {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let result = Self::run_one(i, &specs[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("result slot poisoned").expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Runs one config over the full 11-workload suite (figure order).
+    pub fn run_suite(
+        &self,
+        cfg: &SystemConfig,
+        scale: Scale,
+        warmup: u64,
+        instructions: u64,
+    ) -> Vec<RunResult> {
+        self.run_batch(suite_specs(cfg, scale, warmup, instructions))
+    }
+}
+
+impl Default for SimEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The 11 suite specs for one config, in figure order.
+pub fn suite_specs(cfg: &SystemConfig, scale: Scale, warmup: u64, instructions: u64) -> Vec<RunSpec> {
+    registry::WORKLOAD_NAMES
+        .iter()
+        .map(|&name| RunSpec::new(name, cfg.clone(), scale, warmup, instructions))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_specs() -> Vec<RunSpec> {
+        vec![
+            RunSpec::new("RND", SystemConfig::radix(), Scale::Tiny, 2_000, 20_000),
+            RunSpec::new("RND", SystemConfig::victima(), Scale::Tiny, 2_000, 20_000),
+            RunSpec::new("XS", SystemConfig::radix(), Scale::Tiny, 2_000, 20_000),
+            // A duplicate of the first spec: must produce identical stats.
+            RunSpec::new("RND", SystemConfig::radix(), Scale::Tiny, 2_000, 20_000),
+        ]
+    }
+
+    #[test]
+    fn results_preserve_submission_order() {
+        let results = SimEngine::with_jobs(3).run_batch(tiny_specs());
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+        }
+        assert_eq!(results[0].config_name, "Radix");
+        assert_eq!(results[1].config_name, "Victima");
+        assert_eq!(results[2].workload, "XS");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_stats() {
+        let seq = SimEngine::with_jobs(1).run_batch(tiny_specs());
+        let par = SimEngine::with_jobs(4).run_batch(tiny_specs());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.stats, b.stats, "{}: stats diverged across worker counts", a.workload);
+        }
+    }
+
+    #[test]
+    fn duplicated_specs_produce_identical_stats() {
+        let results = SimEngine::with_jobs(2).run_batch(tiny_specs());
+        assert_eq!(results[0].stats, results[3].stats);
+    }
+
+    #[test]
+    fn seed_changes_the_run() {
+        let base = RunSpec::new("RND", SystemConfig::radix(), Scale::Tiny, 2_000, 20_000);
+        let reseeded = base.clone().with_seed(0xfeed);
+        let results = SimEngine::with_jobs(2).run_batch(vec![base, reseeded]);
+        assert_ne!(results[0].stats, results[1].stats, "a fresh seed must perturb the run");
+    }
+
+    #[test]
+    fn feature_collection_rides_along() {
+        let spec = RunSpec::new("RND", SystemConfig::radix(), Scale::Tiny, 2_000, 20_000).with_features();
+        let r = SimEngine::with_jobs(1).run_batch(vec![spec]);
+        assert!(r[0].features.is_some());
+        assert!(!r[0].features.as_ref().unwrap().dataset(0.3).is_empty());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(SimEngine::with_jobs(4).run_batch(Vec::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let spec = RunSpec::new("NOPE", SystemConfig::radix(), Scale::Tiny, 10, 10);
+        SimEngine::with_jobs(1).run_batch(vec![spec]);
+    }
+
+    #[test]
+    fn env_jobs_parsing() {
+        // Engine clamps to >= 1 regardless of input.
+        assert_eq!(SimEngine::with_jobs(0).jobs(), 1);
+        assert_eq!(SimEngine::with_jobs(7).jobs(), 7);
+    }
+}

@@ -10,6 +10,11 @@
 //! (`workloads`). Both native execution and virtualised execution (nested
 //! paging, ideal shadow paging) are supported (Sec. 8, Table 3).
 //!
+//! Sweeps — the paper's (workload × config) result matrices — run through
+//! the parallel batch engine: build a `Vec` of [`RunSpec`]s and hand it
+//! to a [`SimEngine`], which fans the runs out over `VICTIMA_JOBS`
+//! workers and returns deterministic results in submission order.
+//!
 //! # Examples
 //!
 //! ```
@@ -23,6 +28,7 @@
 //! ```
 
 pub mod config;
+pub mod engine;
 pub mod epochs;
 pub mod runner;
 pub mod stats;
@@ -30,6 +36,7 @@ pub mod system;
 pub mod virt;
 
 pub use config::{ExecMode, SystemConfig, TimingConfig, TranslationMechanism};
+pub use engine::{suite_specs, RunResult, RunSpec, SimEngine};
 pub use epochs::EpochTracker;
 pub use runner::Runner;
 pub use stats::SimStats;

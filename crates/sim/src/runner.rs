@@ -1,7 +1,10 @@
 //! Convenience layer for building and running systems on the paper's
-//! workload suite.
+//! workload suite. A [`Runner`] is a thin wrapper over the parallel
+//! batch engine ([`SimEngine`]): it pins a scale and default budgets and
+//! turns (workload, config) pairs into [`crate::RunSpec`]s.
 
 use crate::config::SystemConfig;
+use crate::engine::{suite_specs, RunSpec, SimEngine};
 use crate::stats::SimStats;
 use crate::system::System;
 use workloads::{registry, Scale};
@@ -47,18 +50,22 @@ impl Runner {
     /// Panics if `workload` is not one of the paper's 11 names.
     pub fn build(&self, workload: &str, cfg: &SystemConfig) -> System {
         crate::virt::assert_mode_supported(&cfg.mechanism, cfg.mode);
-        let w = registry::by_name(workload, self.scale)
-            .unwrap_or_else(|| panic!("unknown workload {workload}"));
+        let w =
+            registry::by_name(workload, self.scale).unwrap_or_else(|| panic!("unknown workload {workload}"));
         System::new(cfg.clone(), w)
+    }
+
+    /// Turns one (workload, config) pair into a batch spec with the
+    /// runner's scale and default budgets.
+    pub fn spec(&self, workload: &str, cfg: &SystemConfig) -> RunSpec {
+        RunSpec::new(workload, cfg.clone(), self.scale, self.warmup, self.instructions)
     }
 
     /// Builds, warms, runs and finalises one (workload, system) pair with
     /// explicit budgets.
     pub fn run(&self, workload: &str, cfg: &SystemConfig, warmup: u64, instructions: u64) -> SimStats {
-        let mut sys = self.build(workload, cfg);
-        sys.run_with_warmup(warmup, instructions);
-        sys.finalize_stats();
-        sys.stats.clone()
+        let spec = RunSpec::new(workload, cfg.clone(), self.scale, warmup, instructions);
+        SimEngine::run_one(0, &spec).stats
     }
 
     /// Runs with the runner's default budgets.
@@ -66,13 +73,13 @@ impl Runner {
         self.run(workload, cfg, self.warmup, self.instructions)
     }
 
-    /// Runs the full 11-workload suite sequentially, returning
-    /// `(name, stats)` pairs in figure order.
+    /// Runs the full 11-workload suite through the parallel engine
+    /// (`VICTIMA_JOBS` workers), returning `(name, stats)` pairs in
+    /// figure order.
     pub fn run_suite(&self, cfg: &SystemConfig) -> Vec<(&'static str, SimStats)> {
-        registry::WORKLOAD_NAMES
-            .iter()
-            .map(|&name| (name, self.run_default(name, cfg)))
-            .collect()
+        let engine = SimEngine::new();
+        let results = engine.run_batch(suite_specs(cfg, self.scale, self.warmup, self.instructions));
+        registry::WORKLOAD_NAMES.iter().zip(results).map(|(&name, r)| (name, r.stats)).collect()
     }
 }
 

@@ -3,7 +3,11 @@
 use vm_types::{Histogram, ReuseHistogram};
 
 /// Aggregate statistics of one simulation run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every counter and distribution exactly — the
+/// batch engine's determinism tests rely on byte-identical stats across
+/// worker counts.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimStats {
     /// Instructions executed (memory + gap instructions).
     pub instructions: u64,

@@ -95,8 +95,7 @@ impl System {
             | TranslationMechanism::VictimaPom(..) => Box::new(TlbAwareSrrip::new()),
             _ => Box::new(Srrip::new()),
         };
-        let mut hier = Hierarchy::with_l2_policy(cfg.hierarchy.clone(), l2_policy);
-        let _ = &mut hier;
+        let hier = Hierarchy::with_l2_policy(cfg.hierarchy.clone(), l2_policy);
 
         // Build the memory image and map regions.
         let (memory, code, bases, pom_base) = match cfg.mode {
@@ -140,9 +139,7 @@ impl System {
 
         let pom = match (&cfg.mechanism, pom_base) {
             (TranslationMechanism::PomTlb(p), Some(base))
-            | (TranslationMechanism::VictimaPom(_, p), Some(base)) => {
-                Some(PomTlb::new(p.clone(), base))
-            }
+            | (TranslationMechanism::VictimaPom(_, p), Some(base)) => Some(PomTlb::new(p.clone(), base)),
             _ => None,
         };
         let victima = match &cfg.mechanism {
@@ -381,7 +378,9 @@ impl System {
     #[inline]
     fn entry_pa(&self, e: &TlbEntry, va: VirtAddr) -> PhysAddr {
         match e.size {
-            PageSize::Size4K => PhysAddr::from_frame(e.frame, PageSize::Size4K, va.page_offset(PageSize::Size4K)),
+            PageSize::Size4K => {
+                PhysAddr::from_frame(e.frame, PageSize::Size4K, va.page_offset(PageSize::Size4K))
+            }
             PageSize::Size2M => {
                 PhysAddr::from_frame(e.frame >> 9, PageSize::Size2M, va.page_offset(PageSize::Size2M))
             }

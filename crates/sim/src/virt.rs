@@ -80,11 +80,7 @@ impl System {
             let mut pom_lat: Cycles = 0;
             let mut hit: Option<TlbEntry> = None;
             for size in PageSize::ALL {
-                let lk = self
-                    .pom
-                    .as_mut()
-                    .expect("checked")
-                    .lookup(gva.vpn(size), self.asid, size);
+                let lk = self.pom.as_mut().expect("checked").lookup(gva.vpn(size), self.asid, size);
                 let r = self.hier.access(lk.line, false, MemClass::PomTlb, &ctx);
                 pom_lat = pom_lat.max(r.latency);
                 if let Some(frame) = lk.frame {
@@ -123,11 +119,7 @@ impl System {
             let Memory::Virt { nested } = &self.memory else {
                 unreachable!("virtualised flow");
             };
-            nested
-                .guest
-                .page_table
-                .walk(gva)
-                .unwrap_or_else(|| panic!("guest page fault at {gva}"))
+            nested.guest.page_table.walk(gva).unwrap_or_else(|| panic!("guest page fault at {gva}"))
         };
         let leaf_level = gw.page_size.leaf_level();
         let mut guest_lat = PWC_LATENCY;
@@ -205,7 +197,14 @@ impl System {
                 let inserted = if demand {
                     v.insert_after_walk(self.hier.l2_mut(), gva, self.asid, BlockKind::Tlb, &wo, &ctx)
                 } else {
-                    v.insert_after_eviction_walk(self.hier.l2_mut(), gva, self.asid, BlockKind::Tlb, &wo, &ctx)
+                    v.insert_after_eviction_walk(
+                        self.hier.l2_mut(),
+                        gva,
+                        self.asid,
+                        BlockKind::Tlb,
+                        &wo,
+                        &ctx,
+                    )
                 };
                 if inserted {
                     self.stats.victima_inserts += 1;
@@ -213,11 +212,7 @@ impl System {
             }
         }
 
-        MissResolution {
-            entry,
-            latency: guest_lat + host_lat,
-            components: [0, 0, guest_lat, host_lat],
-        }
+        MissResolution { entry, latency: guest_lat + host_lat, components: [0, 0, guest_lat, host_lat] }
     }
 
     /// Builds the composed gVA→hPA entry without timing — the TLB-block
@@ -244,7 +239,12 @@ impl System {
         }
         let gpa_piece = PhysAddr::new(gpa.raw() & !0xfff);
         let (hpa_piece, _) = nested.host_translate(gpa_piece).expect("gpa host-mapped");
-        TlbEntry::new(gva.vpn(PageSize::Size4K), self.asid, PageSize::Size4K, hpa_piece.frame(PageSize::Size4K))
+        TlbEntry::new(
+            gva.vpn(PageSize::Size4K),
+            self.asid,
+            PageSize::Size4K,
+            hpa_piece.frame(PageSize::Size4K),
+        )
     }
 
     /// Builds the composed (possibly splintered) gVA→hPA TLB entry for a
@@ -411,8 +411,14 @@ impl System {
         };
         if let Some(w) = walk {
             let v = self.victima.as_mut().expect("checked above");
-            if v.insert_after_eviction_walk(self.hier.l2_mut(), ev_va, ev.asid, BlockKind::NestedTlb, &w, &ctx)
-            {
+            if v.insert_after_eviction_walk(
+                self.hier.l2_mut(),
+                ev_va,
+                ev.asid,
+                BlockKind::NestedTlb,
+                &w,
+                &ctx,
+            ) {
                 self.stats.victima_inserts += 1;
             }
         }
@@ -450,7 +456,9 @@ impl System {
 #[inline]
 fn compose(frame: u64, size: PageSize, gpa_va: VirtAddr) -> PhysAddr {
     match size {
-        PageSize::Size4K => PhysAddr::from_frame(frame, PageSize::Size4K, gpa_va.page_offset(PageSize::Size4K)),
+        PageSize::Size4K => {
+            PhysAddr::from_frame(frame, PageSize::Size4K, gpa_va.page_offset(PageSize::Size4K))
+        }
         PageSize::Size2M => {
             PhysAddr::from_frame(frame >> 9, PageSize::Size2M, gpa_va.page_offset(PageSize::Size2M))
         }

@@ -71,11 +71,7 @@ impl MmuConfig {
     /// The CACTI-modelled latency for an L2 TLB of `entries` entries
     /// (12 cycles for the 1.5K baseline, Fig. 7's ladder beyond).
     pub fn cacti_latency(entries: usize) -> Cycles {
-        CACTI_L2_TLB_LATENCY
-            .iter()
-            .find(|(e, _)| *e == entries)
-            .map(|&(_, l)| l)
-            .unwrap_or(12)
+        CACTI_L2_TLB_LATENCY.iter().find(|(e, _)| *e == entries).map(|&(_, l)| l).unwrap_or(12)
     }
 }
 

@@ -164,9 +164,8 @@ impl PomTlb {
         let tick = self.tick;
         let start = set * self.cfg.ways;
         let set_slice = &mut self.entries[start..start + self.cfg.ways];
-        let way = if let Some(w) = set_slice
-            .iter()
-            .position(|e| e.valid && e.vpn == vpn && e.asid == asid && e.size == size)
+        let way = if let Some(w) =
+            set_slice.iter().position(|e| e.valid && e.vpn == vpn && e.asid == asid && e.size == size)
         {
             w
         } else if let Some(w) = set_slice.iter().position(|e| !e.valid) {

@@ -87,7 +87,11 @@ impl TlbConfig {
     /// Panics if geometry is inconsistent or the set count is not a power
     /// of two.
     pub fn num_sets(&self) -> usize {
-        assert!(self.ways > 0 && self.entries.is_multiple_of(self.ways), "{}: entries must divide by ways", self.name);
+        assert!(
+            self.ways > 0 && self.entries.is_multiple_of(self.ways),
+            "{}: entries must divide by ways",
+            self.name
+        );
         let sets = self.entries / self.ways;
         assert!(sets.is_power_of_two(), "{}: set count {} must be a power of two", self.name, sets);
         sets
@@ -221,13 +225,12 @@ impl SetAssocTlb {
         // Otherwise pick an invalid way or the LRU victim.
         let victim_idx = match set.iter().position(|e| !e.valid) {
             Some(i) => i,
-            None => {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.lru_stamp)
-                    .map(|(i, _)| i)
-                    .expect("TLB sets are never empty")
-            }
+            None => set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru_stamp)
+                .map(|(i, _)| i)
+                .expect("TLB sets are never empty"),
         };
         let displaced = set[victim_idx].valid.then_some(set[victim_idx]);
         if displaced.is_some() {

@@ -277,7 +277,9 @@ mod tests {
     #[test]
     fn reuse_buckets_match_paper() {
         let mut r = ReuseHistogram::new();
-        for (reuse, expected_bucket) in [(0, 0), (1, 1), (4, 1), (5, 2), (9, 2), (10, 3), (19, 3), (20, 4), (500, 4)] {
+        for (reuse, expected_bucket) in
+            [(0, 0), (1, 1), (4, 1), (5, 2), (9, 2), (10, 3), (19, 3), (20, 4), (500, 4)]
+        {
             let before = r.counts();
             r.record(reuse);
             let after = r.counts();

@@ -114,10 +114,7 @@ mod tests {
         for _ in 0..20_000 {
             let r = s.next_ref();
             let va = r.vaddr.raw();
-            assert!(
-                ranges.iter().any(|&(b, sz)| va >= b && va < b + sz),
-                "stray access at {va:#x}"
-            );
+            assert!(ranges.iter().any(|&(b, sz)| va >= b && va < b + sz), "stray access at {va:#x}");
         }
     }
 

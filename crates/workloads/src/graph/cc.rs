@@ -96,10 +96,7 @@ mod tests {
             stores_per_sweep.push(stores);
         }
         let (first, last) = (stores_per_sweep[0], *stores_per_sweep.last().unwrap());
-        assert!(
-            last < first * 4 / 5,
-            "label propagation converges: {stores_per_sweep:?}"
-        );
+        assert!(last < first * 4 / 5, "label propagation converges: {stores_per_sweep:?}");
     }
 
     #[test]

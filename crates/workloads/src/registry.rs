@@ -1,6 +1,9 @@
 //! The paper's Table 4 workload suite, constructed by name.
 
-use crate::graph::{bc::Bc, bfs::Bfs, cc::ConnectedComponents, gc::GraphColoring, pagerank::PageRank, sssp::Sssp, tc::TriangleCount};
+use crate::graph::{
+    bc::Bc, bfs::Bfs, cc::ConnectedComponents, gc::GraphColoring, pagerank::PageRank, sssp::Sssp,
+    tc::TriangleCount,
+};
 use crate::{dlrm::Dlrm, genomics::Genomics, gups::Gups, xsbench::XsBench, Scale, Workload};
 use vm_types::DEFAULT_SEED;
 
@@ -8,23 +11,42 @@ use vm_types::DEFAULT_SEED;
 pub const WORKLOAD_NAMES: [&str; 11] =
     ["BC", "BFS", "CC", "DLRM", "GEN", "GC", "PR", "RND", "SSSP", "TC", "XS"];
 
-/// Constructs one workload by its paper abbreviation.
-pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
-    let seed = DEFAULT_SEED;
+/// A `Send + Sync` workload constructor: `(scale, base seed) → workload`.
+///
+/// Builders are plain function pointers so run specifications can be
+/// shipped across threads and each worker constructs its own workload
+/// instance locally (the `sim` batch engine depends on this).
+pub type WorkloadBuilder = fn(Scale, u64) -> Box<dyn Workload>;
+
+/// Looks up the builder for one paper abbreviation. Each builder XORs a
+/// per-workload salt into the base seed so every generator draws from an
+/// independent stream even when all specs share one seed.
+pub fn builder(name: &str) -> Option<WorkloadBuilder> {
     Some(match name {
-        "BC" => Box::new(Bc::new(scale, seed ^ 0xbc)),
-        "BFS" => Box::new(Bfs::new(scale, seed ^ 0xbf5)),
-        "CC" => Box::new(ConnectedComponents::new(scale, seed ^ 0xcc)),
-        "DLRM" => Box::new(Dlrm::new(scale, seed ^ 0xd1)),
-        "GEN" => Box::new(Genomics::new(scale, seed ^ 0x6e)),
-        "GC" => Box::new(GraphColoring::new(scale, seed ^ 0x6c)),
-        "PR" => Box::new(PageRank::new(scale, seed ^ 0x97)),
-        "RND" => Box::new(Gups::new(scale, seed ^ 0x9d)),
-        "SSSP" => Box::new(Sssp::new(scale, seed ^ 0x55)),
-        "TC" => Box::new(TriangleCount::new(scale, seed ^ 0x7c)),
-        "XS" => Box::new(XsBench::new(scale, seed ^ 0x5b)),
+        "BC" => |scale, seed| Box::new(Bc::new(scale, seed ^ 0xbc)),
+        "BFS" => |scale, seed| Box::new(Bfs::new(scale, seed ^ 0xbf5)),
+        "CC" => |scale, seed| Box::new(ConnectedComponents::new(scale, seed ^ 0xcc)),
+        "DLRM" => |scale, seed| Box::new(Dlrm::new(scale, seed ^ 0xd1)),
+        "GEN" => |scale, seed| Box::new(Genomics::new(scale, seed ^ 0x6e)),
+        "GC" => |scale, seed| Box::new(GraphColoring::new(scale, seed ^ 0x6c)),
+        "PR" => |scale, seed| Box::new(PageRank::new(scale, seed ^ 0x97)),
+        "RND" => |scale, seed| Box::new(Gups::new(scale, seed ^ 0x9d)),
+        "SSSP" => |scale, seed| Box::new(Sssp::new(scale, seed ^ 0x55)),
+        "TC" => |scale, seed| Box::new(TriangleCount::new(scale, seed ^ 0x7c)),
+        "XS" => |scale, seed| Box::new(XsBench::new(scale, seed ^ 0x5b)),
         _ => return None,
     })
+}
+
+/// Constructs one workload by its paper abbreviation with an explicit
+/// base seed.
+pub fn by_name_seeded(name: &str, scale: Scale, seed: u64) -> Option<Box<dyn Workload>> {
+    builder(name).map(|b| b(scale, seed))
+}
+
+/// Constructs one workload by its paper abbreviation (default seed).
+pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
+    by_name_seeded(name, scale, DEFAULT_SEED)
 }
 
 /// Constructs the full suite in figure order.
@@ -48,6 +70,45 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(by_name("NOPE", Scale::Tiny).is_none());
+        assert!(builder("NOPE").is_none());
+    }
+
+    #[test]
+    fn builders_are_send_and_seed_sensitive() {
+        fn assert_send<T: Send + Sync>(_: &T) {}
+        let b = builder("RND").unwrap();
+        assert_send(&b);
+        // A builder constructed on another thread streams identically to
+        // one constructed locally with the same seed.
+        let local = {
+            let mut w = b(Scale::Tiny, 1234);
+            let bases: Vec<VirtAddr> =
+                (0..w.region_specs().len()).map(|i| VirtAddr::new(0x10_0000_0000 * (i as u64 + 1))).collect();
+            w.init(&bases);
+            let mut s = crate::WorkloadStream::new(w);
+            (0..64).map(|_| s.next_ref().vaddr.raw()).collect::<Vec<_>>()
+        };
+        let remote = std::thread::spawn(move || {
+            let mut w = b(Scale::Tiny, 1234);
+            let bases: Vec<VirtAddr> =
+                (0..w.region_specs().len()).map(|i| VirtAddr::new(0x10_0000_0000 * (i as u64 + 1))).collect();
+            w.init(&bases);
+            let mut s = crate::WorkloadStream::new(w);
+            (0..64).map(|_| s.next_ref().vaddr.raw()).collect::<Vec<_>>()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(local, remote);
+        // A different seed must produce a different stream.
+        let reseeded = {
+            let mut w = by_name_seeded("RND", Scale::Tiny, 9999).unwrap();
+            let bases: Vec<VirtAddr> =
+                (0..w.region_specs().len()).map(|i| VirtAddr::new(0x10_0000_0000 * (i as u64 + 1))).collect();
+            w.init(&bases);
+            let mut s = crate::WorkloadStream::new(w);
+            (0..64).map(|_| s.next_ref().vaddr.raw()).collect::<Vec<_>>()
+        };
+        assert_ne!(local, reseeded);
     }
 
     #[test]
@@ -58,9 +119,8 @@ mod tests {
             assert!(!specs.is_empty(), "{name} declares regions");
             assert!(specs.iter().all(|s| s.bytes > 0));
             assert!(specs.iter().all(|s| (0.0..=1.0).contains(&s.huge_fraction)));
-            let bases: Vec<VirtAddr> = (0..specs.len())
-                .map(|i| VirtAddr::new(0x10_0000_0000 + i as u64 * 0x8_0000_0000))
-                .collect();
+            let bases: Vec<VirtAddr> =
+                (0..specs.len()).map(|i| VirtAddr::new(0x10_0000_0000 + i as u64 * 0x8_0000_0000)).collect();
             w.init(&bases);
             let mut stream = crate::WorkloadStream::new(w);
             for _ in 0..10_000 {

@@ -1,22 +1,24 @@
 //! Quickstart: run the GUPS random-access workload on the baseline and on
-//! Victima, and print the headline numbers the paper leads with.
+//! Victima — as one parallel batch — and print the headline numbers the
+//! paper leads with.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use victima_repro::sim::{Runner, SystemConfig};
+use victima_repro::sim::{RunSpec, SimEngine, SystemConfig};
 use victima_repro::workloads::Scale;
 
 fn main() {
     // Paper-scale footprints; ~1M measured instructions keeps this quick.
-    let runner = Runner::with_budget(Scale::Full, 100_000, 1_000_000);
-
-    println!("building + warming the baseline (Radix) on RND ...");
-    let baseline = runner.run_default("RND", &SystemConfig::radix());
-
-    println!("building + warming Victima on RND ...");
-    let victima = runner.run_default("RND", &SystemConfig::victima());
+    let (warmup, instructions) = (100_000, 1_000_000);
+    let engine = SimEngine::new();
+    println!("running Radix and Victima on RND as one batch ({} worker(s)) ...", engine.jobs());
+    let results = engine.run_batch(vec![
+        RunSpec::new("RND", SystemConfig::radix(), Scale::Full, warmup, instructions),
+        RunSpec::new("RND", SystemConfig::victima(), Scale::Full, warmup, instructions),
+    ]);
+    let (baseline, victima) = (&results[0].stats, &results[1].stats);
 
     println!();
     println!("                      {:>12} {:>12}", "Radix", "Victima");
@@ -28,16 +30,17 @@ fn main() {
         baseline.l2_miss_latency(),
         victima.l2_miss_latency()
     );
-    println!(
-        "TLB-block reach       {:>12} {:>9.0} MB",
-        "-",
-        victima.reach_mean_bytes / (1 << 20) as f64
-    );
+    println!("TLB-block reach       {:>12} {:>9.0} MB", "-", victima.reach_mean_bytes / (1 << 20) as f64);
     println!();
     println!(
         "Victima speedup over Radix: {:.1}%  (PTW reduction {:.0}%, served {} misses from the L2 cache)",
-        (victima.speedup_over(&baseline) - 1.0) * 100.0,
-        victima.ptw_reduction_vs(&baseline) * 100.0,
+        (victima.speedup_over(baseline) - 1.0) * 100.0,
+        victima.ptw_reduction_vs(baseline) * 100.0,
         victima.victima_hits,
+    );
+    println!(
+        "wall-clock: Radix {:.1}s, Victima {:.1}s",
+        results[0].wall.as_secs_f64(),
+        results[1].wall.as_secs_f64()
     );
 }

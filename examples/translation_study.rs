@@ -1,6 +1,7 @@
 //! Translation-mechanism shoot-out on one workload: compares every native
 //! design the paper evaluates (large L2 TLBs — optimistic and realistic —
-//! an L3 TLB, POM-TLB, and Victima) on a workload of your choice.
+//! an L3 TLB, POM-TLB, and Victima) on a workload of your choice. All six
+//! systems run as one batch on the engine's worker pool.
 //!
 //! ```text
 //! cargo run --release --example translation_study [WORKLOAD]
@@ -8,7 +9,7 @@
 //!
 //! `WORKLOAD` is one of the paper's abbreviations (default: XS).
 
-use victima_repro::sim::{Runner, SystemConfig};
+use victima_repro::sim::{RunSpec, SimEngine, SystemConfig};
 use victima_repro::workloads::{registry::WORKLOAD_NAMES, Scale};
 
 fn main() {
@@ -17,29 +18,35 @@ fn main() {
         WORKLOAD_NAMES.contains(&workload.as_str()),
         "unknown workload {workload}; pick one of {WORKLOAD_NAMES:?}"
     );
-    let runner = Runner::with_budget(Scale::Full, 100_000, 1_000_000);
+    let (warmup, instructions) = (100_000, 1_000_000);
 
-    let systems = vec![
+    let systems = [
         SystemConfig::radix(),
-        SystemConfig::with_l2_tlb(65536, 12),  // optimistic big TLB
-        SystemConfig::with_l2_tlb(65536, 39),  // the same TLB at CACTI latency
-        SystemConfig::with_l3_tlb(65536, 15),  // hardware L3 TLB
-        SystemConfig::pom_tlb(),               // software-managed in-memory TLB
+        SystemConfig::with_l2_tlb(65536, 12), // optimistic big TLB
+        SystemConfig::with_l2_tlb(65536, 39), // the same TLB at CACTI latency
+        SystemConfig::with_l3_tlb(65536, 15), // hardware L3 TLB
+        SystemConfig::pom_tlb(),              // software-managed in-memory TLB
         SystemConfig::victima(),
     ];
+    // The whole sweep is one batch: the engine overlaps the six runs.
+    let specs: Vec<RunSpec> = systems
+        .iter()
+        .map(|cfg| RunSpec::new(workload.as_str(), cfg.clone(), Scale::Full, warmup, instructions))
+        .collect();
+    let results = SimEngine::new().run_batch(specs);
 
     println!("workload: {workload}\n");
     println!("{:<24} {:>8} {:>12} {:>10} {:>16}", "system", "IPC", "L2TLB MPKI", "PTWs", "speedup vs Radix");
-    let baseline = runner.run_default(&workload, &systems[0]);
-    for cfg in &systems {
-        let s = runner.run_default(&workload, cfg);
+    let baseline = &results[0].stats;
+    for r in &results {
+        let s = &r.stats;
         println!(
             "{:<24} {:>8.3} {:>12.1} {:>10} {:>15.1}%",
-            cfg.name,
+            r.config_name,
             s.ipc(),
             s.l2_tlb_mpki(),
             s.ptws,
-            (s.speedup_over(&baseline) - 1.0) * 100.0,
+            (s.speedup_over(baseline) - 1.0) * 100.0,
         );
     }
     println!("\nNote how the realistic 64K TLB (39 cycles) gives back most of the optimistic gain,");

@@ -1,11 +1,12 @@
 //! Virtualised execution: nested paging vs. ideal shadow paging vs.
-//! Victima with nested TLB blocks (Secs. 5.4 and 9.3 of the paper).
+//! Victima with nested TLB blocks (Secs. 5.4 and 9.3 of the paper). The
+//! four systems run as one batch on the engine's worker pool.
 //!
 //! ```text
 //! cargo run --release --example virtualized [WORKLOAD]
 //! ```
 
-use victima_repro::sim::{Runner, SystemConfig};
+use victima_repro::sim::{RunSpec, SimEngine, SystemConfig};
 use victima_repro::workloads::{registry::WORKLOAD_NAMES, Scale};
 
 fn main() {
@@ -14,30 +15,35 @@ fn main() {
         WORKLOAD_NAMES.contains(&workload.as_str()),
         "unknown workload {workload}; pick one of {WORKLOAD_NAMES:?}"
     );
-    let runner = Runner::with_budget(Scale::Full, 100_000, 1_000_000);
+    let (warmup, instructions) = (100_000, 1_000_000);
 
     println!("workload: {workload} (guest VM, two-level translation)\n");
-    let np = runner.run_default(&workload, &SystemConfig::nested_paging());
-    let systems = vec![
+    let systems = [
         SystemConfig::nested_paging(),
         SystemConfig::pom_tlb_virt(),
         SystemConfig::ideal_shadow_paging(),
         SystemConfig::victima_virt(),
     ];
+    let specs: Vec<RunSpec> = systems
+        .iter()
+        .map(|cfg| RunSpec::new(workload.as_str(), cfg.clone(), Scale::Full, warmup, instructions))
+        .collect();
+    let results = SimEngine::new().run_batch(specs);
+    let np = &results[0].stats;
     println!(
         "{:<16} {:>8} {:>12} {:>12} {:>12} {:>10}",
         "system", "IPC", "guest PTWs", "host PTWs", "miss lat", "speedup"
     );
-    for cfg in &systems {
-        let s = runner.run_default(&workload, cfg);
+    for r in &results {
+        let s = &r.stats;
         println!(
             "{:<16} {:>8.3} {:>12} {:>12} {:>12.0} {:>9.1}%",
-            cfg.name,
+            r.config_name,
             s.ipc(),
             s.ptws,
             s.host_ptws,
             s.l2_miss_latency(),
-            (s.speedup_over(&np) - 1.0) * 100.0,
+            (s.speedup_over(np) - 1.0) * 100.0,
         );
     }
     println!("\nVictima eliminates most host walks by caching nested TLB blocks in the L2 cache");

@@ -22,14 +22,17 @@
 //!
 //! # Quickstart
 //!
+//! Sweeps run as batches on the parallel engine — build the specs, hand
+//! them to a [`sim::SimEngine`], read results back in submission order:
+//!
 //! ```
-//! use victima_repro::sim::{Runner, SystemConfig};
+//! use victima_repro::sim::{RunSpec, SimEngine, SystemConfig};
 //! use victima_repro::workloads::Scale;
 //!
-//! let runner = Runner::with_budget(Scale::Tiny, 10_000, 100_000);
-//! let baseline = runner.run_default("RND", &SystemConfig::radix());
-//! let victima = runner.run_default("RND", &SystemConfig::victima());
-//! assert!(victima.speedup_over(&baseline) > 1.0);
+//! let specs = [SystemConfig::radix(), SystemConfig::victima()]
+//!     .map(|cfg| RunSpec::new("RND", cfg, Scale::Tiny, 10_000, 100_000));
+//! let results = SimEngine::new().run_batch(specs.to_vec());
+//! assert!(results[1].stats.speedup_over(&results[0].stats) > 1.0);
 //! ```
 
 pub use mem_sim as mem;

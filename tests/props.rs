@@ -1,108 +1,147 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants that the whole reproduction rests on.
+//! Randomized property tests over the core data structures and invariants
+//! that the whole reproduction rests on. Cases are drawn from the
+//! workspace's deterministic [`SplitMix64`] generator (no external
+//! property-testing dependency), so every failure is reproducible.
 
-use proptest::prelude::*;
 use victima_repro::mem::{BlockKind, Cache, CacheConfig, Lru, ReplacementCtx};
 use victima_repro::pt::{FrameAllocator, Pte, RadixPageTable};
 use victima_repro::tlb::{SetAssocTlb, TlbConfig, TlbEntry};
-use victima_repro::types::{Asid, PageSize, PhysAddr, VirtAddr};
+use victima_repro::types::{Asid, PageSize, PhysAddr, SplitMix64, VirtAddr};
 use victima_repro::victima::tlb_block;
 
-proptest! {
-    /// VPN/offset decomposition recomposes for both page sizes.
-    #[test]
-    fn va_decomposition_roundtrips(raw in 0u64..(1 << 48)) {
-        let va = VirtAddr::new(raw);
+const CASES: usize = 500;
+
+/// VPN/offset decomposition recomposes for both page sizes.
+#[test]
+fn va_decomposition_roundtrips() {
+    let mut rng = SplitMix64::new(0x9001);
+    for _ in 0..CASES {
+        let va = VirtAddr::new(rng.next_below(1 << 48));
         for size in PageSize::ALL {
             let recomposed = (va.vpn(size) << size.shift()) | va.page_offset(size);
-            prop_assert_eq!(recomposed, va.raw());
+            assert_eq!(recomposed, va.raw(), "va {:#x}", va.raw());
         }
     }
+}
 
-    /// Radix indices always fit 9 bits and identify the original VA
-    /// together with the page offset.
-    #[test]
-    fn radix_indices_cover_va(raw in 0u64..(1 << 48)) {
-        let va = VirtAddr::new(raw);
+/// Radix indices always fit 9 bits and identify the original VA together
+/// with the page offset.
+#[test]
+fn radix_indices_cover_va() {
+    let mut rng = SplitMix64::new(0x9002);
+    for _ in 0..CASES {
+        let va = VirtAddr::new(rng.next_below(1 << 48));
         let mut rebuilt = va.page_offset(PageSize::Size4K);
         for level in 0..4u8 {
             let idx = va.radix_index(level) as u64;
-            prop_assert!(idx < 512);
+            assert!(idx < 512);
             rebuilt |= idx << (12 + 9 * level as u64);
         }
-        prop_assert_eq!(rebuilt, va.raw());
+        assert_eq!(rebuilt, va.raw());
     }
+}
 
-    /// PTE counter updates never corrupt the frame / flags, from any
-    /// starting state.
-    #[test]
-    fn pte_counters_never_corrupt_mapping(frame in 0u64..(1 << 40), huge: bool, bumps in 0usize..40) {
+/// PTE counter updates never corrupt the frame / flags, from any starting
+/// state.
+#[test]
+fn pte_counters_never_corrupt_mapping() {
+    let mut rng = SplitMix64::new(0x9003);
+    for _ in 0..CASES {
+        let frame = rng.next_below(1 << 40);
+        let huge = rng.chance(0.5);
+        let bumps = rng.next_below(40) as usize;
         let size = if huge { PageSize::Size2M } else { PageSize::Size4K };
         let mut pte = Pte::leaf(frame, size);
         for i in 0..bumps {
-            if i % 2 == 0 { pte.bump_ptw_freq() } else { pte.bump_ptw_cost() }
+            if i % 2 == 0 {
+                pte.bump_ptw_freq()
+            } else {
+                pte.bump_ptw_cost()
+            }
         }
-        prop_assert_eq!(pte.frame(), frame & ((1 << 40) - 1));
-        prop_assert_eq!(pte.huge(), huge);
-        prop_assert!(pte.present());
-        prop_assert!(pte.ptw_freq() <= 7);
-        prop_assert!(pte.ptw_cost() <= 15);
+        assert_eq!(pte.frame(), frame & ((1 << 40) - 1));
+        assert_eq!(pte.huge(), huge);
+        assert!(pte.present());
+        assert!(pte.ptw_freq() <= 7);
+        assert!(pte.ptw_cost() <= 15);
     }
+}
 
-    /// The TLB-block (set, tag) mapping is injective over page groups:
-    /// distinct groups never collide.
-    #[test]
-    fn tlb_block_index_is_injective(a in 0u64..(1 << 33), b in 0u64..(1 << 33)) {
-        prop_assume!(a != b);
+/// The TLB-block (set, tag) mapping is injective over page groups:
+/// distinct groups never collide.
+#[test]
+fn tlb_block_index_is_injective() {
+    let mut rng = SplitMix64::new(0x9004);
+    for _ in 0..CASES {
+        let a = rng.next_below(1 << 33);
+        let b = rng.next_below(1 << 33);
+        if a == b {
+            continue;
+        }
         let (sa, ta) = tlb_block::group_index(a, 2048);
         let (sb, tb) = tlb_block::group_index(b, 2048);
-        prop_assert!((sa, ta) != (sb, tb), "groups {a} and {b} collided");
+        assert!((sa, ta) != (sb, tb), "groups {a} and {b} collided");
     }
+}
 
-    /// Any address within a block's 8-page span maps to the same (set,
-    /// tag); addresses outside never do.
-    #[test]
-    fn tlb_block_span_is_exactly_8_pages(raw in 0u64..(1 << 47), page in 0u64..16) {
+/// Any address within a block's 8-page span maps to the same (set, tag);
+/// addresses outside never do.
+#[test]
+fn tlb_block_span_is_exactly_8_pages() {
+    let mut rng = SplitMix64::new(0x9005);
+    for _ in 0..CASES {
+        let raw = rng.next_below(1 << 47);
+        let page = rng.next_below(16);
         let base = VirtAddr::new(raw).align_down(PageSize::Size4K);
         let group_base = VirtAddr::new(base.raw() & !(8 * 4096 - 1));
         let key0 = tlb_block::tlb_block_index(group_base, PageSize::Size4K, 2048);
         let probe = group_base.add(page * 4096);
         let key = tlb_block::tlb_block_index(probe, PageSize::Size4K, 2048);
         if page < 8 {
-            prop_assert_eq!(key, key0);
+            assert_eq!(key, key0);
         } else {
-            prop_assert_ne!(key, key0);
+            assert_ne!(key, key0);
         }
     }
+}
 
-    /// A TLB fill is always observable by a subsequent probe with the same
-    /// key, and never by a probe with a different ASID.
-    #[test]
-    fn tlb_fill_then_probe(vpns in prop::collection::vec(0u64..100_000, 1..50)) {
+/// A TLB fill is always observable by a subsequent probe with the same
+/// key, and never by a probe with a different ASID.
+#[test]
+fn tlb_fill_then_probe() {
+    let mut rng = SplitMix64::new(0x9006);
+    for _ in 0..50 {
         let mut tlb = SetAssocTlb::new(TlbConfig { name: "P", entries: 64, ways: 4, latency: 1 });
         let asid = Asid::new(1);
-        for &vpn in &vpns {
+        let n = 1 + rng.next_below(49);
+        for _ in 0..n {
+            let vpn = rng.next_below(100_000);
             tlb.fill(TlbEntry::new(vpn, asid, PageSize::Size4K, vpn + 7));
             let hit = tlb.probe(vpn, asid, PageSize::Size4K);
-            prop_assert!(hit.is_some(), "just-filled vpn {vpn} must hit");
-            prop_assert_eq!(hit.unwrap().frame, vpn + 7);
-            prop_assert!(tlb.probe(vpn, Asid::new(2), PageSize::Size4K).is_none());
+            assert!(hit.is_some(), "just-filled vpn {vpn} must hit");
+            assert_eq!(hit.unwrap().frame, vpn + 7);
+            assert!(tlb.probe(vpn, Asid::new(2), PageSize::Size4K).is_none());
         }
-        prop_assert!(tlb.valid_entries() <= 64);
+        assert!(tlb.valid_entries() <= 64);
     }
+}
 
-    /// Cache fill/probe coherence under random interleavings of data and
-    /// translation blocks: a probe hit implies a matching prior fill, and
-    /// the translation-block counter matches the actual population.
-    #[test]
-    fn cache_translation_block_count_is_exact(ops in prop::collection::vec((0u64..4096, prop::bool::ANY), 1..200)) {
+/// Cache fill/probe coherence under random interleavings of data and
+/// translation blocks: the translation-block counter matches the actual
+/// population.
+#[test]
+fn cache_translation_block_count_is_exact() {
+    let mut rng = SplitMix64::new(0x9007);
+    for _ in 0..30 {
         let ctx = ReplacementCtx::default();
         let mut cache = Cache::new(
             CacheConfig { name: "P", size_bytes: 64 << 10, ways: 8, block_bytes: 64, latency: 1 },
             Box::new(Lru::new()),
         );
-        for &(x, is_tlb) in &ops {
-            if is_tlb {
+        let ops = 1 + rng.next_below(199);
+        for _ in 0..ops {
+            let x = rng.next_below(4096);
+            if rng.chance(0.5) {
                 let (set, tag) = tlb_block::group_index(x, cache.num_sets());
                 if !cache.contains_translation(set, tag, BlockKind::Tlb, Asid::new(1), PageSize::Size4K) {
                     cache.fill_translation(set, tag, BlockKind::Tlb, Asid::new(1), PageSize::Size4K, &ctx);
@@ -115,17 +154,26 @@ proptest! {
             }
         }
         let actual = cache.iter_valid().filter(|b| b.kind.is_translation()).count();
-        prop_assert_eq!(actual, cache.translation_block_count());
+        assert_eq!(actual, cache.translation_block_count());
     }
+}
 
-    /// Page tables: map-then-walk returns exactly what was mapped, for
-    /// arbitrary disjoint VPNs.
-    #[test]
-    fn page_table_walk_returns_mapping(vpns in prop::collection::hash_set(0u64..(1 << 24), 1..40)) {
+/// Page tables: map-then-walk returns exactly what was mapped, for
+/// arbitrary disjoint VPNs.
+#[test]
+fn page_table_walk_returns_mapping() {
+    let mut rng = SplitMix64::new(0x9008);
+    for _ in 0..20 {
         let mut alloc = FrameAllocator::new(1 << 30, 99);
         let mut pt = RadixPageTable::new(&mut alloc);
         let mut expected = Vec::new();
-        for &vpn in &vpns {
+        let mut seen = std::collections::HashSet::new();
+        let n = 1 + rng.next_below(39);
+        for _ in 0..n {
+            let vpn = rng.next_below(1 << 24);
+            if !seen.insert(vpn) {
+                continue;
+            }
             let frame = alloc.alloc_4k();
             let va = VirtAddr::new(vpn << 12);
             pt.map(va, frame, PageSize::Size4K, &mut alloc);
@@ -133,8 +181,8 @@ proptest! {
         }
         for (va, frame) in expected {
             let walk = pt.walk(va);
-            prop_assert!(walk.is_some());
-            prop_assert_eq!(walk.unwrap().frame, frame);
+            assert!(walk.is_some());
+            assert_eq!(walk.unwrap().frame, frame);
         }
     }
 }

@@ -89,10 +89,6 @@ fn ideal_shadow_paging_beats_nested_paging() {
     let r = tiny_runner();
     let np = r.run("RND", &SystemConfig::nested_paging(), r.warmup, r.instructions);
     let isp = r.run("RND", &SystemConfig::ideal_shadow_paging(), r.warmup, r.instructions);
-    assert!(
-        isp.speedup_over(&np) > 1.0,
-        "I-SP ≥ NP expected, got {:.3}",
-        isp.speedup_over(&np)
-    );
+    assert!(isp.speedup_over(&np) > 1.0, "I-SP ≥ NP expected, got {:.3}", isp.speedup_over(&np));
     assert_eq!(isp.host_ptws, 0, "shadow paging needs no host walks");
 }
