@@ -17,9 +17,7 @@ fn main() {
         .collect();
     for id in ids {
         let t0 = std::time::Instant::now();
-        for table in experiments::by_id(&ctx, id).expect("known id") {
-            println!("{table}");
-        }
+        print!("{}", report::text::render_all(&experiments::by_id(&ctx, id).expect("known id")));
         eprintln!("[{id}: {:.1}s]", t0.elapsed().as_secs_f64());
     }
     eprintln!("[paper_tables total: {:.1}s]", start.elapsed().as_secs_f64());

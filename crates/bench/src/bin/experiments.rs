@@ -1,64 +1,282 @@
-//! Experiment driver: regenerates the paper's tables and figures.
+//! Experiment driver: regenerates the paper's tables and figures as typed
+//! artifacts.
 //!
 //! ```text
-//! experiments [--quick] [--jobs N] all          # every figure/table, paper order
-//! experiments [--quick] fig20 fig21             # specific experiments
-//! experiments calibrate                         # baseline vitals (not a paper figure)
+//! experiments [--quick] [--jobs N] all               # every figure/table, paper order
+//! experiments --exp fig20,fig21                      # specific experiments
+//! experiments --format json --out artifacts/ all     # one artifact per experiment + REPORT.md
+//! experiments --check [ids...]                       # diff against committed baselines
+//! experiments --save-baselines [ids...]              # regenerate committed baselines
+//! experiments calibrate                              # baseline vitals (not a paper figure)
 //! experiments --list
 //! ```
 //!
 //! Budgets: `VICTIMA_INSTR` / `VICTIMA_WARMUP` env vars (defaults
-//! 2,000,000 / 200,000); `--quick` forces 600K/60K. Simulations fan out
-//! over `--jobs`/`VICTIMA_JOBS` workers (default: all cores).
+//! 2,000,000 / 200,000); `--quick` forces 600K/60K. `--check` and
+//! `--save-baselines` pin the Tiny-scale check profile (see DESIGN.md,
+//! "Results pipeline") so committed baselines are reproducible anywhere.
+//! Simulations fan out over `--jobs`/`VICTIMA_JOBS` workers (default: all
+//! cores); artifacts are byte-identical at any worker count.
 
-use victima_bench::{experiments, ExpCtx};
+use victima_bench::{experiments, ExpCtx, ExperimentReport};
+
+/// Output format selected with `--format`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
+    Md,
+}
+
+impl Format {
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "text" => Format::Text,
+            "json" => Format::Json,
+            "csv" => Format::Csv,
+            "md" => Format::Md,
+            _ => return None,
+        })
+    }
+
+    fn extension(self) -> &'static str {
+        match self {
+            Format::Text => "txt",
+            Format::Json => "json",
+            Format::Csv => "csv",
+            Format::Md => "md",
+        }
+    }
+
+    fn render(self, r: &ExperimentReport) -> String {
+        match self {
+            Format::Text => report::text::render(r),
+            Format::Json => report::json::to_json(r),
+            Format::Csv => report::csv::to_csv(r),
+            Format::Md => report::markdown::render(r),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: experiments [--quick] [--jobs N] [--format text|json|csv|md] [--out DIR]");
+    eprintln!("                   [--exp IDS] <all|calibrate|fig04|...|table2> ...");
+    eprintln!("       experiments --check [ids...]          (pinned profile vs committed baselines)");
+    eprintln!("       experiments --save-baselines [ids...] (regenerate committed baselines)");
+    eprintln!("       experiments --list");
+    std::process::exit(2);
+}
+
+fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let had = args.iter().any(|a| a == flag);
+    args.retain(|a| a != flag);
+    had
+}
+
+/// Committed baseline directory (resolved at compile time; the binary is
+/// a repo tool, not an installable).
+const BASELINE_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines");
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    args.retain(|a| a != "--quick");
-    if let Some(i) = args.iter().position(|a| a == "--jobs") {
-        let n: usize = args.get(i + 1).and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or_else(|| {
+    let quick = take_flag(&mut args, "--quick");
+    let check = take_flag(&mut args, "--check");
+    let save_baselines = take_flag(&mut args, "--save-baselines");
+    if let Some(v) = flag_value(&mut args, "--jobs") {
+        let n: usize = v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
             eprintln!("--jobs needs a positive integer");
             std::process::exit(2);
         });
         std::env::set_var("VICTIMA_JOBS", n.to_string());
-        args.drain(i..=i + 1);
     }
-
-    if args.iter().any(|a| a == "--list") {
-        for id in experiments::ALL_IDS {
-            println!("{id}");
-        }
-        println!("calibrate");
-        return;
-    }
-    if args.is_empty() {
-        eprintln!("usage: experiments [--quick] <all|calibrate|fig04|...|table2> ...");
-        eprintln!("       experiments --list");
+    let format_flag = flag_value(&mut args, "--format").map(|v| {
+        Format::parse(&v).unwrap_or_else(|| {
+            eprintln!("unknown format {v:?} (pick text, json, csv or md)");
+            std::process::exit(2);
+        })
+    });
+    let out_dir = flag_value(&mut args, "--out").map(std::path::PathBuf::from);
+    if (check || save_baselines) && (format_flag.is_some() || out_dir.is_some()) {
+        eprintln!("--check/--save-baselines use the baseline JSON format; --format/--out don't apply");
         std::process::exit(2);
     }
+    let format = format_flag.unwrap_or(Format::Text);
 
-    let ctx = if quick { ExpCtx::quick() } else { ExpCtx::new() };
-    let start = std::time::Instant::now();
-    for arg in &args {
-        if arg == "all" {
-            for t in experiments::all(&ctx) {
-                println!("{t}");
-            }
-            continue;
+    if take_flag(&mut args, "--list") {
+        for id in experiments::checked_ids() {
+            println!("{id}");
         }
-        match experiments::by_id(&ctx, arg) {
-            Some(tables) => {
-                for t in tables {
-                    println!("{t}");
-                }
-            }
+        return;
+    }
+    // Ids come from --exp (comma-separated) and positionals; "all"
+    // expands to every paper figure/table.
+    let mut ids: Vec<String> = Vec::new();
+    if let Some(list) = flag_value(&mut args, "--exp") {
+        ids.extend(list.split(',').map(str::to_owned));
+    }
+    if let Some(unknown) = args.iter().find(|a| a.starts_with('-') && *a != "-") {
+        eprintln!("unknown flag {unknown}");
+        usage();
+    }
+    ids.extend(args.iter().cloned());
+    let mut resolved: Vec<&str> = Vec::new();
+    for id in &ids {
+        if id == "all" {
+            resolved.extend(experiments::ALL_IDS);
+        } else {
+            resolved.push(id.as_str());
+        }
+    }
+    if resolved.is_empty() {
+        if check || save_baselines {
+            resolved = experiments::checked_ids();
+        } else {
+            usage();
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    resolved.retain(|id| seen.insert(*id));
+
+    let ctx = if check || save_baselines {
+        ExpCtx::check()
+    } else if quick {
+        ExpCtx::quick()
+    } else {
+        ExpCtx::new()
+    };
+
+    let start = std::time::Instant::now();
+    let mut reports: Vec<ExperimentReport> = Vec::new();
+    for id in &resolved {
+        match experiments::by_id(&ctx, id) {
+            Some(batch) => reports.extend(batch),
             None => {
-                eprintln!("unknown experiment: {arg} (try --list)");
+                eprintln!("unknown experiment: {id} (try --list)");
                 std::process::exit(2);
             }
         }
     }
+
+    let status = if save_baselines {
+        write_baselines(&reports)
+    } else if check {
+        run_check(&reports)
+    } else {
+        emit(&reports, format, out_dir.as_deref())
+    };
     eprintln!("[experiments completed in {:.1}s]", start.elapsed().as_secs_f64());
+    std::process::exit(status);
+}
+
+/// Writes per-experiment artifacts (and the combined `REPORT.md`) under
+/// `dir`, or streams the chosen format to stdout when no `--out` is given.
+fn emit(reports: &[ExperimentReport], format: Format, dir: Option<&std::path::Path>) -> i32 {
+    let Some(dir) = dir else {
+        match format {
+            Format::Md => print!("{}", report::markdown::render_combined(reports)),
+            Format::Text => print!("{}", report::text::render_all(reports)),
+            _ => {
+                for r in reports {
+                    print!("{}", format.render(r));
+                }
+            }
+        }
+        return 0;
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return 1;
+    }
+    for r in reports {
+        let path = dir.join(format!("{}.{}", r.id, format.extension()));
+        if let Err(e) = std::fs::write(&path, format.render(r)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return 1;
+        }
+    }
+    let combined = dir.join("REPORT.md");
+    if let Err(e) = std::fs::write(&combined, report::markdown::render_combined(reports)) {
+        eprintln!("cannot write {}: {e}", combined.display());
+        return 1;
+    }
+    eprintln!("[wrote {} artifact(s) + REPORT.md to {}]", reports.len(), dir.display());
+    0
+}
+
+/// Regenerates the committed baselines (one JSON per experiment).
+fn write_baselines(reports: &[ExperimentReport]) -> i32 {
+    if let Err(e) = std::fs::create_dir_all(BASELINE_DIR) {
+        eprintln!("cannot create {BASELINE_DIR}: {e}");
+        return 1;
+    }
+    for r in reports {
+        let path = std::path::Path::new(BASELINE_DIR).join(format!("{}.json", r.id));
+        if let Err(e) = std::fs::write(&path, report::json::to_json(r)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return 1;
+        }
+        println!("baseline saved: {}", path.display());
+    }
+    0
+}
+
+/// Diffs fresh reports against the committed baselines; returns the
+/// process exit status (0 = all within tolerance).
+fn run_check(reports: &[ExperimentReport]) -> i32 {
+    let mut failed = false;
+    for r in reports {
+        let path = std::path::Path::new(BASELINE_DIR).join(format!("{}.json", r.id));
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(text) => match report::json::from_json(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    println!("FAIL {}: baseline unreadable: {e}", r.id);
+                    failed = true;
+                    continue;
+                }
+            },
+            Err(e) => {
+                println!("FAIL {}: no baseline at {} ({e}); run --save-baselines", r.id, path.display());
+                failed = true;
+                continue;
+            }
+        };
+        let outcome = report::check_report(r, &baseline);
+        if outcome.passed() {
+            println!("ok   {}", outcome.summary());
+        } else {
+            failed = true;
+            println!("FAIL {}", outcome.summary());
+            for m in &outcome.provenance_mismatches {
+                println!("       provenance {m}");
+            }
+            for m in &outcome.missing {
+                println!("       missing metric {m}");
+            }
+            for m in &outcome.unexpected {
+                println!("       unexpected metric {m} (baseline refresh needed?)");
+            }
+            for d in &outcome.failures {
+                println!("       {d}");
+            }
+        }
+    }
+    if failed {
+        1
+    } else {
+        println!("check passed: {} experiment(s) match their baselines", reports.len());
+        0
+    }
 }

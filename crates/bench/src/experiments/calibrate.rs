@@ -3,27 +3,28 @@
 //! (Sec. 3: average L2 TLB MPKI ≈ 39, mean PTW latency ≈ 137 cycles,
 //! ≈ 30% of cycles on translation).
 
-use crate::{pct, ExpCtx, Table};
+use crate::{Column, ExpCtx, ExperimentReport, Metric, Unit, Value};
 use sim::SystemConfig;
 use vm_types::geomean;
 use workloads::registry::WORKLOAD_NAMES;
 
-/// Runs the baseline and prints per-workload vitals.
-pub fn run(ctx: &ExpCtx) -> Vec<Table> {
+/// Runs the baseline and reports per-workload vitals.
+pub fn run(ctx: &ExpCtx) -> Vec<ExperimentReport> {
     let cfg = SystemConfig::radix();
     let stats = ctx.suite(&cfg);
-    let mut t = Table::new("calibrate", "Baseline (Radix) vitals per workload").headers([
-        "workload",
-        "instr",
-        "refs",
-        "IPC",
-        "L1TLB-miss%",
-        "L2TLB-MPKI",
-        "PTWs",
-        "PTW-mean",
-        "transl-share",
-        "L2$-miss-lat",
-    ]);
+    let mut r = ExperimentReport::new("calibrate", "Baseline (Radix) vitals per workload")
+        .with_columns([
+            Column::new("instr", Unit::Count),
+            Column::new("refs", Unit::Count),
+            Column::new("IPC", Unit::Ipc),
+            Column::new("L1TLB-miss%", Unit::Percent),
+            Column::new("L2TLB-MPKI", Unit::Mpki),
+            Column::new("PTWs", Unit::Count),
+            Column::new("PTW-mean", Unit::Cycles),
+            Column::new("transl-share", Unit::Percent),
+            Column::new("L2$-miss-lat", Unit::Cycles),
+        ])
+        .with_provenance(ctx.provenance([&cfg]));
     let mut mpkis = Vec::new();
     let mut shares = Vec::new();
     let mut ptw_means = Vec::new();
@@ -35,26 +36,30 @@ pub fn run(ctx: &ExpCtx) -> Vec<Table> {
         if s.ptw_latency_mean > 0.0 {
             ptw_means.push(s.ptw_latency_mean);
         }
-        t.row([
-            name.to_string(),
-            s.instructions.to_string(),
-            s.mem_refs.to_string(),
-            format!("{:.3}", s.ipc()),
-            pct(s.l1_tlb_misses as f64 / (s.l1_tlb_hits + s.l1_tlb_misses).max(1) as f64),
-            format!("{:.1}", s.l2_tlb_mpki()),
-            s.ptws.to_string(),
-            format!("{:.0}", s.ptw_latency_mean),
-            pct(share),
-            format!("{:.0}", s.l2_miss_latency()),
-        ]);
+        r.push_row(
+            *name,
+            [
+                Value::from(s.instructions),
+                Value::from(s.mem_refs),
+                Value::from(s.ipc()),
+                Value::from(s.l1_tlb_misses as f64 / (s.l1_tlb_hits + s.l1_tlb_misses).max(1) as f64),
+                Value::from(s.l2_tlb_mpki()),
+                Value::from(s.ptws),
+                Value::from(s.ptw_latency_mean),
+                Value::from(share),
+                Value::from(s.l2_miss_latency()),
+            ],
+        );
     }
-    let avg_mpki = mpkis.iter().sum::<f64>() / mpkis.len() as f64;
-    t.note(format!(
-        "avg L2 TLB MPKI = {:.1} (paper ≈ 39); mean PTW latency = {:.0} (paper ≈ 137); avg translation share = {} (paper ≈ 30%); GM IPC = {:.3}",
-        avg_mpki,
-        ptw_means.iter().sum::<f64>() / ptw_means.len().max(1) as f64,
-        pct(shares.iter().sum::<f64>() / shares.len() as f64),
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    r.push_metric(Metric::new("avg_l2_tlb_mpki", avg(&mpkis), Unit::Mpki));
+    r.push_metric(Metric::new("mean_ptw_latency", avg(&ptw_means), Unit::Cycles));
+    r.push_metric(Metric::new("avg_translation_share", avg(&shares), Unit::Percent));
+    r.push_metric(Metric::new(
+        "gmean_ipc",
         geomean(&stats.iter().map(|s| s.ipc()).collect::<Vec<_>>()),
+        Unit::Ipc,
     ));
-    vec![t]
+    r.note("paper operating regime: avg L2 TLB MPKI ≈ 39, mean PTW latency ≈ 137, translation share ≈ 30%");
+    vec![r]
 }

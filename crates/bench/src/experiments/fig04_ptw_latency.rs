@@ -1,31 +1,29 @@
 //! Fig. 4: distribution of page-table-walk latency on the baseline
 //! (mean ≈ 137 cycles, bucketed [20,190) with a small tail beyond).
 
-use crate::{pct, ExpCtx, Table};
+use crate::{Column, ExpCtx, ExperimentReport, Metric, Unit, Value};
 use sim::SystemConfig;
 use vm_types::Histogram;
 
 /// Runs the baseline suite and merges the PTW latency histograms.
-pub fn run(ctx: &ExpCtx) -> Vec<Table> {
-    let stats = ctx.suite(&SystemConfig::radix());
+pub fn run(ctx: &ExpCtx) -> Vec<ExperimentReport> {
+    let cfg = SystemConfig::radix();
+    let stats = ctx.suite(&cfg);
     let mut merged = Histogram::new(20, 10, 17);
     for s in &stats {
         merged.merge(&s.ptw_latency_hist);
     }
-    let mut t = Table::new("fig04", "Distribution of PTW latency (baseline, all workloads)").headers([
-        "bucket (cycles)",
-        "walks",
-        "share",
-    ]);
+    let mut r = ExperimentReport::new("fig04", "Distribution of PTW latency (baseline, all workloads)")
+        .with_label_name("bucket (cycles)")
+        .with_columns([Column::new("walks", Unit::Count), Column::new("share", Unit::Percent)])
+        .with_provenance(ctx.provenance([&cfg]));
     let total = merged.count().max(1);
     for (lo, hi, c) in merged.rows() {
-        t.row([format!("{lo}-{hi}"), c.to_string(), pct(c as f64 / total as f64)]);
+        r.push_row(format!("{lo}-{hi}"), [Value::from(c), Value::from(c as f64 / total as f64)]);
     }
-    t.note(format!(
-        "mean = {:.1} cycles (paper: 137); max = {}; beyond-190 share = {} (paper: 0.2%)",
-        merged.mean(),
-        merged.max(),
-        pct(merged.overflow_fraction()),
-    ));
-    vec![t]
+    r.push_metric(Metric::new("ptw_latency_mean", merged.mean(), Unit::Cycles));
+    r.push_metric(Metric::new("ptw_latency_max", merged.max() as f64, Unit::Cycles).with_tolerance(0.1));
+    r.push_metric(Metric::new("beyond_190_share", merged.overflow_fraction(), Unit::Percent));
+    r.note("paper: mean = 137 cycles; share beyond 190 cycles = 0.2%");
+    vec![r]
 }

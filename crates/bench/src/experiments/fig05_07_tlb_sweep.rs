@@ -4,11 +4,10 @@
 //! - Fig. 6: speedup with *optimistic* (fixed 12-cycle) latencies.
 //! - Fig. 7: speedup with CACTI-modelled latencies (13–39 cycles).
 
-use crate::{x_factor, ExpCtx, Table};
+use crate::{workload_matrix, ExpCtx, ExperimentReport, Metric, Unit};
 use sim::{SimStats, SystemConfig};
 use tlb_sim::configs::{CACTI_L2_TLB_LATENCY, L2_TLB_SIZE_SWEEP};
 use vm_types::geomean;
-use workloads::registry::WORKLOAD_NAMES;
 
 fn label(entries: usize) -> String {
     if entries >= 1024 && entries.is_multiple_of(1024) {
@@ -19,65 +18,51 @@ fn label(entries: usize) -> String {
 }
 
 /// Fig. 5: MPKI per workload for each L2 TLB size (12-cycle latency).
-pub fn fig05(ctx: &ExpCtx) -> Vec<Table> {
+pub fn fig05(ctx: &ExpCtx) -> Vec<ExperimentReport> {
     let cfgs: Vec<SystemConfig> =
         L2_TLB_SIZE_SWEEP.iter().map(|&e| SystemConfig::with_l2_tlb(e, 12)).collect();
     let results = ctx.suites(&cfgs);
-    let mut t = Table::new("fig05", "L2 TLB MPKI vs. L2 TLB size")
-        .headers(std::iter::once("workload".to_string()).chain(L2_TLB_SIZE_SWEEP.iter().map(|&e| label(e))));
-    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
-        let mut row = vec![name.to_string()];
-        for r in &results {
-            row.push(format!("{:.1}", r[wi].l2_tlb_mpki()));
-        }
-        t.row(row);
+    let columns: Vec<String> = L2_TLB_SIZE_SWEEP.iter().map(|&e| label(e)).collect();
+    let values: Vec<Vec<f64>> =
+        results.iter().map(|r| r.iter().map(SimStats::l2_tlb_mpki).collect()).collect();
+    let mut r = workload_matrix("fig05", "L2 TLB MPKI vs. L2 TLB size", Unit::Mpki, &columns, &values)
+        .with_provenance(ctx.provenance(&cfgs));
+    for (col, series) in columns.iter().zip(&values) {
+        let avg = series.iter().sum::<f64>() / series.len() as f64;
+        r.push_metric(Metric::new(format!("avg_mpki/{col}"), avg, Unit::Mpki));
     }
-    let mut mean_row = vec!["AVG".to_string()];
-    for r in &results {
-        let avg = r.iter().map(SimStats::l2_tlb_mpki).sum::<f64>() / r.len() as f64;
-        mean_row.push(format!("{avg:.1}"));
-    }
-    t.row(mean_row);
-    t.note("paper: 1.5K → 64K reduces average MPKI 39 → 24 (-44%)".to_string());
-    vec![t]
+    r.note("paper: 1.5K → 64K reduces average MPKI 39 → 24 (-44%)");
+    vec![r]
 }
 
-fn speedup_table(
+fn speedup_report(
     id: &'static str,
     title: &str,
     ctx: &ExpCtx,
     points: &[(usize, u64)],
     note: &str,
-) -> Vec<Table> {
-    let base = ctx.suite(&SystemConfig::radix());
+) -> Vec<ExperimentReport> {
+    let base_cfg = SystemConfig::radix();
+    let base = ctx.suite(&base_cfg);
     let cfgs: Vec<SystemConfig> = points.iter().map(|&(e, l)| SystemConfig::with_l2_tlb(e, l)).collect();
     let results = ctx.suites(&cfgs);
-    let mut t = Table::new(id, title).headers(
-        std::iter::once("workload".to_string())
-            .chain(points.iter().map(|&(e, l)| format!("{}-{l}cyc", label(e)))),
-    );
-    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
-        let mut row = vec![name.to_string()];
-        for r in &results {
-            row.push(x_factor(r[wi].speedup_over(&base[wi])));
-        }
-        t.row(row);
+    let columns: Vec<String> = points.iter().map(|&(e, l)| format!("{}-{l}cyc", label(e))).collect();
+    let values: Vec<Vec<f64>> =
+        results.iter().map(|r| r.iter().zip(&base).map(|(s, b)| s.speedup_over(b)).collect()).collect();
+    let mut r = workload_matrix(id, title, Unit::Factor, &columns, &values)
+        .with_provenance(ctx.provenance(std::iter::once(&base_cfg).chain(&cfgs)));
+    for (col, series) in columns.iter().zip(&values) {
+        r.push_metric(Metric::new(format!("gmean_speedup/{col}"), geomean(series), Unit::Factor));
     }
-    let mut gm = vec!["GMEAN".to_string()];
-    for r in &results {
-        let sp: Vec<f64> = r.iter().zip(&base).map(|(s, b)| s.speedup_over(b)).collect();
-        gm.push(x_factor(geomean(&sp)));
-    }
-    t.row(gm);
-    t.note(note.to_string());
-    vec![t]
+    r.note(note);
+    vec![r]
 }
 
 /// Fig. 6: speedup of larger L2 TLBs at a fixed optimistic 12-cycle
 /// latency, over the 1.5K-entry baseline.
-pub fn fig06(ctx: &ExpCtx) -> Vec<Table> {
+pub fn fig06(ctx: &ExpCtx) -> Vec<ExperimentReport> {
     let points: Vec<(usize, u64)> = L2_TLB_SIZE_SWEEP.iter().skip(1).map(|&e| (e, 12u64)).collect();
-    speedup_table(
+    speedup_report(
         "fig06",
         "Speedup of larger L2 TLBs, equal (optimistic) 12-cycle latency",
         ctx,
@@ -87,8 +72,8 @@ pub fn fig06(ctx: &ExpCtx) -> Vec<Table> {
 }
 
 /// Fig. 7: speedup of larger L2 TLBs with CACTI-modelled latencies.
-pub fn fig07(ctx: &ExpCtx) -> Vec<Table> {
-    speedup_table(
+pub fn fig07(ctx: &ExpCtx) -> Vec<ExperimentReport> {
+    speedup_report(
         "fig07",
         "Speedup of larger L2 TLBs, CACTI-modelled latencies",
         ctx,

@@ -1,35 +1,32 @@
 //! Fig. 8: adding a 64K-entry hardware L3 TLB with access latencies from
 //! 15 to 39 cycles, speedup over the two-level baseline.
 
-use crate::{x_factor, ExpCtx, Table};
+use crate::{workload_matrix, ExpCtx, ExperimentReport, Metric, Unit};
 use sim::SystemConfig;
 use tlb_sim::configs::L3_TLB_LATENCY_SWEEP;
 use vm_types::geomean;
-use workloads::registry::WORKLOAD_NAMES;
 
 /// Runs the Fig. 8 sweep.
-pub fn run(ctx: &ExpCtx) -> Vec<Table> {
-    let base = ctx.suite(&SystemConfig::radix());
+pub fn run(ctx: &ExpCtx) -> Vec<ExperimentReport> {
+    let base_cfg = SystemConfig::radix();
+    let base = ctx.suite(&base_cfg);
     let cfgs: Vec<SystemConfig> =
         L3_TLB_LATENCY_SWEEP.iter().map(|&l| SystemConfig::with_l3_tlb(65536, l)).collect();
     let results = ctx.suites(&cfgs);
-    let mut t = Table::new("fig08", "Speedup of a 64K-entry L3 TLB vs. its access latency").headers(
-        std::iter::once("workload".to_string())
-            .chain(L3_TLB_LATENCY_SWEEP.iter().map(|l| format!("64K-{l}cyc"))),
-    );
-    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
-        let mut row = vec![name.to_string()];
-        for r in &results {
-            row.push(x_factor(r[wi].speedup_over(&base[wi])));
-        }
-        t.row(row);
+    let columns: Vec<String> = L3_TLB_LATENCY_SWEEP.iter().map(|l| format!("64K-{l}cyc")).collect();
+    let values: Vec<Vec<f64>> =
+        results.iter().map(|r| r.iter().zip(&base).map(|(s, b)| s.speedup_over(b)).collect()).collect();
+    let mut r = workload_matrix(
+        "fig08",
+        "Speedup of a 64K-entry L3 TLB vs. its access latency",
+        Unit::Factor,
+        &columns,
+        &values,
+    )
+    .with_provenance(ctx.provenance(std::iter::once(&base_cfg).chain(&cfgs)));
+    for (col, series) in columns.iter().zip(&values) {
+        r.push_metric(Metric::new(format!("gmean_speedup/{col}"), geomean(series), Unit::Factor));
     }
-    let mut gm = vec!["GMEAN".to_string()];
-    for r in &results {
-        let sp: Vec<f64> = r.iter().zip(&base).map(|(s, b)| s.speedup_over(b)).collect();
-        gm.push(x_factor(geomean(&sp)));
-    }
-    t.row(gm);
-    t.note("paper: 64K L3 TLB at an aggressive 15 cycles gives +2.9% GMEAN (< the +4.0% of a 64K L2 TLB)");
-    vec![t]
+    r.note("paper: 64K L3 TLB at an aggressive 15 cycles gives +2.9% GMEAN (< the +4.0% of a 64K L2 TLB)");
+    vec![r]
 }

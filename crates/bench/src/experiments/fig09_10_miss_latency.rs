@@ -2,12 +2,11 @@
 //! native and virtualised. Fig. 10: the idealised study serving every L2
 //! TLB miss from L1/L2/LLC.
 
-use crate::{pct, ExpCtx, Table};
+use crate::{workload_matrix, ExpCtx, ExperimentReport, Metric, Unit};
 use sim::SystemConfig;
-use workloads::registry::WORKLOAD_NAMES;
 
 /// Fig. 9: mean L2-TLB-miss latency across the four systems.
-pub fn fig09(ctx: &ExpCtx) -> Vec<Table> {
+pub fn fig09(ctx: &ExpCtx) -> Vec<ExperimentReport> {
     let systems = [
         ("Native", SystemConfig::radix()),
         ("Native+STLB", SystemConfig::pom_tlb()),
@@ -16,29 +15,30 @@ pub fn fig09(ctx: &ExpCtx) -> Vec<Table> {
     ];
     let cfgs: Vec<SystemConfig> = systems.iter().map(|(_, c)| c.clone()).collect();
     let results = ctx.suites(&cfgs);
-    let mut t = Table::new("fig09", "L2 TLB miss latency (cycles): native/virtualised, ±STLB")
-        .headers(std::iter::once("workload").chain(systems.iter().map(|(n, _)| *n)));
-    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
-        let mut row = vec![name.to_string()];
-        for r in &results {
-            row.push(format!("{:.0}", r[wi].l2_miss_latency()));
-        }
-        t.row(row);
+    let columns: Vec<String> = systems.iter().map(|(n, _)| (*n).to_owned()).collect();
+    let values: Vec<Vec<f64>> =
+        results.iter().map(|r| r.iter().map(|s| s.l2_miss_latency()).collect()).collect();
+    let mut r = workload_matrix(
+        "fig09",
+        "L2 TLB miss latency (cycles): native/virtualised, ±STLB",
+        Unit::Cycles,
+        &columns,
+        &values,
+    )
+    .with_provenance(ctx.provenance(&cfgs));
+    for (col, series) in columns.iter().zip(&values) {
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        r.push_metric(Metric::new(format!("mean_miss_latency/{col}"), mean, Unit::Cycles));
     }
-    let mut mean = vec!["MEAN".to_string()];
-    for r in &results {
-        let avg = r.iter().map(|s| s.l2_miss_latency()).sum::<f64>() / r.len() as f64;
-        mean.push(format!("{avg:.0}"));
-    }
-    t.row(mean);
-    t.note("paper means: native 128, native+STLB 122, virtualized (NP) 275, virtualized+STLB 220");
-    vec![t]
+    r.note("paper means: native 128, native+STLB 122, virtualized (NP) 275, virtualized+STLB 220");
+    vec![r]
 }
 
 /// Fig. 10: reduction in L2 TLB miss latency when an oracle serves every
 /// miss at L1 / L2 / LLC hit latency.
-pub fn fig10(ctx: &ExpCtx) -> Vec<Table> {
-    let base = ctx.suite(&SystemConfig::radix());
+pub fn fig10(ctx: &ExpCtx) -> Vec<ExperimentReport> {
+    let base_cfg = SystemConfig::radix();
+    let base = ctx.suite(&base_cfg);
     let ideals = [
         ("TLB-Hit-L1", SystemConfig::ideal_backstop(4, "TLB-hit-L1")),
         ("TLB-Hit-L2", SystemConfig::ideal_backstop(16, "TLB-hit-L2")),
@@ -46,20 +46,28 @@ pub fn fig10(ctx: &ExpCtx) -> Vec<Table> {
     ];
     let cfgs: Vec<SystemConfig> = ideals.iter().map(|(_, c)| c.clone()).collect();
     let results = ctx.suites(&cfgs);
-    let mut t = Table::new("fig10", "Reduction in L2 TLB miss latency when L1/L2/LLC serve all misses")
-        .headers(std::iter::once("workload").chain(ideals.iter().map(|(n, _)| *n)));
-    let mut sums = vec![0.0; results.len()];
-    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
-        let mut row = vec![name.to_string()];
-        for (ci, r) in results.iter().enumerate() {
-            let red = 1.0 - r[wi].l2_miss_latency() / base[wi].l2_miss_latency().max(1e-9);
-            sums[ci] += red;
-            row.push(pct(red));
-        }
-        t.row(row);
+    let columns: Vec<String> = ideals.iter().map(|(n, _)| (*n).to_owned()).collect();
+    let values: Vec<Vec<f64>> = results
+        .iter()
+        .map(|r| {
+            r.iter()
+                .zip(&base)
+                .map(|(s, b)| 1.0 - s.l2_miss_latency() / b.l2_miss_latency().max(1e-9))
+                .collect()
+        })
+        .collect();
+    let mut r = workload_matrix(
+        "fig10",
+        "Reduction in L2 TLB miss latency when L1/L2/LLC serve all misses",
+        Unit::Percent,
+        &columns,
+        &values,
+    )
+    .with_provenance(ctx.provenance(std::iter::once(&base_cfg).chain(&cfgs)));
+    for (col, series) in columns.iter().zip(&values) {
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        r.push_metric(Metric::new(format!("mean_latency_reduction/{col}"), mean, Unit::Percent));
     }
-    let n = WORKLOAD_NAMES.len() as f64;
-    t.row(std::iter::once("MEAN".to_string()).chain(sums.iter().map(|s| pct(s / n))).collect::<Vec<_>>());
-    t.note("paper: even LLC-served misses cut L2 TLB miss latency by 71.9% on average");
-    vec![t]
+    r.note("paper: even LLC-served misses cut L2 TLB miss latency by 71.9% on average");
+    vec![r]
 }

@@ -2,24 +2,26 @@
 //! baseline — the underutilisation argument (≈92% of blocks see zero
 //! reuse).
 
-use crate::{pct, ExpCtx, Table};
+use crate::{Column, ExpCtx, ExperimentReport, Metric, Unit, Value};
 use sim::SystemConfig;
 use vm_types::{ReuseHistogram, REUSE_BUCKET_LABELS};
 use workloads::registry::WORKLOAD_NAMES;
 
 /// Runs the baseline suite and reports per-workload reuse distributions.
-pub fn run(ctx: &ExpCtx) -> Vec<Table> {
-    let stats = ctx.suite(&SystemConfig::radix());
-    let mut t = Table::new("fig11", "Reuse-level distribution of L2 data blocks (baseline)")
-        .headers(std::iter::once("workload").chain(REUSE_BUCKET_LABELS));
+pub fn run(ctx: &ExpCtx) -> Vec<ExperimentReport> {
+    let cfg = SystemConfig::radix();
+    let stats = ctx.suite(&cfg);
+    let mut r = ExperimentReport::new("fig11", "Reuse-level distribution of L2 data blocks (baseline)")
+        .with_columns(REUSE_BUCKET_LABELS.iter().map(|&l| Column::new(l, Unit::Percent)))
+        .with_provenance(ctx.provenance([&cfg]));
     let mut merged = ReuseHistogram::new();
     for (name, s) in WORKLOAD_NAMES.iter().zip(&stats) {
         merged.merge(&s.l2_data_reuse);
-        let fr = s.l2_data_reuse.fractions();
-        t.row(std::iter::once(name.to_string()).chain(fr.iter().map(|&f| pct(f))).collect::<Vec<_>>());
+        r.push_row(*name, s.l2_data_reuse.fractions().iter().map(|&f| Value::from(f)));
     }
     let fr = merged.fractions();
-    t.row(std::iter::once("ALL".to_string()).chain(fr.iter().map(|&f| pct(f))).collect::<Vec<_>>());
-    t.note(format!("zero-reuse share = {} (paper: 92% zero reuse, 8% reuse ≥ 1)", pct(fr[0])));
-    vec![t]
+    r.push_row("ALL", fr.iter().map(|&f| Value::from(f)));
+    r.push_metric(Metric::new("zero_reuse_share", fr[0], Unit::Percent));
+    r.note("paper: 92% of L2 data blocks see zero reuse, 8% reuse ≥ 1");
+    vec![r]
 }

@@ -10,7 +10,7 @@
 //! - Fig. 23: translation reach of the TLB blocks in the L2 cache.
 //! - Fig. 24: reuse distribution of TLB blocks.
 
-use crate::{pct, x_factor, ExpCtx, Table};
+use crate::{workload_matrix, Column, ExpCtx, ExperimentReport, Metric, Unit, Value};
 use sim::{SimStats, SystemConfig};
 use vm_types::{geomean, REUSE_BUCKET_LABELS};
 use workloads::registry::WORKLOAD_NAMES;
@@ -33,141 +33,155 @@ fn run_all(ctx: &ExpCtx) -> (Vec<SimStats>, Vec<(&'static str, Vec<SimStats>)>) 
     (base, sys.iter().map(|(n, _)| *n).zip(results).collect())
 }
 
+fn native_provenance(ctx: &ExpCtx) -> report::Provenance {
+    let base = SystemConfig::radix();
+    let sys = systems();
+    ctx.provenance(std::iter::once(&base).chain(sys.iter().map(|(_, c)| c)))
+}
+
 /// Fig. 20: execution-time speedup over Radix.
-pub fn fig20(ctx: &ExpCtx) -> Vec<Table> {
+pub fn fig20(ctx: &ExpCtx) -> Vec<ExperimentReport> {
     let (base, results) = run_all(ctx);
-    let mut t = Table::new("fig20", "Speedup over Radix (native)")
-        .headers(std::iter::once("workload").chain(results.iter().map(|(n, _)| *n)));
-    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
-        let mut row = vec![name.to_string()];
-        for (_, r) in &results {
-            row.push(x_factor(r[wi].speedup_over(&base[wi])));
-        }
-        t.row(row);
+    let columns: Vec<String> = results.iter().map(|(n, _)| (*n).to_owned()).collect();
+    let values: Vec<Vec<f64>> =
+        results.iter().map(|(_, r)| r.iter().zip(&base).map(|(s, b)| s.speedup_over(b)).collect()).collect();
+    let mut r = workload_matrix("fig20", "Speedup over Radix (native)", Unit::Factor, &columns, &values)
+        .with_provenance(native_provenance(ctx));
+    for (col, series) in columns.iter().zip(&values) {
+        r.push_metric(Metric::new(format!("gmean_speedup/{col}"), geomean(series), Unit::Factor));
     }
-    let mut gm = vec!["GMEAN".to_string()];
-    for (_, r) in &results {
-        let sp: Vec<f64> = r.iter().zip(&base).map(|(s, b)| s.speedup_over(b)).collect();
-        gm.push(x_factor(geomean(&sp)));
-    }
-    t.row(gm);
-    t.note("paper GMEANs: POM +1.2%, OptL3-64K +2.9%, OptL2-64K +4.0%, OptL2-128K ≈ Victima, Victima +7.4%");
-    vec![t]
+    r.note("paper GMEANs: POM +1.2%, OptL3-64K +2.9%, OptL2-64K +4.0%, OptL2-128K ≈ Victima, Victima +7.4%");
+    vec![r]
 }
 
 /// Fig. 21: reduction in PTWs over Radix.
-pub fn fig21(ctx: &ExpCtx) -> Vec<Table> {
+pub fn fig21(ctx: &ExpCtx) -> Vec<ExperimentReport> {
     let (base, results) = run_all(ctx);
     let keep = ["POM-TLB", "OptL2-64K", "OptL2-128K", "Victima"];
-    let mut t = Table::new("fig21", "Reduction in PTWs over Radix (native)")
-        .headers(std::iter::once("workload").chain(keep));
-    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
-        let mut row = vec![name.to_string()];
-        for k in keep {
-            let r = &results.iter().find(|(n, _)| *n == k).expect("system present").1;
-            row.push(pct(r[wi].ptw_reduction_vs(&base[wi])));
-        }
-        t.row(row);
+    let columns: Vec<String> = keep.iter().map(|&k| k.to_owned()).collect();
+    let values: Vec<Vec<f64>> = keep
+        .iter()
+        .map(|k| {
+            let r = &results.iter().find(|(n, _)| n == k).expect("system present").1;
+            r.iter().zip(&base).map(|(s, b)| s.ptw_reduction_vs(b)).collect()
+        })
+        .collect();
+    let mut r =
+        workload_matrix("fig21", "Reduction in PTWs over Radix (native)", Unit::Percent, &columns, &values)
+            .with_provenance(native_provenance(ctx));
+    for (col, series) in columns.iter().zip(&values) {
+        let avg = series.iter().sum::<f64>() / series.len() as f64;
+        r.push_metric(Metric::new(format!("avg_ptw_reduction/{col}"), avg, Unit::Percent));
     }
-    let mut mean = vec!["AVG".to_string()];
-    for k in keep {
-        let r = &results.iter().find(|(n, _)| *n == k).expect("system present").1;
-        let avg = r.iter().zip(&base).map(|(s, b)| s.ptw_reduction_vs(b)).sum::<f64>() / base.len() as f64;
-        mean.push(pct(avg));
-    }
-    t.row(mean);
-    t.note("paper averages: Victima 50%, POM-TLB 37%, L2-64K 37%, L2-128K 48%");
-    vec![t]
+    r.note("paper averages: Victima 50%, POM-TLB 37%, L2-64K 37%, L2-128K 48%");
+    vec![r]
 }
 
 /// Fig. 22: mean L2 TLB miss latency, normalised to Radix, with the
 /// POM / L2-cache / radix-walk breakdown.
-pub fn fig22(ctx: &ExpCtx) -> Vec<Table> {
+pub fn fig22(ctx: &ExpCtx) -> Vec<ExperimentReport> {
     let (base, results) = run_all(ctx);
-    let mut t = Table::new("fig22", "L2 TLB miss latency normalised to Radix (components: POM / L2$ / walk)")
-        .headers(["workload", "system", "total", "POM", "L2$", "walk"]);
+    let mut r = ExperimentReport::new(
+        "fig22",
+        "L2 TLB miss latency normalised to Radix (components: POM / L2$ / walk)",
+    )
+    .with_columns([
+        Column::text("system"),
+        Column::new("total", Unit::Percent),
+        Column::new("POM", Unit::Percent),
+        Column::new("L2$", Unit::Percent),
+        Column::new("walk", Unit::Percent),
+    ])
+    .with_provenance(native_provenance(ctx));
     for k in ["POM-TLB", "Victima"] {
-        let r = &results.iter().find(|(n, _)| *n == k).expect("system present").1;
+        let sys = &results.iter().find(|(n, _)| *n == k).expect("system present").1;
         let mut totals = Vec::new();
         for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
-            let s = &r[wi];
+            let s = &sys[wi];
             let b = base[wi].l2_miss_latency().max(1e-9);
             let misses = s.l2_tlb_misses.max(1) as f64;
-            let norm = |c: u64| pct(c as f64 / misses / b);
+            let norm = |c: u64| c as f64 / misses / b;
             totals.push(s.l2_miss_latency() / b);
-            t.row([
-                name.to_string(),
-                k.to_string(),
-                pct(s.l2_miss_latency() / b),
-                norm(s.l2_miss_pom_component),
-                norm(s.l2_miss_cache_component),
-                norm(s.l2_miss_walk_component),
-            ]);
+            r.push_row(
+                *name,
+                [
+                    Value::from(k),
+                    Value::from(s.l2_miss_latency() / b),
+                    Value::from(norm(s.l2_miss_pom_component)),
+                    Value::from(norm(s.l2_miss_cache_component)),
+                    Value::from(norm(s.l2_miss_walk_component)),
+                ],
+            );
         }
         let avg = totals.iter().sum::<f64>() / totals.len() as f64;
-        t.row(["MEAN".to_string(), k.to_string(), pct(avg), String::new(), String::new(), String::new()]);
+        r.push_metric(Metric::new(format!("mean_norm_latency/{k}"), avg, Unit::Percent));
     }
-    t.note("paper: Victima reduces L2 TLB miss latency by 22%, POM-TLB by 3%");
-    vec![t]
+    r.note("paper: Victima reduces L2 TLB miss latency by 22%, POM-TLB by 3%");
+    vec![r]
 }
 
 /// Fig. 23: translation reach provided by TLB blocks in the L2 cache.
-pub fn fig23(ctx: &ExpCtx) -> Vec<Table> {
-    let victima = ctx.suite(&SystemConfig::victima());
-    let mut t = Table::new("fig23", "Translation reach of L2-cache TLB blocks (4KB-page equivalent)")
-        .headers(["workload", "mean reach (MB)", "peak reach (MB)"]);
+pub fn fig23(ctx: &ExpCtx) -> Vec<ExperimentReport> {
+    let cfg = SystemConfig::victima();
+    let victima = ctx.suite(&cfg);
+    let mut r =
+        ExperimentReport::new("fig23", "Translation reach of L2-cache TLB blocks (4KB-page equivalent)")
+            .with_columns([
+                Column::new("mean reach (MB)", Unit::Megabytes),
+                Column::new("peak reach (MB)", Unit::Megabytes),
+            ])
+            .with_provenance(ctx.provenance([&cfg]));
     let mut means = Vec::new();
     for (name, s) in WORKLOAD_NAMES.iter().zip(&victima) {
-        means.push(s.reach_mean_bytes / (1 << 20) as f64);
-        t.row([
-            name.to_string(),
-            format!("{:.0}", s.reach_mean_bytes / (1 << 20) as f64),
-            format!("{:.0}", s.reach_max_bytes as f64 / (1 << 20) as f64),
-        ]);
+        let mean_mb = s.reach_mean_bytes / (1 << 20) as f64;
+        means.push(mean_mb);
+        r.push_row(*name, [Value::from(mean_mb), Value::from(s.reach_max_bytes as f64 / (1 << 20) as f64)]);
     }
     let avg = means.iter().sum::<f64>() / means.len() as f64;
-    t.row(["MEAN".to_string(), format!("{avg:.0}"), String::new()]);
-    t.note(format!(
-        "paper: 220MB average ≈ 36x the baseline L2 TLB reach (6MB); ours = {:.0}MB = {:.0}x",
-        avg,
-        avg / 6.0
-    ));
-    vec![t]
+    r.push_metric(Metric::new("mean_reach_mb", avg, Unit::Megabytes));
+    r.push_metric(Metric::new("reach_vs_l2_tlb", avg / 6.0, Unit::Factor).with_tolerance(0.05));
+    r.note("paper: 220MB average ≈ 36x the baseline L2 TLB reach (6MB)");
+    vec![r]
 }
 
 /// Sec. 10's combination study: Victima plus a DUCATI-style in-memory
 /// STLB behind it. The paper reports the combination is only ~0.8% faster
 /// than Victima alone — the L2-cache TLB blocks already capture almost
 /// all the value.
-pub fn sec10_combo(ctx: &ExpCtx) -> Vec<Table> {
-    let vic = ctx.suite(&SystemConfig::victima());
-    let combo = ctx.suite(&SystemConfig::victima_plus_stlb());
-    let mut t = Table::new("sec10", "Victima + full-memory STLB vs. Victima alone")
-        .headers(["workload", "speedup over Victima"]);
+pub fn sec10_combo(ctx: &ExpCtx) -> Vec<ExperimentReport> {
+    let vic_cfg = SystemConfig::victima();
+    let combo_cfg = SystemConfig::victima_plus_stlb();
+    let vic = ctx.suite(&vic_cfg);
+    let combo = ctx.suite(&combo_cfg);
+    let mut r = ExperimentReport::new("sec10", "Victima + full-memory STLB vs. Victima alone")
+        .with_columns([Column::new("speedup over Victima", Unit::Factor)])
+        .with_provenance(ctx.provenance([&vic_cfg, &combo_cfg]));
     let mut sp = Vec::new();
     for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
         let s = combo[wi].speedup_over(&vic[wi]);
         sp.push(s);
-        t.row([name.to_string(), x_factor(s)]);
+        r.push_row(*name, [Value::from(s)]);
     }
-    t.row(["GMEAN".to_string(), x_factor(geomean(&sp))]);
-    t.note("paper (Sec. 10): the DUCATI-style combination is only +0.8% over Victima alone");
-    vec![t]
+    r.push_metric(Metric::new("gmean_speedup_combo", geomean(&sp), Unit::Factor));
+    r.note("paper (Sec. 10): the DUCATI-style combination is only +0.8% over Victima alone");
+    vec![r]
 }
 
 /// Fig. 24: reuse distribution of the TLB blocks Victima keeps in the L2.
-pub fn fig24(ctx: &ExpCtx) -> Vec<Table> {
-    let victima = ctx.suite(&SystemConfig::victima());
-    let mut t = Table::new("fig24", "Reuse-level distribution of TLB blocks in the L2 cache")
-        .headers(std::iter::once("workload").chain(REUSE_BUCKET_LABELS));
+pub fn fig24(ctx: &ExpCtx) -> Vec<ExperimentReport> {
+    let cfg = SystemConfig::victima();
+    let victima = ctx.suite(&cfg);
+    let mut r = ExperimentReport::new("fig24", "Reuse-level distribution of TLB blocks in the L2 cache")
+        .with_columns(REUSE_BUCKET_LABELS.iter().map(|&l| Column::new(l, Unit::Percent)))
+        .with_provenance(ctx.provenance([&cfg]));
     let mut merged = vm_types::ReuseHistogram::new();
     for (name, s) in WORKLOAD_NAMES.iter().zip(&victima) {
         merged.merge(&s.l2_tlb_block_reuse);
-        let fr = s.l2_tlb_block_reuse.fractions();
-        t.row(std::iter::once(name.to_string()).chain(fr.iter().map(|&f| pct(f))).collect::<Vec<_>>());
+        r.push_row(*name, s.l2_tlb_block_reuse.fractions().iter().map(|&f| Value::from(f)));
     }
     let fr = merged.fractions();
-    t.row(std::iter::once("ALL".to_string()).chain(fr.iter().map(|&f| pct(f))).collect::<Vec<_>>());
-    t.note(format!(">20-reuse share = {} (paper: 65% of TLB blocks see more than 20 hits)", pct(fr[4])));
-    vec![t]
+    r.push_row("ALL", fr.iter().map(|&f| Value::from(f)));
+    r.push_metric(Metric::new("share_reuse_gt20", fr[4], Unit::Percent));
+    r.note("paper: 65% of TLB blocks see more than 20 hits");
+    vec![r]
 }

@@ -1,17 +1,13 @@
 //! Fig. 25: Victima's PTW reduction across L2 cache sizes (1–8MB).
 //! Fig. 26: the TLB-aware vs. TLB-agnostic SRRIP ablation.
 
-use crate::{pct, x_factor, ExpCtx, Table};
+use crate::{workload_matrix, ExpCtx, ExperimentReport, Metric, Unit};
 use sim::SystemConfig;
 use vm_types::geomean;
-use workloads::registry::WORKLOAD_NAMES;
 
 /// Fig. 25: reduction in PTWs vs. Radix at matching L2 sizes.
-pub fn fig25(ctx: &ExpCtx) -> Vec<Table> {
+pub fn fig25(ctx: &ExpCtx) -> Vec<ExperimentReport> {
     let sizes: [u64; 4] = [1 << 20, 2 << 20, 4 << 20, 8 << 20];
-    let mut t = Table::new("fig25", "Victima's PTW reduction across L2 cache sizes").headers(
-        std::iter::once("workload".to_string()).chain(sizes.iter().map(|s| format!("{}MB", s >> 20))),
-    );
     // All (size × {Radix, Victima}) runs go out as one engine batch.
     let cfgs: Vec<SystemConfig> = sizes
         .iter()
@@ -22,43 +18,45 @@ pub fn fig25(ctx: &ExpCtx) -> Vec<Table> {
             ]
         })
         .collect();
-    let mut per_size: Vec<Vec<f64>> = Vec::new();
     let flat = ctx.suites(&cfgs);
-    let results: Vec<_> = flat.chunks_exact(2).collect();
-    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
-        let mut row = vec![name.to_string()];
-        for (si, pair) in results.iter().enumerate() {
-            let red = pair[1][wi].ptw_reduction_vs(&pair[0][wi]);
-            if per_size.len() <= si {
-                per_size.push(Vec::new());
-            }
-            per_size[si].push(red);
-            row.push(pct(red));
-        }
-        t.row(row);
+    let columns: Vec<String> = sizes.iter().map(|s| format!("{}MB", s >> 20)).collect();
+    let values: Vec<Vec<f64>> = flat
+        .chunks_exact(2)
+        .map(|pair| pair[1].iter().zip(&pair[0]).map(|(v, b)| v.ptw_reduction_vs(b)).collect())
+        .collect();
+    let mut r = workload_matrix(
+        "fig25",
+        "Victima's PTW reduction across L2 cache sizes",
+        Unit::Percent,
+        &columns,
+        &values,
+    )
+    .with_provenance(ctx.provenance(&cfgs));
+    for (col, series) in columns.iter().zip(&values) {
+        let avg = series.iter().sum::<f64>() / series.len() as f64;
+        r.push_metric(Metric::new(format!("avg_ptw_reduction/{col}"), avg, Unit::Percent));
     }
-    let mut mean = vec!["AVG".to_string()];
-    for reds in &per_size {
-        mean.push(pct(reds.iter().sum::<f64>() / reds.len() as f64));
-    }
-    t.row(mean);
-    t.note("paper: reduction grows with L2 size, reaching 63% at 8MB");
-    vec![t]
+    r.note("paper: reduction grows with L2 size, reaching 63% at 8MB");
+    vec![r]
 }
 
 /// Fig. 26: Victima with TLB-aware SRRIP vs. Victima with baseline SRRIP.
-pub fn fig26(ctx: &ExpCtx) -> Vec<Table> {
-    let agnostic = ctx.suite(&SystemConfig::victima_agnostic_srrip());
-    let aware = ctx.suite(&SystemConfig::victima());
-    let mut t = Table::new("fig26", "Victima: TLB-aware SRRIP speedup over TLB-agnostic SRRIP")
-        .headers(["workload", "speedup"]);
-    let mut sp = Vec::new();
-    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
-        let s = aware[wi].speedup_over(&agnostic[wi]);
-        sp.push(s);
-        t.row([name.to_string(), x_factor(s)]);
-    }
-    t.row(["GMEAN".to_string(), x_factor(geomean(&sp))]);
-    t.note("paper: the TLB-aware policy adds +1.8% on average");
-    vec![t]
+pub fn fig26(ctx: &ExpCtx) -> Vec<ExperimentReport> {
+    let agnostic_cfg = SystemConfig::victima_agnostic_srrip();
+    let aware_cfg = SystemConfig::victima();
+    let agnostic = ctx.suite(&agnostic_cfg);
+    let aware = ctx.suite(&aware_cfg);
+    let values: Vec<Vec<f64>> = vec![aware.iter().zip(&agnostic).map(|(a, b)| a.speedup_over(b)).collect()];
+    let columns = vec!["speedup".to_owned()];
+    let mut r = workload_matrix(
+        "fig26",
+        "Victima: TLB-aware SRRIP speedup over TLB-agnostic SRRIP",
+        Unit::Factor,
+        &columns,
+        &values,
+    )
+    .with_provenance(ctx.provenance([&agnostic_cfg, &aware_cfg]));
+    r.push_metric(Metric::new("gmean_speedup", geomean(&values[0]), Unit::Factor));
+    r.note("paper: the TLB-aware policy adds +1.8% on average");
+    vec![r]
 }

@@ -2,102 +2,118 @@
 //! baseline: speedups (27), guest/host PTW reductions (28) and the L2 TLB
 //! miss-latency breakdown (29).
 
-use crate::{pct, x_factor, ExpCtx, Table};
+use crate::{workload_matrix, Column, ExpCtx, ExperimentReport, Metric, Unit, Value};
 use sim::{SimStats, SystemConfig};
 use vm_types::geomean;
 use workloads::registry::WORKLOAD_NAMES;
 
-fn run_all(ctx: &ExpCtx) -> (Vec<SimStats>, Vec<(&'static str, Vec<SimStats>)>) {
-    let base = ctx.suite(&SystemConfig::nested_paging());
-    let systems = [
+/// The swept systems beyond the nested-paging baseline — the single
+/// source for both the runs and the recorded provenance.
+fn systems() -> Vec<(&'static str, SystemConfig)> {
+    vec![
         ("POM-TLB", SystemConfig::pom_tlb_virt()),
         ("I-SP", SystemConfig::ideal_shadow_paging()),
         ("Victima", SystemConfig::victima_virt()),
-    ];
-    let cfgs: Vec<SystemConfig> = systems.iter().map(|(_, c)| c.clone()).collect();
+    ]
+}
+
+fn run_all(ctx: &ExpCtx) -> (Vec<SimStats>, Vec<(&'static str, Vec<SimStats>)>) {
+    let base = ctx.suite(&SystemConfig::nested_paging());
+    let sys = systems();
+    let cfgs: Vec<SystemConfig> = sys.iter().map(|(_, c)| c.clone()).collect();
     let results = ctx.suites(&cfgs);
-    (base, systems.iter().map(|(n, _)| *n).zip(results).collect())
+    (base, sys.iter().map(|(n, _)| *n).zip(results).collect())
+}
+
+fn virt_provenance(ctx: &ExpCtx) -> report::Provenance {
+    let base = SystemConfig::nested_paging();
+    let sys = systems();
+    ctx.provenance(std::iter::once(&base).chain(sys.iter().map(|(_, c)| c)))
 }
 
 /// Fig. 27: speedup over nested paging.
-pub fn fig27(ctx: &ExpCtx) -> Vec<Table> {
+pub fn fig27(ctx: &ExpCtx) -> Vec<ExperimentReport> {
     let (base, results) = run_all(ctx);
-    let mut t = Table::new("fig27", "Speedup over Nested Paging (virtualised)")
-        .headers(std::iter::once("workload").chain(results.iter().map(|(n, _)| *n)));
-    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
-        let mut row = vec![name.to_string()];
-        for (_, r) in &results {
-            row.push(x_factor(r[wi].speedup_over(&base[wi])));
-        }
-        t.row(row);
+    let columns: Vec<String> = results.iter().map(|(n, _)| (*n).to_owned()).collect();
+    let values: Vec<Vec<f64>> =
+        results.iter().map(|(_, r)| r.iter().zip(&base).map(|(s, b)| s.speedup_over(b)).collect()).collect();
+    let mut r =
+        workload_matrix("fig27", "Speedup over Nested Paging (virtualised)", Unit::Factor, &columns, &values)
+            .with_provenance(virt_provenance(ctx));
+    for (col, series) in columns.iter().zip(&values) {
+        r.push_metric(Metric::new(format!("gmean_speedup/{col}"), geomean(series), Unit::Factor));
     }
-    let mut gm = vec!["GMEAN".to_string()];
-    for (_, r) in &results {
-        let sp: Vec<f64> = r.iter().zip(&base).map(|(s, b)| s.speedup_over(b)).collect();
-        gm.push(x_factor(geomean(&sp)));
-    }
-    t.row(gm);
-    t.note("paper GMEANs over NP: POM +7.2%, I-SP +22.7%, Victima +28.7%");
-    vec![t]
+    r.note("paper GMEANs over NP: POM +7.2%, I-SP +22.7%, Victima +28.7%");
+    vec![r]
 }
 
 /// Fig. 28: reduction in guest and host PTWs over nested paging.
-pub fn fig28(ctx: &ExpCtx) -> Vec<Table> {
+pub fn fig28(ctx: &ExpCtx) -> Vec<ExperimentReport> {
     let (base, results) = run_all(ctx);
     let keep = ["POM-TLB", "Victima"];
-    let mut t = Table::new("fig28", "Reduction in guest/host PTWs over Nested Paging").headers([
-        "workload",
-        "POM guest",
-        "POM host",
-        "Victima guest",
-        "Victima host",
-    ]);
-    let mut sums = [0.0f64; 4];
-    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
-        let mut row = vec![name.to_string()];
-        for (ki, k) in keep.iter().enumerate() {
-            let r = &results.iter().find(|(n, _)| n == k).expect("system present").1;
-            let g = r[wi].ptw_reduction_vs(&base[wi]);
-            let h = r[wi].host_ptw_reduction_vs(&base[wi]);
-            sums[ki * 2] += g;
-            sums[ki * 2 + 1] += h;
-            row.push(pct(g));
-            row.push(pct(h));
-        }
-        t.row(row);
+    let columns: Vec<String> =
+        keep.iter().flat_map(|k| [format!("{k} guest"), format!("{k} host")]).collect();
+    let mut values: Vec<Vec<f64>> = Vec::new();
+    for k in keep {
+        let r = &results.iter().find(|(n, _)| *n == k).expect("system present").1;
+        values.push(r.iter().zip(&base).map(|(s, b)| s.ptw_reduction_vs(b)).collect());
+        values.push(r.iter().zip(&base).map(|(s, b)| s.host_ptw_reduction_vs(b)).collect());
     }
-    let n = WORKLOAD_NAMES.len() as f64;
-    t.row(std::iter::once("AVG".to_string()).chain(sums.iter().map(|s| pct(s / n))).collect::<Vec<_>>());
-    t.note("paper: Victima cuts guest PTWs by 50% and host PTWs by 99%");
-    vec![t]
+    let mut r = workload_matrix(
+        "fig28",
+        "Reduction in guest/host PTWs over Nested Paging",
+        Unit::Percent,
+        &columns,
+        &values,
+    )
+    .with_provenance(virt_provenance(ctx));
+    for (col, series) in columns.iter().zip(&values) {
+        let avg = series.iter().sum::<f64>() / series.len() as f64;
+        r.push_metric(Metric::new(format!("avg_ptw_reduction/{col}"), avg, Unit::Percent));
+    }
+    r.note("paper: Victima cuts guest PTWs by 50% and host PTWs by 99%");
+    vec![r]
 }
 
 /// Fig. 29: L2 TLB miss latency normalised to NP, host/guest components.
-pub fn fig29(ctx: &ExpCtx) -> Vec<Table> {
+pub fn fig29(ctx: &ExpCtx) -> Vec<ExperimentReport> {
     let (base, results) = run_all(ctx);
-    let mut t =
-        Table::new("fig29", "Virtualised L2 TLB miss latency normalised to NP (components: host / guest)")
-            .headers(["workload", "system", "total", "host", "guest"]);
-    for (k, r) in &results {
+    let mut r = ExperimentReport::new(
+        "fig29",
+        "Virtualised L2 TLB miss latency normalised to NP (components: host / guest)",
+    )
+    .with_columns([
+        Column::text("system"),
+        Column::new("total", Unit::Percent),
+        Column::new("host", Unit::Percent),
+        Column::new("guest", Unit::Percent),
+    ])
+    .with_provenance(virt_provenance(ctx));
+    for (k, sys) in &results {
         let mut totals = Vec::new();
         for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
-            let s = &r[wi];
+            let s = &sys[wi];
             let b = base[wi].l2_miss_latency().max(1e-9);
             let misses = s.l2_tlb_misses.max(1) as f64;
             totals.push(s.l2_miss_latency() / b);
-            t.row([
-                name.to_string(),
-                k.to_string(),
-                pct(s.l2_miss_latency() / b),
-                pct(s.l2_miss_host_component as f64 / misses / b),
-                pct((s.l2_miss_walk_component + s.l2_miss_cache_component + s.l2_miss_pom_component) as f64
-                    / misses
-                    / b),
-            ]);
+            r.push_row(
+                *name,
+                [
+                    Value::from(*k),
+                    Value::from(s.l2_miss_latency() / b),
+                    Value::from(s.l2_miss_host_component as f64 / misses / b),
+                    Value::from(
+                        (s.l2_miss_walk_component + s.l2_miss_cache_component + s.l2_miss_pom_component)
+                            as f64
+                            / misses
+                            / b,
+                    ),
+                ],
+            );
         }
         let avg = totals.iter().sum::<f64>() / totals.len() as f64;
-        t.row(["MEAN".to_string(), k.to_string(), pct(avg), String::new(), String::new()]);
+        r.push_metric(Metric::new(format!("mean_norm_latency/{k}"), avg, Unit::Percent));
     }
-    t.note("paper: Victima cuts host latency to ~1% of NP and guest latency by 60%");
-    vec![t]
+    r.note("paper: Victima cuts host latency to ~1% of NP and guest latency by 60%");
+    vec![r]
 }

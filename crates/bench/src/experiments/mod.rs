@@ -12,7 +12,7 @@ pub mod fig25_26_sensitivity;
 pub mod fig27_29_virt;
 pub mod table2_predictor;
 
-use crate::{ExpCtx, Table};
+use crate::{ExpCtx, ExperimentReport};
 
 /// All experiment ids in paper order (sec10 is the Related-Work claim
 /// that a DUCATI-style full-memory STLB adds only ~0.8% over Victima).
@@ -21,8 +21,14 @@ pub const ALL_IDS: [&str; 21] = [
     "fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "fig29", "sec10",
 ];
 
+/// Every id the `--check` regression gate covers: the calibration probe
+/// plus the paper figures/tables, in run order.
+pub fn checked_ids() -> Vec<&'static str> {
+    std::iter::once("calibrate").chain(ALL_IDS).collect()
+}
+
 /// Runs one experiment by id. Returns `None` for unknown ids.
-pub fn by_id(ctx: &ExpCtx, id: &str) -> Option<Vec<Table>> {
+pub fn by_id(ctx: &ExpCtx, id: &str) -> Option<Vec<ExperimentReport>> {
     Some(match id {
         "calibrate" => calibrate::run(ctx),
         "fig04" => fig04_ptw_latency::run(ctx),
@@ -51,6 +57,6 @@ pub fn by_id(ctx: &ExpCtx, id: &str) -> Option<Vec<Table>> {
 }
 
 /// Runs every experiment in paper order.
-pub fn all(ctx: &ExpCtx) -> Vec<Table> {
+pub fn all(ctx: &ExpCtx) -> Vec<ExperimentReport> {
     ALL_IDS.iter().flat_map(|id| by_id(ctx, id).expect("ALL_IDS entries are dispatchable")).collect()
 }

@@ -4,18 +4,19 @@
 //! Experiments share simulation runs through a cache (e.g. Figs.
 //! 20–24 all read the same six system×workload sweeps) and execute
 //! uncached runs as one batch on the [`SimEngine`] worker pool
-//! (`VICTIMA_JOBS` workers). Each experiment returns a [`Table`] whose
-//! rows mirror the series the paper plots.
+//! (`VICTIMA_JOBS` workers). Each experiment returns a typed
+//! [`ExperimentReport`] (the `report` crate) that renders to text, JSON,
+//! CSV or markdown and feeds the `--check` regression gate.
 
 pub mod experiments;
-pub mod table;
 
+use report::Provenance;
 use sim::{RunSpec, Runner, SimEngine, SimStats, SystemConfig};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use workloads::{registry::WORKLOAD_NAMES, Scale};
 
-pub use table::Table;
+pub use report::{Column, ExperimentReport, Metric, Unit, Value};
 
 /// Shared context for all experiments.
 #[derive(Clone)]
@@ -37,6 +38,21 @@ impl ExpCtx {
         Self::with_runner(Runner::with_budget(Scale::Full, 60_000, 600_000))
     }
 
+    /// The pinned regression-check profile: Tiny scale, fixed budgets,
+    /// *independent of every environment variable except* `VICTIMA_JOBS`
+    /// (which cannot change results — the engine is schedule-
+    /// deterministic). Committed baselines under `crates/bench/baselines/`
+    /// are generated at exactly this profile; `--check` refuses baselines
+    /// whose provenance differs.
+    pub fn check() -> Self {
+        Self::with_runner(Runner::with_budget(Scale::Tiny, 5_000, 50_000))
+    }
+
+    /// A context with an explicit runner and worker count (tests).
+    pub fn custom(runner: Runner, jobs: usize) -> Self {
+        Self { runner, engine: SimEngine::with_jobs(jobs), cache: Arc::new(Mutex::new(HashMap::new())) }
+    }
+
     fn with_runner(runner: Runner) -> Self {
         Self { runner, engine: SimEngine::new(), cache: Arc::new(Mutex::new(HashMap::new())) }
     }
@@ -49,6 +65,23 @@ impl ExpCtx {
     /// The underlying batch engine.
     pub fn engine(&self) -> &SimEngine {
         &self.engine
+    }
+
+    /// Artifact provenance for an experiment that swept `cfgs` (any
+    /// iterable of config references — a `&Vec<SystemConfig>`, an
+    /// `[&SystemConfig; N]` array, or a `once(..).chain(..)`). Worker
+    /// count and wall-clock are deliberately absent: artifacts must be
+    /// byte-identical across `VICTIMA_JOBS` settings.
+    pub fn provenance<'a>(&self, cfgs: impl IntoIterator<Item = &'a SystemConfig>) -> Provenance {
+        Provenance {
+            scale: format!("{:?}", self.runner.scale),
+            warmup: self.runner.warmup,
+            instructions: self.runner.instructions,
+            seed: vm_types::DEFAULT_SEED,
+            engine: sim::ENGINE_ID.to_owned(),
+            configs: cfgs.into_iter().map(|c| c.name.clone()).collect(),
+            workloads: WORKLOAD_NAMES.iter().map(|&w| w.to_owned()).collect(),
+        }
     }
 
     /// Runs `cfg` over the whole 11-workload suite (cached, parallel).
@@ -118,14 +151,24 @@ impl Default for ExpCtx {
     }
 }
 
-/// Formats a ratio as the paper's percentage strings.
-pub fn pct(x: f64) -> String {
-    format!("{:.1}%", x * 100.0)
-}
-
-/// Formats a speedup factor.
-pub fn x_factor(x: f64) -> String {
-    format!("{x:.3}")
+/// Builds the common "one row per workload, one column per swept system"
+/// report shape: `columns[i]` names series `i`, `values[i][wi]` is that
+/// series' measurement for workload `wi` (figure order). Metrics and
+/// notes are the caller's to add.
+pub fn workload_matrix(
+    id: &str,
+    title: &str,
+    unit: Unit,
+    columns: &[String],
+    values: &[Vec<f64>],
+) -> ExperimentReport {
+    assert_eq!(columns.len(), values.len(), "one column per series");
+    let mut r =
+        ExperimentReport::new(id, title).with_columns(columns.iter().map(|c| Column::new(c.clone(), unit)));
+    for (wi, name) in WORKLOAD_NAMES.iter().enumerate() {
+        r.push_row(*name, values.iter().map(|series| Value::from(series[wi])));
+    }
+    r
 }
 
 #[cfg(test)]
@@ -134,7 +177,7 @@ mod tests {
 
     #[test]
     fn cache_deduplicates_runs() {
-        let ctx = ExpCtx::with_runner(Runner::with_budget(Scale::Tiny, 2_000, 20_000));
+        let ctx = ExpCtx::custom(Runner::with_budget(Scale::Tiny, 2_000, 20_000), 2);
         let cfg = SystemConfig::radix();
         let a = ctx.one(&cfg, "RND");
         let b = ctx.one(&cfg, "RND");
@@ -145,7 +188,7 @@ mod tests {
 
     #[test]
     fn suites_batch_through_the_engine() {
-        let ctx = ExpCtx::with_runner(Runner::with_budget(Scale::Tiny, 500, 5_000));
+        let ctx = ExpCtx::custom(Runner::with_budget(Scale::Tiny, 500, 5_000), 2);
         let cfgs = [SystemConfig::radix(), SystemConfig::victima()];
         let results = ctx.suites(&cfgs);
         assert_eq!(results.len(), 2);
@@ -157,8 +200,24 @@ mod tests {
     }
 
     #[test]
-    fn formatting_helpers() {
-        assert_eq!(pct(0.074), "7.4%");
-        assert_eq!(x_factor(1.2345), "1.234");
+    fn provenance_captures_profile_and_configs() {
+        let ctx = ExpCtx::check();
+        let cfg = SystemConfig::victima();
+        let p = ctx.provenance([&cfg]);
+        assert_eq!(p.scale, "Tiny");
+        assert_eq!((p.warmup, p.instructions), (5_000, 50_000));
+        assert_eq!(p.configs, vec!["Victima"]);
+        assert_eq!(p.workloads.len(), WORKLOAD_NAMES.len());
+        assert_eq!(p.engine, sim::ENGINE_ID);
+    }
+
+    #[test]
+    fn workload_matrix_shapes_rows_by_workload() {
+        let cols = vec!["A".to_owned(), "B".to_owned()];
+        let vals = vec![vec![1.0; WORKLOAD_NAMES.len()], vec![2.0; WORKLOAD_NAMES.len()]];
+        let r = workload_matrix("figX", "t", Unit::Factor, &cols, &vals);
+        assert_eq!(r.rows.len(), WORKLOAD_NAMES.len());
+        assert_eq!(r.columns.len(), 2);
+        assert_eq!(r.rows[0].cells[1], Value::Float(2.0));
     }
 }

@@ -1,0 +1,221 @@
+//! The reproduction-regression gate: diff a freshly computed report
+//! against a committed baseline, metric by metric, with per-metric
+//! tolerances.
+//!
+//! A metric passes when `|actual - expected| <= tolerance * max(|expected|, 1.0)`
+//! — relative slack for O(1)-and-larger values (speedups, latencies,
+//! MPKI), degrading to absolute slack near zero so a `0.0` baseline
+//! doesn't demand exact equality of every future platform's libm.
+//! Provenance must match exactly: comparing runs with different budgets,
+//! scales or seeds is a user error the gate reports instead of masking.
+//!
+//! # Examples
+//!
+//! ```
+//! use report::{check_report, ExperimentReport, Metric, Unit};
+//!
+//! let mut baseline = ExperimentReport::new("fig20", "Speedup");
+//! baseline.push_metric(Metric::new("gmean", 1.074, Unit::Factor).with_tolerance(0.02));
+//! let mut actual = baseline.clone();
+//! actual.metrics[0].value = 1.08; // within 2% of 1.074
+//! assert!(check_report(&actual, &baseline).passed());
+//! ```
+
+use crate::schema::ExperimentReport;
+use std::fmt;
+
+/// One metric that fell outside its baseline tolerance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricDiff {
+    /// Metric name.
+    pub metric: String,
+    /// Committed baseline value.
+    pub expected: f64,
+    /// Freshly computed value.
+    pub actual: f64,
+    /// The baseline's tolerance.
+    pub tolerance: f64,
+    /// `|actual - expected| / max(|expected|, 1.0)` — comparable to
+    /// `tolerance`.
+    pub deviation: f64,
+}
+
+impl fmt::Display for MetricDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: expected {} got {} (deviation {:.4} > tolerance {:.4})",
+            self.metric, self.expected, self.actual, self.deviation, self.tolerance
+        )
+    }
+}
+
+/// The outcome of checking one experiment against its baseline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckOutcome {
+    /// Experiment id.
+    pub id: String,
+    /// Number of metrics compared.
+    pub checked: usize,
+    /// Provenance fields that differ (`"instructions: 50000 != 2000000"`).
+    pub provenance_mismatches: Vec<String>,
+    /// Baseline metrics absent from the fresh run.
+    pub missing: Vec<String>,
+    /// Fresh metrics absent from the baseline (new metrics needing a
+    /// baseline refresh).
+    pub unexpected: Vec<String>,
+    /// Metrics outside tolerance.
+    pub failures: Vec<MetricDiff>,
+}
+
+impl CheckOutcome {
+    /// Whether every metric matched within tolerance and the shapes agree.
+    pub fn passed(&self) -> bool {
+        self.provenance_mismatches.is_empty()
+            && self.missing.is_empty()
+            && self.unexpected.is_empty()
+            && self.failures.is_empty()
+    }
+
+    /// One-line human summary ("fig20: 5 metrics OK" / failure counts).
+    pub fn summary(&self) -> String {
+        if self.passed() {
+            format!("{}: {} metric(s) within tolerance", self.id, self.checked)
+        } else {
+            format!(
+                "{}: {} failure(s), {} missing, {} unexpected, {} provenance mismatch(es)",
+                self.id,
+                self.failures.len(),
+                self.missing.len(),
+                self.unexpected.len(),
+                self.provenance_mismatches.len()
+            )
+        }
+    }
+}
+
+fn diff_field(out: &mut Vec<String>, name: &str, expected: &dyn fmt::Debug, actual: &dyn fmt::Debug) {
+    let (e, a) = (format!("{expected:?}"), format!("{actual:?}"));
+    if e != a {
+        out.push(format!("{name}: baseline {e} != actual {a}"));
+    }
+}
+
+/// Diffs `actual` against `baseline`. Tolerances come from the *baseline*
+/// (the committed contract), not from the fresh run.
+pub fn check_report(actual: &ExperimentReport, baseline: &ExperimentReport) -> CheckOutcome {
+    let mut out = CheckOutcome { id: baseline.id.clone(), ..CheckOutcome::default() };
+    let (bp, ap) = (&baseline.provenance, &actual.provenance);
+    diff_field(&mut out.provenance_mismatches, "scale", &bp.scale, &ap.scale);
+    diff_field(&mut out.provenance_mismatches, "warmup", &bp.warmup, &ap.warmup);
+    diff_field(&mut out.provenance_mismatches, "instructions", &bp.instructions, &ap.instructions);
+    diff_field(&mut out.provenance_mismatches, "seed", &bp.seed, &ap.seed);
+    diff_field(&mut out.provenance_mismatches, "engine", &bp.engine, &ap.engine);
+    diff_field(&mut out.provenance_mismatches, "configs", &bp.configs, &ap.configs);
+    diff_field(&mut out.provenance_mismatches, "workloads", &bp.workloads, &ap.workloads);
+
+    for bm in &baseline.metrics {
+        let Some(am) = actual.metric(&bm.name) else {
+            out.missing.push(bm.name.clone());
+            continue;
+        };
+        out.checked += 1;
+        let deviation = (am.value - bm.value).abs() / bm.value.abs().max(1.0);
+        if deviation > bm.tolerance || !deviation.is_finite() {
+            out.failures.push(MetricDiff {
+                metric: bm.name.clone(),
+                expected: bm.value,
+                actual: am.value,
+                tolerance: bm.tolerance,
+                deviation,
+            });
+        }
+    }
+    for am in &actual.metrics {
+        if baseline.metric(&am.name).is_none() {
+            out.unexpected.push(am.name.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Metric, Provenance, Unit};
+
+    fn report(metrics: &[(&str, f64, f64)]) -> ExperimentReport {
+        let mut r = ExperimentReport::new("figX", "t")
+            .with_provenance(Provenance { instructions: 1000, ..Provenance::default() });
+        for &(name, value, tol) in metrics {
+            r.push_metric(Metric::new(name, value, Unit::Factor).with_tolerance(tol));
+        }
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(&[("a", 1.5, 0.02), ("b", 0.0, 0.02)]);
+        let out = check_report(&r, &r);
+        assert!(out.passed());
+        assert_eq!(out.checked, 2);
+        assert!(out.summary().contains("within tolerance"));
+    }
+
+    #[test]
+    fn deviation_is_relative_above_one_and_absolute_below() {
+        // 100 -> 101.5: 1.5% deviation, passes a 2% tolerance.
+        let base = report(&[("big", 100.0, 0.02)]);
+        assert!(check_report(&report(&[("big", 101.5, 0.02)]), &base).passed());
+        assert!(!check_report(&report(&[("big", 103.0, 0.02)]), &base).passed());
+        // Near zero the slack is absolute: 0.0 -> 0.015 passes 2%.
+        let base = report(&[("small", 0.0, 0.02)]);
+        assert!(check_report(&report(&[("small", 0.015, 0.02)]), &base).passed());
+        assert!(!check_report(&report(&[("small", 0.5, 0.02)]), &base).passed());
+    }
+
+    #[test]
+    fn nan_actual_fails() {
+        let base = report(&[("a", 1.0, 0.5)]);
+        let out = check_report(&report(&[("a", f64::NAN, 0.5)]), &base);
+        assert!(!out.passed());
+        assert!(out.failures[0].to_string().contains("a: expected 1"));
+    }
+
+    #[test]
+    fn shape_mismatches_are_reported() {
+        let base = report(&[("a", 1.0, 0.1), ("gone", 2.0, 0.1)]);
+        let fresh = report(&[("a", 1.0, 0.1), ("new", 3.0, 0.1)]);
+        let out = check_report(&fresh, &base);
+        assert_eq!(out.missing, vec!["gone"]);
+        assert_eq!(out.unexpected, vec!["new"]);
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn provenance_mismatch_fails_even_when_metrics_agree() {
+        let base = report(&[("a", 1.0, 0.1)]);
+        let mut fresh = base.clone();
+        fresh.provenance.instructions = 9;
+        let out = check_report(&fresh, &base);
+        assert!(!out.passed());
+        assert!(out.provenance_mismatches[0].contains("instructions"));
+    }
+
+    #[test]
+    fn config_list_drift_fails_the_check() {
+        let base = report(&[("a", 1.0, 0.1)]);
+        let mut fresh = base.clone();
+        fresh.provenance.configs = vec!["Victima+STLB".into()];
+        let out = check_report(&fresh, &base);
+        assert!(!out.passed());
+        assert!(out.provenance_mismatches[0].contains("configs"));
+    }
+
+    #[test]
+    fn baseline_tolerance_wins_over_actuals() {
+        let base = report(&[("a", 1.0, 0.5)]);
+        let fresh = report(&[("a", 1.4, 0.001)]); // actual's tighter tolerance ignored
+        assert!(check_report(&fresh, &base).passed());
+    }
+}

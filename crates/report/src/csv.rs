@@ -1,0 +1,158 @@
+//! CSV artifacts: raw, full-precision values for plotting pipelines.
+//!
+//! One CSV per experiment. The first line is the header (`label` column
+//! first), every following line one data row. Cells carry *raw* values —
+//! a `percent` column holds `0.074`, not `"7.4%"` — so downstream tools
+//! never re-parse display formatting; units travel in the JSON artifact
+//! and in the header's `name:unit` suffixes. Metrics and notes are JSON/
+//! markdown concerns and are not emitted here.
+//!
+//! # Examples
+//!
+//! ```
+//! use report::{Column, ExperimentReport, Unit, Value};
+//!
+//! let mut r = ExperimentReport::new("fig20", "Speedup")
+//!     .with_columns([Column::new("Victima", Unit::Factor)]);
+//! r.push_row("BFS", [Value::from(1.5)]);
+//! let csv = report::csv::to_csv(&r);
+//! assert_eq!(csv, "workload,Victima:factor\nBFS,1.5\n");
+//! let rows = report::csv::parse_csv(&csv).unwrap();
+//! assert_eq!(rows[1], vec!["BFS", "1.5"]);
+//! ```
+
+use crate::schema::{ExperimentReport, Value};
+
+/// Quotes a field per RFC 4180 when it contains a comma, quote or newline.
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Full-precision, unit-free rendering of one cell (what CSV emits).
+pub fn raw_value(v: &Value) -> String {
+    match v {
+        Value::Empty => String::new(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f}"),
+        Value::Str(s) => s.clone(),
+    }
+}
+
+/// Renders the report's data table as CSV (header + rows, `\n` line ends).
+pub fn to_csv(r: &ExperimentReport) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = std::iter::once(r.label_name.clone())
+        .chain(r.columns.iter().map(|c| format!("{}:{}", c.name, c.unit.tag())))
+        .collect();
+    out.push_str(&header.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in &r.rows {
+        let line: Vec<String> = std::iter::once(field(&row.label))
+            .chain(row.cells.iter().map(|c| field(&raw_value(c))))
+            .collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV text back into rows of string fields (RFC 4180 quoting).
+/// Used by the round-trip tests and by anything re-ingesting artifacts.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut row_started = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cell.push('"');
+                }
+                '"' => in_quotes = false,
+                c => cell.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' if cell.is_empty() => {
+                in_quotes = true;
+                row_started = true;
+            }
+            '"' => return Err("quote inside unquoted field".into()),
+            ',' => {
+                row.push(std::mem::take(&mut cell));
+                row_started = true;
+            }
+            '\r' => {}
+            '\n' => {
+                row.push(std::mem::take(&mut cell));
+                rows.push(std::mem::take(&mut row));
+                row_started = false;
+            }
+            c => {
+                cell.push(c);
+                row_started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    if row_started || !cell.is_empty() || !row.is_empty() {
+        row.push(cell);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Unit};
+
+    fn sample() -> ExperimentReport {
+        let mut r = ExperimentReport::new("t", "x")
+            .with_columns([Column::new("a", Unit::Percent), Column::text("b")]);
+        r.push_row("w1", [Value::from(0.5), Value::from("plain")]);
+        r.push_row("w,2", [Value::Empty, Value::from("qu\"oted,\nline")]);
+        r
+    }
+
+    #[test]
+    fn renders_raw_values_with_units_in_header() {
+        let csv = to_csv(&sample());
+        assert!(csv.starts_with("workload,a:percent,b:text\n"));
+        assert!(csv.contains("w1,0.5,plain\n"));
+        assert!(csv.contains("\"w,2\""));
+        assert!(csv.contains("\"qu\"\"oted,\nline\""));
+    }
+
+    #[test]
+    fn csv_round_trips_through_the_parser() {
+        let r = sample();
+        let rows = parse_csv(&to_csv(&r)).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec!["workload", "a:percent", "b:text"]);
+        assert_eq!(rows[1], vec!["w1", "0.5", "plain"]);
+        assert_eq!(rows[2], vec!["w,2", "", "qu\"oted,\nline"]);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_quoting() {
+        assert!(parse_csv("a\"b,c\n").is_err());
+        assert!(parse_csv("\"abc\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_parses_to_no_rows() {
+        assert_eq!(parse_csv("").unwrap(), Vec::<Vec<String>>::new());
+    }
+}

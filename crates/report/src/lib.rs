@@ -1,0 +1,52 @@
+//! Typed results pipeline for the Victima (MICRO 2023) reproduction.
+//!
+//! Every figure and table of the paper's evaluation is materialised as an
+//! [`ExperimentReport`]: a typed schema carrying units, per-cell values,
+//! summary [`Metric`]s with regression tolerances, free-form calibration
+//! notes, and full config [`Provenance`] (scale, budgets, seed, engine).
+//! Four renderers turn a report into durable artifacts:
+//!
+//! - [`json::to_json`] / [`json::from_json`] — a hand-rolled, dependency-free
+//!   JSON round trip (the `--check` baseline format);
+//! - [`csv::to_csv`] — raw full-precision values for plotting pipelines;
+//! - [`text::render`] — the aligned plain-text tables the CLI prints;
+//! - [`markdown::render`] / [`markdown::render_combined`] — per-figure
+//!   sections and the combined self-rendering `REPORT.md`.
+//!
+//! [`check::check_report`] diffs a freshly computed report against a
+//! committed baseline with per-metric tolerances, giving the repo an
+//! automated reproduction-regression gate.
+//!
+//! The crate is std-only and depends on nothing else in the workspace, so
+//! any layer (bench harness, examples, external tooling) can consume it.
+//!
+//! # Examples
+//!
+//! Build a report with the fluent builder, then render it:
+//!
+//! ```
+//! use report::{Column, ExperimentReport, Metric, Unit, Value};
+//!
+//! let mut r = ExperimentReport::new("fig20", "Speedup over Radix (native)")
+//!     .with_columns([Column::new("Victima", Unit::Factor)]);
+//! r.push_row("BFS", [Value::from(1.074)]);
+//! r.push_metric(Metric::new("gmean_speedup/Victima", 1.074, Unit::Factor).with_tolerance(0.02));
+//! r.note("paper: Victima gains +7.4% GMEAN");
+//!
+//! let json = report::json::to_json(&r);
+//! let back = report::json::from_json(&json).unwrap();
+//! assert_eq!(r, back);
+//! assert!(report::text::render(&r).contains("fig20"));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod check;
+pub mod csv;
+pub mod json;
+pub mod markdown;
+pub mod schema;
+pub mod text;
+
+pub use check::{check_report, CheckOutcome, MetricDiff};
+pub use schema::{Column, ExperimentReport, Metric, Provenance, Row, Unit, Value};

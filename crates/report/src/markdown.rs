@@ -1,0 +1,162 @@
+//! Self-rendering markdown reports: one section per paper figure/table,
+//! plus the combined `REPORT.md` document.
+//!
+//! Every section carries the figure's caption, a provenance line, the
+//! data as a GitHub-flavoured markdown table, a summary-metrics table and
+//! the calibration notes. Nothing schedule-dependent (worker count,
+//! wall-clock) is rendered, so the output is byte-identical across
+//! `VICTIMA_JOBS` settings — the golden-file test relies on this.
+//!
+//! # Examples
+//!
+//! ```
+//! use report::{Column, ExperimentReport, Unit, Value};
+//!
+//! let mut r = ExperimentReport::new("fig20", "Speedup over Radix")
+//!     .with_columns([Column::new("Victima", Unit::Factor)]);
+//! r.push_row("BFS", [Value::from(1.074)]);
+//! let md = report::markdown::render(&r);
+//! assert!(md.contains("## fig20 — Speedup over Radix"));
+//! assert!(md.contains("| BFS | 1.074 |"));
+//! ```
+
+use crate::schema::{ExperimentReport, Provenance};
+
+/// Escapes `|` so cell text can't break the table grid.
+fn md_cell(s: &str) -> String {
+    s.replace('|', "\\|").replace('\n', " ")
+}
+
+fn provenance_line(p: &Provenance) -> String {
+    format!(
+        "*{} scale, {} warmup + {} measured instructions, seed `0x{:x}`, {} ({} configs × {} workloads)*\n",
+        p.scale,
+        p.warmup,
+        p.instructions,
+        p.seed,
+        p.engine,
+        p.configs.len(),
+        p.workloads.len(),
+    )
+}
+
+/// Renders one report as a markdown section (`##` heading).
+pub fn render(r: &ExperimentReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {} — {}\n\n", md_cell(&r.id), md_cell(&r.title)));
+    out.push_str(&provenance_line(&r.provenance));
+    out.push('\n');
+
+    if !r.columns.is_empty() {
+        let headers: Vec<String> = std::iter::once(md_cell(&r.label_name))
+            .chain(r.columns.iter().map(|c| md_cell(&c.name)))
+            .collect();
+        out.push_str(&format!("| {} |\n", headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(headers.len())));
+        for row in &r.rows {
+            let cells: Vec<String> = std::iter::once(md_cell(&row.label))
+                .chain(row.cells.iter().enumerate().map(|(i, cell)| {
+                    md_cell(&match r.columns.get(i) {
+                        Some(col) => col.format(cell),
+                        None => crate::csv::raw_value(cell),
+                    })
+                }))
+                .collect();
+            out.push_str(&format!("| {} |\n", cells.join(" | ")));
+        }
+        out.push('\n');
+    }
+
+    if !r.metrics.is_empty() {
+        out.push_str("| metric | value | tolerance |\n|---|---|---|\n");
+        for m in &r.metrics {
+            out.push_str(&format!(
+                "| `{}` | {} | ±{}% |\n",
+                md_cell(&m.name),
+                md_cell(&m.display_value()),
+                crate::schema::Unit::Raw.format(m.tolerance * 100.0, None),
+            ));
+        }
+        out.push('\n');
+    }
+
+    for n in &r.notes {
+        out.push_str(&format!("> {}\n", md_cell(n)));
+    }
+    if !r.notes.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the combined `REPORT.md`: a header, a table of contents, and
+/// one section per report in the order given.
+pub fn render_combined(reports: &[ExperimentReport]) -> String {
+    let mut out = String::new();
+    out.push_str("# Victima reproduction report\n\n");
+    out.push_str(
+        "Regenerated figures and tables of *Victima: Drastically Increasing Address \
+         Translation Reach by Leveraging Underutilized Cache Resources* (MICRO 2023). \
+         Each section lists the measured data, the summary metrics the `--check` \
+         regression gate tracks, and the paper's reference points.\n\n",
+    );
+    out.push_str("| section | title |\n|---|---|\n");
+    for r in reports {
+        out.push_str(&format!("| [{}](#{}) | {} |\n", r.id, anchor(&r.id, &r.title), md_cell(&r.title)));
+    }
+    out.push('\n');
+    for r in reports {
+        out.push_str(&render(r));
+    }
+    out
+}
+
+/// GitHub-style heading anchor for `## id — title`.
+fn anchor(id: &str, title: &str) -> String {
+    let heading = format!("{id} — {title}");
+    let mut out = String::new();
+    for c in heading.chars() {
+        match c {
+            c if c.is_alphanumeric() => out.extend(c.to_lowercase()),
+            ' ' | '-' => out.push('-'),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Metric, Unit, Value};
+
+    fn sample(id: &str) -> ExperimentReport {
+        let mut r = ExperimentReport::new(id, "A | title").with_columns([Column::new("v", Unit::Percent)]);
+        r.push_row("w|1", [Value::from(0.074)]);
+        r.push_metric(Metric::new("avg", 0.074, Unit::Percent));
+        r.note("paper: 7.4%");
+        r
+    }
+
+    #[test]
+    fn section_contains_table_metrics_and_notes() {
+        let md = render(&sample("figX"));
+        assert!(md.contains("## figX — A \\| title"));
+        assert!(md.contains("| w\\|1 | 7.4% |"));
+        assert!(md.contains("| `avg` | 7.4% | ±2% |"));
+        assert!(md.contains("> paper: 7.4%"));
+    }
+
+    #[test]
+    fn combined_document_links_every_section() {
+        let md = render_combined(&[sample("fig01"), sample("fig02")]);
+        assert!(md.starts_with("# Victima reproduction report"));
+        assert!(md.contains("[fig01](#fig01--a--title)"));
+        assert_eq!(md.matches("## fig0").count(), 2);
+    }
+
+    #[test]
+    fn anchors_drop_punctuation_like_github() {
+        assert_eq!(anchor("fig20", "Speedup over Radix (native)"), "fig20--speedup-over-radix-native");
+    }
+}

@@ -1,0 +1,409 @@
+//! The typed metric schema: units, cell values, columns, rows, summary
+//! metrics, provenance, and the [`ExperimentReport`] container.
+
+use std::fmt;
+
+/// Semantic unit of a column or metric. The unit drives display
+/// formatting (see [`Unit::format`]) and is carried verbatim into the
+/// JSON/CSV artifacts so downstream consumers don't have to guess.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unit {
+    /// Plain event count (integer display).
+    Count,
+    /// Simulated clock cycles.
+    Cycles,
+    /// A fraction in `[0, 1]`, displayed as a percentage.
+    Percent,
+    /// A dimensionless ratio (speedups), displayed with 3 decimals.
+    Factor,
+    /// Misses per kilo-instruction.
+    Mpki,
+    /// Instructions per cycle.
+    Ipc,
+    /// Mebibytes.
+    Megabytes,
+    /// Raw bytes.
+    Bytes,
+    /// A unitless number displayed with shortest round-trip formatting.
+    Raw,
+    /// Free-form text cells (labels, categorical markers).
+    Text,
+}
+
+impl Unit {
+    /// Stable artifact tag for this unit ("percent", "mpki", …).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Unit::Count => "count",
+            Unit::Cycles => "cycles",
+            Unit::Percent => "percent",
+            Unit::Factor => "factor",
+            Unit::Mpki => "mpki",
+            Unit::Ipc => "ipc",
+            Unit::Megabytes => "mb",
+            Unit::Bytes => "bytes",
+            Unit::Raw => "raw",
+            Unit::Text => "text",
+        }
+    }
+
+    /// Parses an artifact tag back into a unit.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "count" => Unit::Count,
+            "cycles" => Unit::Cycles,
+            "percent" => Unit::Percent,
+            "factor" => Unit::Factor,
+            "mpki" => Unit::Mpki,
+            "ipc" => Unit::Ipc,
+            "mb" => Unit::Megabytes,
+            "bytes" => Unit::Bytes,
+            "raw" => Unit::Raw,
+            "text" => Unit::Text,
+            _ => return None,
+        })
+    }
+
+    /// Default number of decimals for this unit's display formatting.
+    pub fn default_precision(self) -> usize {
+        match self {
+            Unit::Count | Unit::Cycles | Unit::Bytes | Unit::Megabytes => 0,
+            Unit::Percent | Unit::Mpki => 1,
+            Unit::Factor | Unit::Ipc => 3,
+            Unit::Raw | Unit::Text => 0,
+        }
+    }
+
+    /// Formats `v` for human-facing renderers (text/markdown) with
+    /// `precision` decimals (`None` = the unit's default).
+    pub fn format(self, v: f64, precision: Option<usize>) -> String {
+        let p = precision.unwrap_or_else(|| self.default_precision());
+        match self {
+            Unit::Percent => format!("{:.p$}%", v * 100.0),
+            Unit::Raw => format!("{v}"),
+            _ => format!("{v:.p$}"),
+        }
+    }
+}
+
+/// One cell of a report row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// An empty cell (renders as blank, serialises as `null`).
+    Empty,
+    /// An exact integer (counts).
+    Int(i64),
+    /// A floating-point measurement.
+    Float(f64),
+    /// Free-form text.
+    Str(String),
+}
+
+impl Value {
+    /// The cell's value as `f64`, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A data column: name plus the unit its cells are measured in.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Column {
+    /// Column header.
+    pub name: String,
+    /// Unit of every cell in this column.
+    pub unit: Unit,
+    /// Display precision override (decimals); `None` uses the unit default.
+    pub precision: Option<usize>,
+}
+
+impl Column {
+    /// Creates a column with the unit's default display precision.
+    pub fn new(name: impl Into<String>, unit: Unit) -> Self {
+        Self { name: name.into(), unit, precision: None }
+    }
+
+    /// Creates a free-form text column.
+    pub fn text(name: impl Into<String>) -> Self {
+        Self::new(name, Unit::Text)
+    }
+
+    /// Overrides the display precision (number of decimals).
+    pub fn with_precision(mut self, precision: usize) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+
+    /// Formats one cell of this column for human-facing renderers.
+    pub fn format(&self, v: &Value) -> String {
+        match v {
+            Value::Empty => String::new(),
+            Value::Str(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => self.unit.format(*f, self.precision),
+        }
+    }
+}
+
+/// One labelled data row (the label is the paper's x-axis category —
+/// usually a workload name).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// Row label (first column in every rendering).
+    pub label: String,
+    /// Data cells, one per [`Column`].
+    pub cells: Vec<Value>,
+}
+
+/// Default relative tolerance applied by [`Metric::new`]: generous enough
+/// to absorb cross-platform libm drift, tight enough to flag real
+/// regressions.
+pub const DEFAULT_TOLERANCE: f64 = 0.02;
+
+/// A named summary scalar (GMEAN speedup, average MPKI, …) — the values
+/// the `--check` regression gate compares against committed baselines.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// Stable name, conventionally `kind/series` ("gmean_speedup/Victima").
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit for display and artifact tagging.
+    pub unit: Unit,
+    /// Check tolerance: a baseline passes when
+    /// `|actual - expected| <= tolerance * max(|expected|, 1.0)`.
+    pub tolerance: f64,
+}
+
+impl Metric {
+    /// Creates a metric with [`DEFAULT_TOLERANCE`].
+    pub fn new(name: impl Into<String>, value: f64, unit: Unit) -> Self {
+        Self { name: name.into(), value, unit, tolerance: DEFAULT_TOLERANCE }
+    }
+
+    /// Overrides the check tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Human-facing rendering of the value ("1.074", "7.4%", …).
+    pub fn display_value(&self) -> String {
+        self.unit.format(self.value, None)
+    }
+}
+
+/// Where a report's numbers came from: the run scale, instruction budgets,
+/// seed, engine identity, and the configs/workloads swept. Everything
+/// needed to decide whether two artifacts are comparable — deliberately
+/// *excluding* schedule-dependent facts (worker count, wall-clock), so
+/// artifacts are byte-identical across `VICTIMA_JOBS` settings.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Provenance {
+    /// Workload footprint scale ("Tiny", "Full").
+    pub scale: String,
+    /// Warm-up instructions per run (statistics discarded).
+    pub warmup: u64,
+    /// Measured instructions per run.
+    pub instructions: u64,
+    /// Base deterministic seed.
+    pub seed: u64,
+    /// Engine identity string (see `sim::engine::ENGINE_ID`).
+    pub engine: String,
+    /// Display names of the system configs this experiment ran.
+    pub configs: Vec<String>,
+    /// Workload abbreviations swept (figure order).
+    pub workloads: Vec<String>,
+}
+
+/// A fully typed experiment result: one paper figure/table.
+///
+/// Built with the fluent constructor methods and the `push_*` mutators;
+/// see the [crate-level example](crate) for the complete flow from build
+/// to JSON round trip.
+///
+/// # Examples
+///
+/// ```
+/// use report::{Column, ExperimentReport, Metric, Unit, Value};
+///
+/// let mut r = ExperimentReport::new("fig05", "L2 TLB MPKI vs. size")
+///     .with_label_name("workload")
+///     .with_columns([Column::new("1.5K", Unit::Mpki), Column::new("64K", Unit::Mpki)]);
+/// r.push_row("BFS", [Value::from(39.2), Value::from(24.1)]);
+/// r.push_metric(Metric::new("avg_mpki/64K", 24.1, Unit::Mpki));
+/// r.note("paper: 1.5K → 64K reduces average MPKI 39 → 24");
+/// assert_eq!(r.rows[0].cells.len(), r.columns.len());
+/// assert!(r.metric("avg_mpki/64K").is_some());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentReport {
+    /// Experiment id ("fig20", "table2", "calibrate", …).
+    pub id: String,
+    /// Human-readable title (what the paper's caption says).
+    pub title: String,
+    /// Label header for the row-label column ("workload" unless overridden).
+    pub label_name: String,
+    /// Data columns.
+    pub columns: Vec<Column>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Summary metrics, checked against committed baselines.
+    pub metrics: Vec<Metric>,
+    /// Calibration notes / paper reference points.
+    pub notes: Vec<String>,
+    /// Config provenance.
+    pub provenance: Provenance,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report with a `"workload"` label column.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            label_name: "workload".to_owned(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+            metrics: Vec::new(),
+            notes: Vec::new(),
+            provenance: Provenance::default(),
+        }
+    }
+
+    /// Sets the data columns.
+    pub fn with_columns(mut self, cols: impl IntoIterator<Item = Column>) -> Self {
+        self.columns = cols.into_iter().collect();
+        self
+    }
+
+    /// Renames the row-label column (default `"workload"`).
+    pub fn with_label_name(mut self, name: impl Into<String>) -> Self {
+        self.label_name = name.into();
+        self
+    }
+
+    /// Attaches provenance.
+    pub fn with_provenance(mut self, p: Provenance) -> Self {
+        self.provenance = p;
+        self
+    }
+
+    /// Appends one labelled row.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: impl IntoIterator<Item = Value>) {
+        self.rows.push(Row { label: label.into(), cells: cells.into_iter().collect() });
+    }
+
+    /// Appends one summary metric.
+    pub fn push_metric(&mut self, m: Metric) {
+        self.metrics.push(m);
+    }
+
+    /// Appends a free-form note line.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Looks a metric up by name.
+    pub fn metric(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    /// Displays as the aligned plain-text rendering (see [`crate::text`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::text::render(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_tags_round_trip() {
+        for u in [
+            Unit::Count,
+            Unit::Cycles,
+            Unit::Percent,
+            Unit::Factor,
+            Unit::Mpki,
+            Unit::Ipc,
+            Unit::Megabytes,
+            Unit::Bytes,
+            Unit::Raw,
+            Unit::Text,
+        ] {
+            assert_eq!(Unit::from_tag(u.tag()), Some(u));
+        }
+        assert_eq!(Unit::from_tag("nope"), None);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(Unit::Percent.format(0.074, None), "7.4%");
+        assert_eq!(Unit::Percent.format(0.0742, Some(2)), "7.42%");
+        assert_eq!(Unit::Factor.format(1.2345, None), "1.234"); // banker's-free {:.3}
+        assert_eq!(Unit::Cycles.format(136.6, None), "137");
+        assert_eq!(Unit::Mpki.format(39.02, None), "39.0");
+        assert_eq!(Unit::Raw.format(2.5, None), "2.5");
+    }
+
+    #[test]
+    fn column_formats_cells_by_unit() {
+        let c = Column::new("speedup", Unit::Factor);
+        assert_eq!(c.format(&Value::from(1.0)), "1.000");
+        assert_eq!(c.format(&Value::Empty), "");
+        assert_eq!(c.format(&Value::from("x")), "x");
+        assert_eq!(c.format(&Value::from(42u64)), "42");
+    }
+
+    #[test]
+    fn builder_assembles_a_report() {
+        let mut r = ExperimentReport::new("figX", "demo")
+            .with_columns([Column::new("v", Unit::Percent)])
+            .with_label_name("bucket");
+        r.push_row("a", [Value::from(0.5)]);
+        r.push_metric(Metric::new("m", 0.5, Unit::Percent).with_tolerance(0.1));
+        r.note("n");
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.metric("m").unwrap().tolerance, 0.1);
+        assert_eq!(r.metric("m").unwrap().display_value(), "50.0%");
+        assert!(r.metric("absent").is_none());
+    }
+}

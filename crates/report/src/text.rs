@@ -1,0 +1,120 @@
+//! The aligned plain-text renderer — the single formatting path behind
+//! every table the CLI and benches print (previously 12 scattered
+//! `println!` sites formatting ad-hoc strings).
+//!
+//! Layout matches the historical `bench::Table` display: a `== id — title
+//! ==` banner, right-aligned columns, then `metric:` and `note:` lines.
+//!
+//! # Examples
+//!
+//! ```
+//! use report::{Column, ExperimentReport, Unit, Value};
+//!
+//! let mut r = ExperimentReport::new("fig20", "Speedup over Radix")
+//!     .with_columns([Column::new("Victima", Unit::Factor)]);
+//! r.push_row("BFS", [Value::from(1.074)]);
+//! let text = report::text::render(&r);
+//! assert!(text.contains("== fig20 — Speedup over Radix =="));
+//! assert!(text.contains("1.074"));
+//! ```
+
+use crate::schema::ExperimentReport;
+
+/// Renders one report as an aligned plain-text table with trailing
+/// `metric:` and `note:` lines.
+pub fn render(r: &ExperimentReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {} — {} ==\n", r.id, r.title));
+
+    // Assemble every line as display strings: header first, then rows.
+    let header: Vec<String> =
+        std::iter::once(r.label_name.clone()).chain(r.columns.iter().map(|c| c.name.clone())).collect();
+    let mut lines: Vec<Vec<String>> = Vec::with_capacity(r.rows.len() + 1);
+    if !r.columns.is_empty() || !r.rows.is_empty() {
+        lines.push(header);
+    }
+    for row in &r.rows {
+        let mut cells = Vec::with_capacity(row.cells.len() + 1);
+        cells.push(row.label.clone());
+        for (i, cell) in row.cells.iter().enumerate() {
+            match r.columns.get(i) {
+                Some(col) => cells.push(col.format(cell)),
+                None => cells.push(crate::csv::raw_value(cell)),
+            }
+        }
+        lines.push(cells);
+    }
+
+    let mut widths: Vec<usize> = Vec::new();
+    for line in &lines {
+        for (i, cell) in line.iter().enumerate() {
+            if i >= widths.len() {
+                widths.push(cell.len());
+            } else {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    for line in &lines {
+        for (i, cell) in line.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            out.push_str(&format!("{cell:>w$}  "));
+        }
+        out.push('\n');
+    }
+    for m in &r.metrics {
+        out.push_str(&format!("  metric: {} = {}\n", m.name, m.display_value()));
+    }
+    for n in &r.notes {
+        out.push_str(&format!("  note: {n}\n"));
+    }
+    out
+}
+
+/// Renders a batch of reports separated by blank lines — what
+/// `experiments --format text` prints.
+pub fn render_all(reports: &[ExperimentReport]) -> String {
+    reports.iter().map(render).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Metric, Unit, Value};
+
+    fn sample() -> ExperimentReport {
+        let mut r = ExperimentReport::new("figX", "demo")
+            .with_columns([Column::text("name"), Column::new("value", Unit::Count)]);
+        r.push_row("alpha", [Value::from("a"), Value::from(1u64)]);
+        r.push_row("b", [Value::from("bb"), Value::from(10_000u64)]);
+        r.push_metric(Metric::new("mean", 0.5, Unit::Percent));
+        r.note("a note");
+        r
+    }
+
+    #[test]
+    fn renders_aligned_columns() {
+        let s = render(&sample());
+        assert!(s.contains("== figX — demo =="));
+        assert!(s.contains("metric: mean = 50.0%"));
+        assert!(s.contains("note: a note"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and both data rows end aligned at the same column.
+        assert_eq!(lines[1].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn rows_longer_than_columns_are_ok() {
+        let mut r = ExperimentReport::new("t", "x").with_columns([Column::text("a")]);
+        r.push_row("r", [Value::from("1"), Value::from("2"), Value::from("3")]);
+        assert!(render(&r).contains('3'));
+    }
+
+    #[test]
+    fn render_all_separates_reports() {
+        let batch = [sample(), sample()];
+        let s = render_all(&batch);
+        assert_eq!(s.matches("== figX").count(), 2);
+    }
+}

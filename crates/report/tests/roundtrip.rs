@@ -1,0 +1,130 @@
+//! Serialiser round-trip tests: a representative report covering every
+//! unit and cell type must survive JSON (exactly) and CSV (field-wise).
+
+use report::{Column, ExperimentReport, Metric, Provenance, Unit, Value};
+
+/// A report exercising every corner of the schema: all units, all cell
+/// kinds, unicode, embedded separators, precision overrides, negative and
+/// subnormal floats.
+fn adversarial_report() -> ExperimentReport {
+    let mut r = ExperimentReport::new("figX", "Ratios — über \"quotes\", commas, | pipes")
+        .with_label_name("bucket (cycles)")
+        .with_columns([
+            Column::new("count", Unit::Count),
+            Column::new("cycles", Unit::Cycles),
+            Column::new("share", Unit::Percent).with_precision(2),
+            Column::new("speedup", Unit::Factor),
+            Column::new("mpki", Unit::Mpki),
+            Column::new("ipc", Unit::Ipc),
+            Column::new("reach", Unit::Megabytes),
+            Column::new("bytes", Unit::Bytes),
+            Column::new("raw", Unit::Raw),
+            Column::text("label"),
+        ])
+        .with_provenance(Provenance {
+            scale: "Tiny".into(),
+            warmup: 5_000,
+            instructions: 50_000,
+            seed: u64::MAX, // exceeds i64: must survive the JSON integer path
+            engine: "victima-sim-engine/1".into(),
+            configs: vec!["Radix".into(), "L2TLB-64K-12cyc".into()],
+            workloads: vec!["BFS".into(), "RND".into()],
+        });
+    r.push_row(
+        "0-10, [a|b]",
+        [
+            Value::from(u64::from(u32::MAX)),
+            Value::from(136.6),
+            Value::from(0.07421),
+            Value::from(1.0),
+            Value::from(-39.0),
+            Value::from(2.0),
+            Value::from(220.4),
+            Value::from(0u64),
+            Value::from(5e-324), // subnormal
+            Value::from("naïve \"text\",\nwith newline"),
+        ],
+    );
+    r.push_row("empty", vec![Value::Empty; 10]);
+    r.push_metric(Metric::new("gmean_speedup/Victima", 1.074, Unit::Factor).with_tolerance(0.02));
+    r.push_metric(Metric::new("zero", 0.0, Unit::Percent).with_tolerance(0.0));
+    r.note("paper: +7.4% — em-dash, 100% | pipe");
+    r
+}
+
+#[test]
+fn json_round_trip_is_exact() {
+    let original = adversarial_report();
+    let text = report::json::to_json(&original);
+    let back = report::json::from_json(&text).expect("artifact must re-parse");
+    assert_eq!(back, original);
+    // Serialising the re-parsed report is byte-identical: artifacts are
+    // canonical and diffable.
+    assert_eq!(report::json::to_json(&back), text);
+}
+
+#[test]
+fn json_round_trip_preserves_float_bits() {
+    let mut r = ExperimentReport::new("f", "floats").with_columns([Column::new("v", Unit::Raw)]);
+    for v in [1.0 / 3.0, 0.1 + 0.2, f64::MIN_POSITIVE, 1e308, -0.0, 2.0_f64.powi(-1074)] {
+        r.push_row("x", [Value::from(v)]);
+    }
+    let back = report::json::from_json(&report::json::to_json(&r)).unwrap();
+    for (a, b) in r.rows.iter().zip(&back.rows) {
+        let (Value::Float(x), Value::Float(y)) = (&a.cells[0], &b.cells[0]) else {
+            panic!("cells must stay floats");
+        };
+        assert_eq!(x.to_bits(), y.to_bits(), "{x} lost bits");
+    }
+}
+
+#[test]
+fn json_round_trip_keeps_ints_and_floats_apart() {
+    let mut r = ExperimentReport::new("t", "typed")
+        .with_columns([Column::new("i", Unit::Count), Column::new("f", Unit::Raw)]);
+    r.push_row("x", [Value::Int(2), Value::Float(2.0)]);
+    let back = report::json::from_json(&report::json::to_json(&r)).unwrap();
+    assert_eq!(back.rows[0].cells[0], Value::Int(2));
+    assert_eq!(back.rows[0].cells[1], Value::Float(2.0));
+}
+
+#[test]
+fn csv_round_trip_preserves_every_field() {
+    let original = adversarial_report();
+    let csv = report::csv::to_csv(&original);
+    let rows = report::csv::parse_csv(&csv).expect("CSV must re-parse");
+    assert_eq!(rows.len(), 1 + original.rows.len());
+    assert_eq!(rows[0][0], "bucket (cycles)");
+    assert_eq!(rows[0][3], "share:percent");
+    for (parsed, row) in rows[1..].iter().zip(&original.rows) {
+        assert_eq!(parsed[0], row.label);
+        for (field, cell) in parsed[1..].iter().zip(&row.cells) {
+            assert_eq!(*field, report::csv::raw_value(cell));
+        }
+    }
+    // Raw values re-parse to the same numbers (full precision).
+    let reach: f64 = rows[1][7].parse().unwrap();
+    assert_eq!(reach, 220.4);
+}
+
+#[test]
+fn renderers_accept_the_adversarial_report() {
+    let r = adversarial_report();
+    let text = report::text::render(&r);
+    assert!(text.contains("== figX"));
+    assert!(text.contains("7.42%"), "precision override must hold: {text}");
+    let md = report::markdown::render(&r);
+    assert!(md.contains("## figX"));
+    assert!(!md.contains("\n| ."), "pipes in cells must be escaped");
+    let combined = report::markdown::render_combined(std::slice::from_ref(&r));
+    assert!(combined.starts_with("# Victima reproduction report"));
+}
+
+#[test]
+fn check_round_trip_passes_against_itself() {
+    let r = adversarial_report();
+    let baseline = report::json::from_json(&report::json::to_json(&r)).unwrap();
+    let outcome = report::check_report(&r, &baseline);
+    assert!(outcome.passed(), "{}", outcome.summary());
+    assert_eq!(outcome.checked, r.metrics.len());
+}

@@ -37,9 +37,27 @@ use std::time::{Duration, Instant};
 use victima::features::FeatureTracker;
 use workloads::{registry, Scale};
 
+/// Engine identity string recorded in artifact provenance (`report`
+/// crate). Bump the trailing version when a change intentionally alters
+/// simulation results, so stale baselines fail the `--check` gate with a
+/// provenance mismatch instead of a wall of metric diffs.
+pub const ENGINE_ID: &str = "victima-sim-engine/1";
+
 /// One simulation to run: a (workload, config, scale, budgets, seed)
 /// tuple. Specs are cheap to clone and `Send`, so batches can be built
 /// anywhere and executed on any worker.
+///
+/// # Examples
+///
+/// ```
+/// use sim::{RunSpec, SystemConfig};
+/// use workloads::Scale;
+///
+/// let spec = RunSpec::new("BFS", SystemConfig::victima(), Scale::Tiny, 1_000, 10_000).with_seed(7);
+/// assert_eq!(spec.label(), "Victima/BFS");
+/// assert_eq!(spec.seed, 7);
+/// assert!(!spec.collect_features);
+/// ```
 #[derive(Clone, Debug)]
 pub struct RunSpec {
     /// Registry workload abbreviation ("BFS", "RND", …).
@@ -176,6 +194,22 @@ impl SimEngine {
 
     /// Runs a batch across the worker pool. Results come back in
     /// submission order and are byte-identical for any worker count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sim::{RunSpec, SimEngine, SystemConfig};
+    /// use workloads::Scale;
+    ///
+    /// let specs = vec![
+    ///     RunSpec::new("RND", SystemConfig::radix(), Scale::Tiny, 2_000, 20_000),
+    ///     RunSpec::new("RND", SystemConfig::victima(), Scale::Tiny, 2_000, 20_000),
+    /// ];
+    /// let results = SimEngine::with_jobs(2).run_batch(specs);
+    /// assert_eq!(results.len(), 2);
+    /// assert_eq!(results[1].config_name, "Victima");
+    /// assert!(results[0].stats.instructions >= 20_000);
+    /// ```
     pub fn run_batch(&self, specs: Vec<RunSpec>) -> Vec<RunResult> {
         let n = self.jobs.min(specs.len());
         if n <= 1 {

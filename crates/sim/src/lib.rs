@@ -27,6 +27,8 @@
 //! assert!(stats.cycles() > 0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod engine;
 pub mod epochs;
@@ -36,7 +38,7 @@ pub mod system;
 pub mod virt;
 
 pub use config::{ExecMode, SystemConfig, TimingConfig, TranslationMechanism};
-pub use engine::{suite_specs, RunResult, RunSpec, SimEngine};
+pub use engine::{suite_specs, RunResult, RunSpec, SimEngine, ENGINE_ID};
 pub use epochs::EpochTracker;
 pub use runner::Runner;
 pub use stats::SimStats;

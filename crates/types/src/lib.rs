@@ -19,6 +19,8 @@
 //! assert_eq!(va.vpn(PageSize::Size4K), 0x7f12_3456_7890 >> 12);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod access;
 pub mod addr;
 pub mod ident;

@@ -1,14 +1,17 @@
 //! Translation-mechanism shoot-out on one workload: compares every native
 //! design the paper evaluates (large L2 TLBs — optimistic and realistic —
 //! an L3 TLB, POM-TLB, and Victima) on a workload of your choice. All six
-//! systems run as one batch on the engine's worker pool.
+//! systems run as one batch on the engine's worker pool, and the result
+//! is a typed `report::ExperimentReport` — render it as text (default),
+//! JSON, CSV or markdown with the second argument.
 //!
 //! ```text
-//! cargo run --release --example translation_study [WORKLOAD]
+//! cargo run --release --example translation_study [WORKLOAD] [text|json|csv|md]
 //! ```
 //!
 //! `WORKLOAD` is one of the paper's abbreviations (default: XS).
 
+use victima_repro::report::{Column, ExperimentReport, Metric, Provenance, Unit, Value};
 use victima_repro::sim::{RunSpec, SimEngine, SystemConfig};
 use victima_repro::workloads::{registry::WORKLOAD_NAMES, Scale};
 
@@ -18,6 +21,7 @@ fn main() {
         WORKLOAD_NAMES.contains(&workload.as_str()),
         "unknown workload {workload}; pick one of {WORKLOAD_NAMES:?}"
     );
+    let format = std::env::args().nth(2).unwrap_or_else(|| "text".to_owned());
     let (warmup, instructions) = (100_000, 1_000_000);
 
     let systems = [
@@ -34,21 +38,52 @@ fn main() {
         .map(|cfg| RunSpec::new(workload.as_str(), cfg.clone(), Scale::Full, warmup, instructions))
         .collect();
     let results = SimEngine::new().run_batch(specs);
-
-    println!("workload: {workload}\n");
-    println!("{:<24} {:>8} {:>12} {:>10} {:>16}", "system", "IPC", "L2TLB MPKI", "PTWs", "speedup vs Radix");
     let baseline = &results[0].stats;
-    for r in &results {
-        let s = &r.stats;
-        println!(
-            "{:<24} {:>8.3} {:>12.1} {:>10} {:>15.1}%",
-            r.config_name,
-            s.ipc(),
-            s.l2_tlb_mpki(),
-            s.ptws,
-            (s.speedup_over(baseline) - 1.0) * 100.0,
+
+    // Shape the sweep as a typed report: one row per system, speedup as
+    // a summary metric — the same schema the experiments binary emits.
+    let mut r = ExperimentReport::new("study", format!("Translation mechanisms on {workload} (native)"))
+        .with_label_name("system")
+        .with_columns([
+            Column::new("IPC", Unit::Ipc),
+            Column::new("L2TLB MPKI", Unit::Mpki),
+            Column::new("PTWs", Unit::Count),
+            Column::new("speedup vs Radix", Unit::Factor),
+        ])
+        .with_provenance(Provenance {
+            scale: format!("{:?}", Scale::Full),
+            warmup,
+            instructions,
+            seed: victima_repro::types::DEFAULT_SEED,
+            engine: victima_repro::sim::ENGINE_ID.to_owned(),
+            configs: systems.iter().map(|c| c.name.clone()).collect(),
+            workloads: vec![workload.clone()],
+        });
+    for res in &results {
+        let s = &res.stats;
+        r.push_row(
+            res.config_name.clone(),
+            [
+                Value::from(s.ipc()),
+                Value::from(s.l2_tlb_mpki()),
+                Value::from(s.ptws),
+                Value::from(s.speedup_over(baseline)),
+            ],
         );
     }
-    println!("\nNote how the realistic 64K TLB (39 cycles) gives back most of the optimistic gain,");
-    println!("while Victima reaches further without any added SRAM (Secs. 3.1 and 9.1 of the paper).");
+    let victima = &results.last().expect("six systems ran").stats;
+    r.push_metric(Metric::new("victima_speedup", victima.speedup_over(baseline), Unit::Factor));
+    r.note("the realistic 64K TLB (39 cycles) gives back most of the optimistic gain,");
+    r.note("while Victima reaches further without any added SRAM (Secs. 3.1 and 9.1 of the paper)");
+
+    match format.as_str() {
+        "text" => print!("{}", victima_repro::report::text::render(&r)),
+        "json" => print!("{}", victima_repro::report::json::to_json(&r)),
+        "csv" => print!("{}", victima_repro::report::csv::to_csv(&r)),
+        "md" => print!("{}", victima_repro::report::markdown::render(&r)),
+        other => {
+            eprintln!("unknown format {other} (pick text, json, csv or md)");
+            std::process::exit(2);
+        }
+    }
 }

@@ -18,7 +18,10 @@
 //!   the PTW cost predictor, the TLB-aware SRRIP policy, and the Table 2
 //!   predictor design study;
 //! - [`sim`] — the full-system simulator and every evaluated system;
-//! - `workloads` — procedural analogues of the 11 evaluated workloads.
+//! - `workloads` — procedural analogues of the 11 evaluated workloads;
+//! - [`report`] — the typed results pipeline: experiment reports with
+//!   units and provenance, JSON/CSV/text/markdown renderers, and the
+//!   baseline `--check` regression gate.
 //!
 //! # Quickstart
 //!
@@ -37,6 +40,7 @@
 
 pub use mem_sim as mem;
 pub use page_table as pt;
+pub use report;
 pub use sim;
 pub use tlb_sim as tlb;
 pub use victima;
