@@ -94,13 +94,15 @@ fn main() {
     let quick = take_flag(&mut args, "--quick");
     let check = take_flag(&mut args, "--check");
     let save_baselines = take_flag(&mut args, "--save-baselines");
-    if let Some(v) = flag_value(&mut args, "--jobs") {
-        let n: usize = v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+    // Explicit worker count: overrides the ambient `VICTIMA_JOBS` without
+    // touching the environment, so runs are reproducible from the command
+    // line alone.
+    let jobs: Option<usize> = flag_value(&mut args, "--jobs").map(|v| {
+        v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
             eprintln!("--jobs needs a positive integer");
             std::process::exit(2);
-        });
-        std::env::set_var("VICTIMA_JOBS", n.to_string());
-    }
+        })
+    });
     let format_flag = flag_value(&mut args, "--format").map(|v| {
         Format::parse(&v).unwrap_or_else(|| {
             eprintln!("unknown format {v:?} (pick text, json, csv or md)");
@@ -115,8 +117,17 @@ fn main() {
     let format = format_flag.unwrap_or(Format::Text);
 
     if take_flag(&mut args, "--list") {
+        println!("experiments:");
         for id in experiments::checked_ids() {
-            println!("{id}");
+            println!("  {id}");
+        }
+        println!("workloads:");
+        for w in workloads::registry::WORKLOAD_NAMES {
+            println!("  {w}");
+        }
+        println!("mixes (fig12: 2-core, fig13: 4-core):");
+        for m in workloads::mixes::all() {
+            println!("  {:<8} {}", m.name, m.slots.join("+"));
         }
         return;
     }
@@ -149,13 +160,16 @@ fn main() {
     let mut seen = std::collections::HashSet::new();
     resolved.retain(|id| seen.insert(*id));
 
-    let ctx = if check || save_baselines {
+    let mut ctx = if check || save_baselines {
         ExpCtx::check()
     } else if quick {
         ExpCtx::quick()
     } else {
         ExpCtx::new()
     };
+    if let Some(n) = jobs {
+        ctx = ctx.with_jobs(n);
+    }
 
     let start = std::time::Instant::now();
     let mut reports: Vec<ExperimentReport> = Vec::new();

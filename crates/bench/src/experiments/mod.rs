@@ -7,6 +7,7 @@ pub mod fig05_07_tlb_sweep;
 pub mod fig08_l3_tlb;
 pub mod fig09_10_miss_latency;
 pub mod fig11_reuse;
+pub mod fig12_13_multicore;
 pub mod fig20_24_native;
 pub mod fig25_26_sensitivity;
 pub mod fig27_29_virt;
@@ -16,9 +17,10 @@ use crate::{ExpCtx, ExperimentReport};
 
 /// All experiment ids in paper order (sec10 is the Related-Work claim
 /// that a DUCATI-style full-memory STLB adds only ~0.8% over Victima).
-pub const ALL_IDS: [&str; 21] = [
-    "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "table2", "fig16", "fig20",
-    "fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "fig29", "sec10",
+pub const ALL_IDS: [&str; 23] = [
+    "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "table2",
+    "fig16", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "fig29",
+    "sec10",
 ];
 
 /// Every id the `--check` regression gate covers: the calibration probe
@@ -39,6 +41,14 @@ pub fn by_id(ctx: &ExpCtx, id: &str) -> Option<Vec<ExperimentReport>> {
         "fig09" => fig09_10_miss_latency::fig09(ctx),
         "fig10" => fig09_10_miss_latency::fig10(ctx),
         "fig11" => fig11_reuse::run(ctx),
+        "fig12" => fig12_13_multicore::fig12(ctx),
+        "fig13" => fig12_13_multicore::fig13(ctx),
+        // Convenience alias: both multi-core figures in one shot.
+        "fig12_13" => {
+            let mut out = fig12_13_multicore::fig12(ctx);
+            out.extend(fig12_13_multicore::fig13(ctx));
+            out
+        }
         "table2" => table2_predictor::table2(ctx),
         "fig16" => table2_predictor::fig16(ctx),
         "fig20" => fig20_24_native::fig20(ctx),

@@ -53,6 +53,15 @@ impl ExpCtx {
         Self { runner, engine: SimEngine::with_jobs(jobs), cache: Arc::new(Mutex::new(HashMap::new())) }
     }
 
+    /// Overrides the worker count (the `--jobs` flag): takes precedence
+    /// over the ambient `VICTIMA_JOBS`, so scripted reproduction runs
+    /// don't depend on environment state. Results are identical at any
+    /// worker count; this only changes wall-clock.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.engine = SimEngine::with_jobs(jobs);
+        self
+    }
+
     fn with_runner(runner: Runner) -> Self {
         Self { runner, engine: SimEngine::new(), cache: Arc::new(Mutex::new(HashMap::new())) }
     }

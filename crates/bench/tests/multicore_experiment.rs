@@ -1,0 +1,37 @@
+//! The figs. 12–13 acceptance gate, enforced as a test: at the pinned
+//! Tiny check profile, Victima's weighted speedup must meet or beat the
+//! radix baseline on at least 3 of the 4 mixes in each figure, and the
+//! reports must be schedule-independent.
+
+use victima_bench::{experiments, ExpCtx, ExperimentReport};
+
+fn fig(ctx: &ExpCtx, id: &str) -> ExperimentReport {
+    experiments::by_id(ctx, id).expect("known id").remove(0)
+}
+
+#[test]
+fn victima_wins_most_mixes_at_check_profile() {
+    let ctx = ExpCtx::check().with_jobs(4);
+    for id in ["fig12", "fig13"] {
+        let r = fig(&ctx, id);
+        let wins = r.metric("victima_wins_vs_radix").expect("metric present").value;
+        assert!(wins >= 3.0, "{id}: Victima beats radix on only {wins} of 4 mixes");
+        let gmean = r.metric("gmean_ws/Victima").expect("metric present").value;
+        assert!(gmean > 0.0 && gmean.is_finite(), "{id}: degenerate weighted speedup {gmean}");
+    }
+}
+
+#[test]
+fn mix_reports_are_byte_stable_across_worker_counts() {
+    let a = fig(&ExpCtx::check().with_jobs(1), "fig12");
+    let b = fig(&ExpCtx::check().with_jobs(3), "fig12");
+    assert_eq!(report::json::to_json(&a), report::json::to_json(&b), "fig12 must not depend on --jobs");
+}
+
+#[test]
+fn fig12_13_alias_runs_both_figures() {
+    let ctx = ExpCtx::check().with_jobs(4);
+    let both = experiments::by_id(&ctx, "fig12_13").expect("alias registered");
+    let ids: Vec<&str> = both.iter().map(|r| r.id.as_str()).collect();
+    assert_eq!(ids, vec!["fig12", "fig13"]);
+}

@@ -14,6 +14,8 @@ use crate::cache::{Cache, CacheConfig};
 use crate::dram::{Dram, DramConfig};
 use crate::prefetch::{IpStridePrefetcher, StreamPrefetcher};
 use crate::replacement::{Lru, ReplacementCtx, ReplacementPolicy, Srrip};
+use std::cell::{Ref, RefCell};
+use std::rc::Rc;
 use vm_types::{Cycles, PhysAddr};
 
 /// Which unit issued a memory access; determines entry level and fills.
@@ -114,13 +116,80 @@ impl HierarchyStats {
     }
 }
 
-/// The L1I/L1D/L2/L3/DRAM stack.
+/// The backing store behind the private caches: the last-level cache plus
+/// DRAM. One instance can be shared by several [`Hierarchy`] front-ends
+/// (the multi-core model's shared LLC); a single-core hierarchy owns a
+/// private one. Shared through `Rc<RefCell<_>>` — simulation cores are
+/// stepped one at a time by a deterministic scheduler, never concurrently.
+pub struct SharedLlc {
+    l3: Cache,
+    dram: Dram,
+}
+
+impl std::fmt::Debug for SharedLlc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedLlc").field("l3", &self.l3).field("dram", &self.dram).finish()
+    }
+}
+
+impl SharedLlc {
+    /// Builds an LLC + DRAM pair.
+    pub fn new(l3: CacheConfig, dram: DramConfig) -> Self {
+        Self { l3: Cache::new(l3, Box::new(Srrip::new())), dram: Dram::new(dram) }
+    }
+
+    /// Builds one wrapped for sharing between hierarchies.
+    pub fn shared(l3: CacheConfig, dram: DramConfig) -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(Self::new(l3, dram)))
+    }
+
+    /// The last-level cache.
+    pub fn l3(&self) -> &Cache {
+        &self.l3
+    }
+
+    /// The DRAM model.
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// One demand access below the L2: L3 probe, then DRAM + L3 fill on a
+    /// miss. Returns the latency seen by the L2 and whether DRAM was
+    /// touched.
+    fn access(&mut self, pa: PhysAddr, ctx: &ReplacementCtx) -> (Cycles, bool) {
+        if self.l3.access_data(pa, false, ctx) {
+            (self.l3.latency(), false)
+        } else {
+            let dram_latency = self.dram.access(pa);
+            self.l3.fill_data(pa, false, false, ctx);
+            (self.l3.latency() + dram_latency, true)
+        }
+    }
+
+    /// Whether the L3 holds the line (prefetch-path check; no statistics).
+    fn contains(&self, pa: PhysAddr) -> bool {
+        self.l3.contains_data(pa)
+    }
+
+    /// Prefetch fill: DRAM fetch plus an L3 fill marked as a prefetch.
+    fn prefetch_fill(&mut self, pa: PhysAddr, ctx: &ReplacementCtx) {
+        self.dram.access(pa);
+        self.l3.fill_data(pa, false, true, ctx);
+    }
+
+    /// Clears statistics (contents stay warm).
+    pub fn reset_stats(&mut self) {
+        self.l3.reset_stats();
+        self.dram.stats = Default::default();
+    }
+}
+
+/// The L1I/L1D/L2 stack in front of a (possibly shared) [`SharedLlc`].
 pub struct Hierarchy {
     l1i: Cache,
     l1d: Cache,
     l2: Cache,
-    l3: Cache,
-    dram: Dram,
+    llc: Rc<RefCell<SharedLlc>>,
     ip_stride: IpStridePrefetcher,
     stream: StreamPrefetcher,
     prefetchers: bool,
@@ -134,8 +203,7 @@ impl std::fmt::Debug for Hierarchy {
             .field("l1i", &self.l1i)
             .field("l1d", &self.l1d)
             .field("l2", &self.l2)
-            .field("l3", &self.l3)
-            .field("dram", &self.dram)
+            .field("llc", &self.llc.borrow())
             .finish()
     }
 }
@@ -149,12 +217,24 @@ impl Hierarchy {
     /// Builds the hierarchy with a caller-supplied L2 replacement policy —
     /// this is how Victima and POM-TLB install the TLB-aware SRRIP.
     pub fn with_l2_policy(cfg: HierarchyConfig, l2_policy: Box<dyn ReplacementPolicy>) -> Self {
+        let llc = SharedLlc::shared(cfg.l3.clone(), cfg.dram.clone());
+        Self::with_shared_llc(cfg, l2_policy, llc)
+    }
+
+    /// Builds the core-private part of the hierarchy (L1s + L2) in front of
+    /// an externally owned LLC. `cfg.l3`/`cfg.dram` are ignored: the shared
+    /// LLC was sized by whoever built it (the multi-core system scales the
+    /// L3 by core count).
+    pub fn with_shared_llc(
+        cfg: HierarchyConfig,
+        l2_policy: Box<dyn ReplacementPolicy>,
+        llc: Rc<RefCell<SharedLlc>>,
+    ) -> Self {
         Self {
             l1i: Cache::new(cfg.l1i.clone(), Box::new(Lru::new())),
             l1d: Cache::new(cfg.l1d.clone(), Box::new(Lru::new())),
             l2: Cache::new(cfg.l2.clone(), l2_policy),
-            l3: Cache::new(cfg.l3.clone(), Box::new(Srrip::new())),
-            dram: Dram::new(cfg.dram.clone()),
+            llc,
             ip_stride: IpStridePrefetcher::default(),
             stream: StreamPrefetcher::default(),
             prefetchers: cfg.prefetchers,
@@ -172,9 +252,10 @@ impl Hierarchy {
         &mut self.l2
     }
 
-    /// Immutable access to the L3.
-    pub fn l3(&self) -> &Cache {
-        &self.l3
+    /// Immutable access to the L3 (a `RefCell` guard: the LLC may be shared
+    /// with other cores' hierarchies).
+    pub fn l3(&self) -> Ref<'_, Cache> {
+        Ref::map(self.llc.borrow(), |llc| &llc.l3)
     }
 
     /// Immutable access to the L1D.
@@ -187,9 +268,15 @@ impl Hierarchy {
         &self.l1i
     }
 
-    /// The DRAM model.
-    pub fn dram(&self) -> &Dram {
-        &self.dram
+    /// The DRAM model (a `RefCell` guard, like [`Hierarchy::l3`]).
+    pub fn dram(&self) -> Ref<'_, Dram> {
+        Ref::map(self.llc.borrow(), |llc| &llc.dram)
+    }
+
+    /// The LLC handle this hierarchy drains into (shared in multi-core
+    /// systems, private otherwise).
+    pub fn llc(&self) -> &Rc<RefCell<SharedLlc>> {
+        &self.llc
     }
 
     /// One demand access with `pc = 0` (no prefetcher training context).
@@ -244,23 +331,17 @@ impl Hierarchy {
             }
         }
 
-        // L3 stage.
-        if self.l3.access_data(pa, false, ctx) {
-            self.l2.fill_data(pa, write && !class.uses_l1(), false, ctx);
-            self.fill_upper(pa, class, ctx);
-            return AccessResult { latency: self.l3.latency(), served_by: MemLevel::L3, dram_access: false };
+        // L3 + DRAM stage (the shared LLC).
+        let (latency, dram_access) = self.llc.borrow_mut().access(pa, ctx);
+        if dram_access {
+            self.stats.dram_accesses[HierarchyStats::idx(class)] += 1;
         }
-
-        // DRAM stage.
-        let dram_latency = self.dram.access(pa);
-        self.stats.dram_accesses[HierarchyStats::idx(class)] += 1;
-        self.l3.fill_data(pa, false, false, ctx);
         self.l2.fill_data(pa, write && !class.uses_l1(), false, ctx);
         self.fill_upper(pa, class, ctx);
         AccessResult {
-            latency: self.l3.latency() + dram_latency,
-            served_by: MemLevel::Dram,
-            dram_access: true,
+            latency,
+            served_by: if dram_access { MemLevel::Dram } else { MemLevel::L3 },
+            dram_access,
         }
     }
 
@@ -279,9 +360,11 @@ impl Hierarchy {
 
     fn prefetch_fill_l1d(&mut self, pa: PhysAddr, ctx: &ReplacementCtx) {
         if !self.l1d.contains_data(pa) {
-            if !self.l3.contains_data(pa) {
-                self.dram.access(pa);
-                self.l3.fill_data(pa, false, true, ctx);
+            {
+                let mut llc = self.llc.borrow_mut();
+                if !llc.contains(pa) {
+                    llc.prefetch_fill(pa, ctx);
+                }
             }
             if !self.l2.contains_data(pa) {
                 self.l2.fill_data(pa, false, true, ctx);
@@ -292,21 +375,24 @@ impl Hierarchy {
 
     fn prefetch_fill_l2(&mut self, pa: PhysAddr, ctx: &ReplacementCtx) {
         if !self.l2.contains_data(pa) {
-            if !self.l3.contains_data(pa) {
-                self.dram.access(pa);
-                self.l3.fill_data(pa, false, true, ctx);
+            {
+                let mut llc = self.llc.borrow_mut();
+                if !llc.contains(pa) {
+                    llc.prefetch_fill(pa, ctx);
+                }
             }
             self.l2.fill_data(pa, false, true, ctx);
         }
     }
 
-    /// Clears statistics on every component (contents stay warm).
+    /// Clears statistics on every component (contents stay warm). Also
+    /// resets the LLC — idempotent when the LLC is shared and each core's
+    /// hierarchy resets in turn.
     pub fn reset_stats(&mut self) {
         self.l1i.reset_stats();
         self.l1d.reset_stats();
         self.l2.reset_stats();
-        self.l3.reset_stats();
-        self.dram.stats = Default::default();
+        self.llc.borrow_mut().reset_stats();
         self.stats = HierarchyStats::default();
     }
 }

@@ -34,6 +34,6 @@ pub mod replacement;
 pub use block::{BlockKind, CacheBlock};
 pub use cache::{Cache, CacheConfig, CacheStats, EvictedBlock};
 pub use dram::{Dram, DramConfig};
-pub use hierarchy::{AccessResult, Hierarchy, HierarchyConfig, MemClass, MemLevel};
+pub use hierarchy::{AccessResult, Hierarchy, HierarchyConfig, MemClass, MemLevel, SharedLlc};
 pub use prefetch::{IpStridePrefetcher, StreamPrefetcher};
 pub use replacement::{Lru, ReplacementCtx, ReplacementPolicy, Srrip, RRIP_MAX};

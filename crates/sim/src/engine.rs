@@ -211,20 +211,35 @@ impl SimEngine {
     /// assert!(results[0].stats.instructions >= 20_000);
     /// ```
     pub fn run_batch(&self, specs: Vec<RunSpec>) -> Vec<RunResult> {
-        let n = self.jobs.min(specs.len());
+        self.map(specs, Self::run_one)
+    }
+
+    /// Deterministic parallel map over arbitrary work items: applies `f`
+    /// to every item on the worker pool and returns the results in item
+    /// order. `f` must be a pure function of `(index, item)` — that is
+    /// what makes the output schedule-independent. This is the engine's
+    /// generic fan-out primitive; [`SimEngine::run_batch`] and the
+    /// multi-core mix sweeps are built on it.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = self.jobs.min(items.len());
         if n <= 1 {
-            return specs.iter().enumerate().map(|(i, s)| Self::run_one(i, s)).collect();
+            return items.iter().enumerate().map(|(i, s)| f(i, s)).collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..n {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= specs.len() {
+                    if i >= items.len() {
                         break;
                     }
-                    let result = Self::run_one(i, &specs[i]);
+                    let result = f(i, &items[i]);
                     *slots[i].lock().expect("result slot poisoned") = Some(result);
                 });
             }

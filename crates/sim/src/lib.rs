@@ -15,6 +15,11 @@
 //! to a [`SimEngine`], which fans the runs out over `VICTIMA_JOBS`
 //! workers and returns deterministic results in submission order.
 //!
+//! The multi-programmed evaluation (Figs. 12–13) instantiates several
+//! cores over a shared LLC and frame pool: see [`MultiCoreSystem`], the
+//! quantum [`Scheduler`] with its context-switch policies, and
+//! [`multicore::run_mix_pinned`] (DESIGN.md, "Multi-core model").
+//!
 //! # Examples
 //!
 //! ```
@@ -32,7 +37,9 @@
 pub mod config;
 pub mod engine;
 pub mod epochs;
+pub mod multicore;
 pub mod runner;
+pub mod scheduler;
 pub mod stats;
 pub mod system;
 pub mod virt;
@@ -40,6 +47,8 @@ pub mod virt;
 pub use config::{ExecMode, SystemConfig, TimingConfig, TranslationMechanism};
 pub use engine::{suite_specs, RunResult, RunSpec, SimEngine, ENGINE_ID};
 pub use epochs::EpochTracker;
+pub use multicore::{slot_seed, MultiCoreStats, MultiCoreSystem, ProcSummary};
 pub use runner::Runner;
-pub use stats::SimStats;
-pub use system::System;
+pub use scheduler::{CtxSwitchPolicy, SchedConfig, SchedMode, Scheduler};
+pub use stats::{weighted_speedup, SimStats};
+pub use system::{ProcessCtx, System};

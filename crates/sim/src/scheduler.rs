@@ -1,0 +1,190 @@
+//! Quantum-based process scheduling for the multi-core system.
+//!
+//! The scheduler interleaves processes over cores at instruction-quantum
+//! granularity. Interleaving is what creates *contention*: every quantum
+//! the running core streams demand misses, page-table walks and Victima
+//! traffic into the shared LLC, displacing the other tenants' lines. Two
+//! placement modes are supported:
+//!
+//! - **Pinned** — one process per core, never migrated (the paper's
+//!   multi-programmed setup for Figs. 12–13).
+//! - **Round-robin** — M processes over N cores (oversubscription). On a
+//!   context switch the core applies a [`CtxSwitchPolicy`].
+//!
+//! Scheduling is fully deterministic: cores are served in index order and
+//! the round-robin cursor advances identically for a given (M, N, quantum,
+//! budget) tuple, so multi-core results are byte-stable across hosts and
+//! worker counts.
+
+/// What a core does to its TLB state when it switches processes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtxSwitchPolicy {
+    /// TLB entries are ASID-tagged; nothing is invalidated. A process
+    /// returning to a core it ran on before finds its entries warm.
+    AsidTagged,
+    /// Invalidate only the *outgoing* process's entries
+    /// (`invalidate_asid`): models hardware that recycles a single ASID
+    /// slot but spares the other tenants' entries.
+    AsidSelective,
+    /// Full flush (`context_switch_flush`): non-ASID-tagged hardware drops
+    /// every translation on each switch.
+    FullFlush,
+}
+
+/// Process-to-core placement discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Process `i` is pinned to core `i`; requires one process per core.
+    Pinned,
+    /// M ≥ N processes rotate over the cores round-robin; each core
+    /// applies the configured [`CtxSwitchPolicy`] when its resident
+    /// process changes.
+    RoundRobin,
+}
+
+/// Scheduler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedConfig {
+    /// Placement discipline.
+    pub mode: SchedMode,
+    /// Instructions a process runs per scheduling quantum.
+    pub quantum: u64,
+    /// Context-switch invalidation policy (round-robin mode).
+    pub policy: CtxSwitchPolicy,
+}
+
+impl SchedConfig {
+    /// Pinned placement (the Figs. 12–13 setup). The quantum only sets the
+    /// interleaving granularity through the shared LLC.
+    pub fn pinned(quantum: u64) -> Self {
+        Self { mode: SchedMode::Pinned, quantum, policy: CtxSwitchPolicy::AsidTagged }
+    }
+
+    /// Round-robin oversubscription with the given switch policy.
+    pub fn round_robin(quantum: u64, policy: CtxSwitchPolicy) -> Self {
+        Self { mode: SchedMode::RoundRobin, quantum, policy }
+    }
+}
+
+impl Default for SchedConfig {
+    /// Pinned with a 1000-instruction quantum.
+    fn default() -> Self {
+        Self::pinned(1000)
+    }
+}
+
+/// The deterministic quantum scheduler. Pure bookkeeping: the multi-core
+/// system asks it which process each core should run next and performs the
+/// swap/flush itself.
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    cfg: SchedConfig,
+    procs: usize,
+    cursor: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `procs` processes over `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs < cores`, if either is zero, or if pinned mode is
+    /// asked to handle `procs != cores`.
+    pub fn new(cfg: SchedConfig, procs: usize, cores: usize) -> Self {
+        assert!(cores > 0 && procs > 0, "need at least one core and one process");
+        assert!(procs >= cores, "fewer processes than cores: idle cores are not modelled");
+        assert!(cfg.quantum > 0, "quantum must be positive");
+        if cfg.mode == SchedMode::Pinned {
+            assert_eq!(procs, cores, "pinned mode needs exactly one process per core");
+        }
+        Self { cfg, procs, cursor: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    /// Picks the process core `core` should run for the next quantum, or
+    /// `None` if no runnable process is available to it this round.
+    ///
+    /// `finished[p]` marks processes that reached their instruction target;
+    /// `resident[p]` is `Some(c)` while process `p` sits inside core `c`
+    /// (cores always hold exactly one process) and `None` while it is
+    /// parked. A core may run its own resident or claim any parked
+    /// process; residents of *other* cores are skipped.
+    pub fn pick(&mut self, core: usize, finished: &[bool], resident: &[Option<usize>]) -> Option<usize> {
+        debug_assert_eq!(finished.len(), self.procs);
+        debug_assert_eq!(resident.len(), self.procs);
+        match self.cfg.mode {
+            SchedMode::Pinned => (!finished[core]).then_some(core),
+            SchedMode::RoundRobin => {
+                for _ in 0..self.procs {
+                    let p = self.cursor;
+                    self.cursor = (self.cursor + 1) % self.procs;
+                    if !finished[p] && (resident[p] == Some(core) || resident[p].is_none()) {
+                        return Some(p);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_serves_identity() {
+        let mut s = Scheduler::new(SchedConfig::pinned(100), 2, 2);
+        let res = [Some(0), Some(1)];
+        assert_eq!(s.pick(0, &[false, false], &res), Some(0));
+        assert_eq!(s.pick(1, &[false, false], &res), Some(1));
+        assert_eq!(s.pick(0, &[true, false], &res), None);
+    }
+
+    #[test]
+    fn round_robin_rotates_over_all_processes() {
+        let mut s = Scheduler::new(SchedConfig::round_robin(100, CtxSwitchPolicy::FullFlush), 4, 2);
+        let fin = [false; 4];
+        // Procs 0/1 resident on cores 0/1, procs 2/3 parked.
+        let res = [Some(0), Some(1), None, None];
+        assert_eq!(s.pick(0, &fin, &res), Some(0));
+        assert_eq!(s.pick(1, &fin, &res), Some(1));
+        // Next round: parked processes get their turn.
+        assert_eq!(s.pick(0, &fin, &res), Some(2));
+        assert_eq!(s.pick(1, &fin, &res), Some(3));
+    }
+
+    #[test]
+    fn round_robin_never_hands_out_another_cores_resident() {
+        let mut s = Scheduler::new(SchedConfig::round_robin(100, CtxSwitchPolicy::AsidTagged), 3, 2);
+        // Proc 1 is the only unfinished one, and it sits inside core 1.
+        let res = [Some(0), Some(1), None];
+        assert_eq!(s.pick(0, &[true, false, true], &res), None, "proc 1 belongs to core 1");
+        assert_eq!(s.pick(1, &[true, false, true], &res), Some(1));
+    }
+
+    #[test]
+    fn round_robin_skips_finished() {
+        let mut s = Scheduler::new(SchedConfig::round_robin(100, CtxSwitchPolicy::AsidTagged), 3, 1);
+        let res = [Some(0), None, None];
+        assert_eq!(s.pick(0, &[true, false, true], &res), Some(1));
+        assert_eq!(s.pick(0, &[true, false, true], &res), Some(1));
+        assert_eq!(s.pick(0, &[true, true, true], &res), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned mode needs exactly one process per core")]
+    fn pinned_rejects_oversubscription() {
+        Scheduler::new(SchedConfig::pinned(100), 4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer processes than cores")]
+    fn undersubscription_rejected() {
+        Scheduler::new(SchedConfig::round_robin(100, CtxSwitchPolicy::FullFlush), 1, 2);
+    }
+}

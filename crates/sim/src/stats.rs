@@ -209,6 +209,21 @@ fn reduction(ours: f64, theirs: f64) -> f64 {
     }
 }
 
+/// Weighted speedup of a multi-programmed run: the mean of each process's
+/// co-running IPC over its alone-run IPC (Snavely & Tullsen's metric; the
+/// Figs. 12–13 y-axis). 1.0 means no contention loss; `alone_ipc` entries
+/// of zero contribute zero.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn weighted_speedup(multi_ipc: &[f64], alone_ipc: &[f64]) -> f64 {
+    assert_eq!(multi_ipc.len(), alone_ipc.len(), "one alone-run IPC per process");
+    assert!(!multi_ipc.is_empty(), "weighted speedup of zero processes");
+    let sum: f64 = multi_ipc.iter().zip(alone_ipc).map(|(&m, &a)| if a == 0.0 { 0.0 } else { m / a }).sum();
+    sum / multi_ipc.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,5 +266,14 @@ mod tests {
     fn miss_latency_handles_zero_misses() {
         let s = SimStats::default();
         assert_eq!(s.l2_miss_latency(), 0.0);
+    }
+
+    #[test]
+    fn weighted_speedup_is_mean_of_ipc_ratios() {
+        // Two processes at half their alone IPC, one unimpeded.
+        let ws = weighted_speedup(&[1.0, 0.5, 2.0], &[2.0, 1.0, 2.0]);
+        assert!((ws - (0.5 + 0.5 + 1.0) / 3.0).abs() < 1e-12);
+        // Zero alone-IPC degrades gracefully.
+        assert_eq!(weighted_speedup(&[1.0], &[0.0]), 0.0);
     }
 }

@@ -9,8 +9,10 @@
 use crate::config::{ExecMode, SystemConfig, TranslationMechanism};
 use crate::epochs::EpochTracker;
 use crate::stats::SimStats;
-use mem_sim::{BlockKind, Hierarchy, MemClass, MemLevel, ReplacementPolicy, Srrip};
+use mem_sim::{BlockKind, Hierarchy, MemClass, MemLevel, ReplacementPolicy, SharedLlc, Srrip};
 use page_table::{AddressSpace, FrameAllocator, MappedRegion, NestedMemory};
+use std::cell::RefCell;
+use std::rc::Rc;
 use tlb_sim::{PageTableWalker, PomTlb, SetAssocTlb, TlbEntry};
 use victima::{features::FeatureTracker, TlbAwareSrrip, Victima};
 use vm_types::{AccessKind, Asid, Cycles, MemRef, PageSize, PhysAddr, VirtAddr};
@@ -18,21 +20,125 @@ use workloads::{Workload, WorkloadStream};
 
 /// Where the translated memory image lives.
 pub(crate) enum Memory {
-    /// Native: one process address space over host physical memory.
+    /// Native: one process address space over (possibly shared) physical
+    /// memory.
     Native {
-        /// Physical frame allocator.
-        alloc: FrameAllocator,
+        /// Physical frame allocator — shared between every process of a
+        /// multi-core system, private otherwise.
+        alloc: Rc<RefCell<FrameAllocator>>,
         /// The process.
         aspace: AddressSpace,
     },
-    /// Virtualised: a guest VM with nested (and shadow) page tables.
+    /// Virtualised: a guest VM with nested (and shadow) page tables
+    /// (boxed: the image is much larger than the native variant).
     Virt {
         /// The guest memory image.
-        nested: NestedMemory,
+        nested: Box<NestedMemory>,
     },
 }
 
-/// A complete simulated system bound to one workload.
+/// Everything that belongs to the *process* rather than the core: the
+/// memory image, the workload stream, the code region and the ASID — plus
+/// per-process progress counters so oversubscribed schedules can account
+/// each process individually. The multi-core scheduler context-switches by
+/// swapping one of these in and out of a core ([`System`]).
+pub struct ProcessCtx {
+    pub(crate) memory: Memory,
+    pub(crate) stream: WorkloadStream,
+    pub(crate) code: MappedRegion,
+    pub(crate) asid: Asid,
+    /// Instructions this process has retired (across every core it ran on).
+    pub retired: u64,
+    /// Core cycles this process has consumed (fractional accumulation).
+    pub cycles: f64,
+}
+
+impl std::fmt::Debug for ProcessCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessCtx")
+            .field("workload", &self.stream.name())
+            .field("asid", &self.asid)
+            .field("retired", &self.retired)
+            .finish()
+    }
+}
+
+impl ProcessCtx {
+    /// Builds a native-mode process: allocates its address space and code
+    /// region from `alloc`, maps the workload's regions, and binds the
+    /// stream. `seed` drives region placement (page-size mixing).
+    pub fn new_native(
+        asid: Asid,
+        mut workload: Box<dyn Workload>,
+        alloc: &Rc<RefCell<FrameAllocator>>,
+        seed: u64,
+    ) -> Self {
+        let specs = workload.region_specs();
+        let (aspace, code, bases) = {
+            let mut a = alloc.borrow_mut();
+            let mut aspace = AddressSpace::new(asid, &mut a, seed);
+            let code = aspace.map_small_region(256 << 10, &mut a);
+            let bases: Vec<VirtAddr> =
+                specs.iter().map(|s| aspace.map_region(s.bytes, s.huge_fraction, &mut a).base).collect();
+            (aspace, code, bases)
+        };
+        workload.init(&bases);
+        Self {
+            memory: Memory::Native { alloc: Rc::clone(alloc), aspace },
+            stream: WorkloadStream::new(workload),
+            code,
+            asid,
+            retired: 0,
+            cycles: 0.0,
+        }
+    }
+
+    /// The workload name.
+    pub fn workload_name(&self) -> &'static str {
+        self.stream.name()
+    }
+
+    /// The process's address-space identifier.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// Instructions per cycle over this process's whole runtime.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles
+        }
+    }
+
+    /// Zeroes the progress counters (end of warm-up).
+    pub fn reset_counters(&mut self) {
+        self.retired = 0;
+        self.cycles = 0.0;
+    }
+
+    /// Remaps one data page of this process to a fresh physical frame (a
+    /// migration), as the OS would before issuing a shootdown. Returns the
+    /// new ground truth. Native mode only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is unmapped or the process is virtualised.
+    pub fn migrate_page(&mut self, va: VirtAddr) -> PhysAddr {
+        let Memory::Native { alloc, aspace } = &mut self.memory else {
+            panic!("migrate_page supports native mode only");
+        };
+        let mut alloc = alloc.borrow_mut();
+        let old = aspace.page_table.unmap(va.align_down(PageSize::Size4K)).expect("page must be mapped");
+        assert_eq!(old.page_size(), PageSize::Size4K, "migration test uses 4KB pages");
+        let frame = alloc.alloc_4k();
+        aspace.page_table.map(va.align_down(PageSize::Size4K), frame, PageSize::Size4K, &mut alloc);
+        aspace.page_table.translate(va).expect("just mapped").0
+    }
+}
+
+/// A complete simulated core bound to one resident process.
 pub struct System {
     pub(crate) cfg: SystemConfig,
     pub(crate) hier: Hierarchy,
@@ -52,10 +158,8 @@ pub struct System {
     pub(crate) nested_tlb: SetAssocTlb,
     pub(crate) pom: Option<PomTlb>,
     pub(crate) victima: Option<Victima>,
-    pub(crate) memory: Memory,
-    stream: WorkloadStream,
-    code: MappedRegion,
-    pub(crate) asid: Asid,
+    /// The resident process (swapped by the multi-core scheduler).
+    pub(crate) proc: ProcessCtx,
     pub(crate) epoch: EpochTracker,
     /// Run statistics.
     pub stats: SimStats,
@@ -67,7 +171,7 @@ impl std::fmt::Debug for System {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("System")
             .field("config", &self.cfg.name)
-            .field("workload", &self.stream.name())
+            .field("workload", &self.proc.stream.name())
             .finish()
     }
 }
@@ -85,37 +189,24 @@ impl System {
     /// regions (and the virtualised image if configured), and wires up
     /// every component.
     pub fn new(cfg: SystemConfig, mut workload: Box<dyn Workload>) -> Self {
-        let specs = workload.region_specs();
-        let footprint: u64 = specs.iter().map(|s| s.bytes).sum();
         let asid = Asid::new(1);
 
-        let l2_policy: Box<dyn ReplacementPolicy> = match &cfg.mechanism {
-            TranslationMechanism::Victima(_)
-            | TranslationMechanism::PomTlb(_)
-            | TranslationMechanism::VictimaPom(..) => Box::new(TlbAwareSrrip::new()),
-            _ => Box::new(Srrip::new()),
-        };
-        let hier = Hierarchy::with_l2_policy(cfg.hierarchy.clone(), l2_policy);
-
         // Build the memory image and map regions.
-        let (memory, code, bases, pom_base) = match cfg.mode {
+        let (proc, pom_base) = match cfg.mode {
             ExecMode::Native => {
-                let mut alloc = FrameAllocator::new(cfg.phys_mem_bytes, cfg.seed);
-                let mut aspace = AddressSpace::new(asid, &mut alloc, cfg.seed);
-                let code = aspace.map_small_region(256 << 10, &mut alloc);
-                let bases: Vec<VirtAddr> = specs
-                    .iter()
-                    .map(|s| aspace.map_region(s.bytes, s.huge_fraction, &mut alloc).base)
-                    .collect();
+                let alloc = Rc::new(RefCell::new(FrameAllocator::new(cfg.phys_mem_bytes, cfg.seed)));
+                let proc = ProcessCtx::new_native(asid, workload, &alloc, cfg.seed);
                 let pom_base = match &cfg.mechanism {
                     TranslationMechanism::PomTlb(p) | TranslationMechanism::VictimaPom(_, p) => {
-                        Some(alloc.alloc_contiguous(p.storage_bytes()))
+                        Some(alloc.borrow_mut().alloc_contiguous(p.storage_bytes()))
                     }
                     _ => None,
                 };
-                (Memory::Native { alloc, aspace }, code, bases, pom_base)
+                (proc, pom_base)
             }
             ExecMode::VirtualizedNested | ExecMode::VirtualizedShadow => {
+                let specs = workload.region_specs();
+                let footprint: u64 = specs.iter().map(|s| s.bytes).sum();
                 // Guest-physical space: footprint plus table overheads and
                 // fragmentation-skip slack.
                 let guest_phys = footprint * 2 + (1 << 30);
@@ -132,11 +223,58 @@ impl System {
                     }
                     _ => None,
                 };
-                (Memory::Virt { nested }, code, bases, pom_base)
+                workload.init(&bases);
+                let proc = ProcessCtx {
+                    memory: Memory::Virt { nested: Box::new(nested) },
+                    stream: WorkloadStream::new(workload),
+                    code,
+                    asid,
+                    retired: 0,
+                    cycles: 0.0,
+                };
+                (proc, pom_base)
             }
         };
-        workload.init(&bases);
+        Self::assemble(cfg, proc, pom_base, None)
+    }
 
+    /// Builds a core over an externally owned (shared) LLC, bound to a
+    /// pre-built native process — the multi-core construction path. The
+    /// POM-TLB region, when configured, is carved out of the shared frame
+    /// allocator (one private in-DRAM TLB per core).
+    pub fn new_shared(
+        cfg: SystemConfig,
+        proc: ProcessCtx,
+        llc: Rc<RefCell<SharedLlc>>,
+        alloc: &Rc<RefCell<FrameAllocator>>,
+    ) -> Self {
+        assert_eq!(cfg.mode, ExecMode::Native, "multi-core cores are native-mode");
+        let pom_base = match &cfg.mechanism {
+            TranslationMechanism::PomTlb(p) | TranslationMechanism::VictimaPom(_, p) => {
+                Some(alloc.borrow_mut().alloc_contiguous(p.storage_bytes()))
+            }
+            _ => None,
+        };
+        Self::assemble(cfg, proc, pom_base, Some(llc))
+    }
+
+    /// Wires every hardware component around a process.
+    fn assemble(
+        cfg: SystemConfig,
+        proc: ProcessCtx,
+        pom_base: Option<PhysAddr>,
+        llc: Option<Rc<RefCell<SharedLlc>>>,
+    ) -> Self {
+        let l2_policy: Box<dyn ReplacementPolicy> = match &cfg.mechanism {
+            TranslationMechanism::Victima(_)
+            | TranslationMechanism::PomTlb(_)
+            | TranslationMechanism::VictimaPom(..) => Box::new(TlbAwareSrrip::new()),
+            _ => Box::new(Srrip::new()),
+        };
+        let hier = match llc {
+            Some(llc) => Hierarchy::with_shared_llc(cfg.hierarchy.clone(), l2_policy, llc),
+            None => Hierarchy::with_l2_policy(cfg.hierarchy.clone(), l2_policy),
+        };
         let pom = match (&cfg.mechanism, pom_base) {
             (TranslationMechanism::PomTlb(p), Some(base))
             | (TranslationMechanism::VictimaPom(_, p), Some(base)) => Some(PomTlb::new(p.clone(), base)),
@@ -161,10 +299,7 @@ impl System {
             nested_tlb: SetAssocTlb::new(cfg.mmu.nested_tlb.clone()),
             pom,
             victima,
-            memory,
-            stream: WorkloadStream::new(workload),
-            code,
-            asid,
+            proc,
             epoch: EpochTracker::new(),
             stats: SimStats::default(),
             tracker: None,
@@ -180,7 +315,7 @@ impl System {
 
     /// The workload name.
     pub fn workload_name(&self) -> &'static str {
-        self.stream.name()
+        self.proc.stream.name()
     }
 
     /// Enables per-page feature collection (Table 2 profiling).
@@ -192,7 +327,7 @@ impl System {
     pub fn run(&mut self, instructions: u64) {
         let target = self.stats.instructions + instructions;
         while self.stats.instructions < target {
-            let r = self.stream.next_ref();
+            let r = self.proc.stream.next_ref();
             self.step(r);
         }
     }
@@ -202,7 +337,36 @@ impl System {
     pub fn run_with_warmup(&mut self, warmup: u64, measured: u64) {
         self.run(warmup);
         self.reset_stats();
+        self.proc.reset_counters();
         self.run(measured);
+    }
+
+    /// Runs the *resident process* for up to `instructions` more retired
+    /// instructions (the multi-core scheduler's quantum unit: core stats
+    /// blend processes, per-process progress lives in the [`ProcessCtx`]).
+    pub fn run_quantum(&mut self, instructions: u64) {
+        let target = self.proc.retired + instructions;
+        while self.proc.retired < target {
+            let r = self.proc.stream.next_ref();
+            self.step(r);
+        }
+    }
+
+    /// The resident process.
+    pub fn process(&self) -> &ProcessCtx {
+        &self.proc
+    }
+
+    /// Mutable access to the resident process (migrations, counter resets).
+    pub fn process_mut(&mut self) -> &mut ProcessCtx {
+        &mut self.proc
+    }
+
+    /// Swaps the resident process with `other` (a context switch). The
+    /// caller applies whatever TLB invalidation policy the hardware model
+    /// calls for — see `scheduler::CtxSwitchPolicy`.
+    pub fn swap_process(&mut self, other: &mut ProcessCtx) {
+        std::mem::swap(&mut self.proc, other);
     }
 
     /// Clears statistics on every component; cache/TLB contents stay warm.
@@ -245,7 +409,7 @@ impl System {
         }
         if self.tracker.is_some() {
             let size = self.page_size_of(r.vaddr);
-            let asid = self.asid;
+            let asid = self.proc.asid;
             if let Some(t) = self.tracker.as_mut() {
                 t.on_access(asid, r.vaddr, size);
                 if res.served_by == MemLevel::L2 {
@@ -258,11 +422,12 @@ impl System {
         self.stats.translation_cycles += t_lat + ifetch_lat;
         self.stats.data_cycles += d_stall;
         let t = &self.cfg.timing;
-        self.stats.add_cycles(
-            instrs as f64 / t.issue_width
-                + t.t_expose * (t_lat + ifetch_lat) as f64
-                + t.d_expose * d_stall as f64,
-        );
+        let cycles = instrs as f64 / t.issue_width
+            + t.t_expose * (t_lat + ifetch_lat) as f64
+            + t.d_expose * d_stall as f64;
+        self.stats.add_cycles(cycles);
+        self.proc.retired += instrs;
+        self.proc.cycles += cycles;
 
         if self.epoch.on_instructions(instrs) {
             let reach = self.hier.l2().translation_block_count() as u64 * 8 * 4096;
@@ -276,14 +441,14 @@ impl System {
     /// translation latency (nonzero only on I-TLB misses, which are rare
     /// since the code region is small).
     fn ifetch(&mut self, pc: u64) -> Cycles {
-        let va = self.code.at(pc % self.code.bytes);
+        let va = self.proc.code.at(pc % self.proc.code.bytes);
         let vpn = va.vpn(PageSize::Size4K);
-        let (frame, lat) = match self.itlb.probe(vpn, self.asid, PageSize::Size4K) {
+        let (frame, lat) = match self.itlb.probe(vpn, self.proc.asid, PageSize::Size4K) {
             Some(e) => (e.frame, 0),
             None => {
                 // Miss: L2 TLB, then walk. Code pages are always 4KB.
                 let mut lat = self.l2_tlb.latency();
-                let entry = match self.l2_tlb.probe(vpn, self.asid, PageSize::Size4K) {
+                let entry = match self.l2_tlb.probe(vpn, self.proc.asid, PageSize::Size4K) {
                     Some(e) => e,
                     None => {
                         let res = match self.cfg.mode {
@@ -310,11 +475,11 @@ impl System {
     pub(crate) fn translate_data(&mut self, va: VirtAddr, _kind: AccessKind) -> (PhysAddr, Cycles) {
         // L1 D-TLBs, one per page size, probed in parallel (1 cycle,
         // hidden in the pipeline).
-        if let Some(e) = self.dtlb4k.probe(va.vpn(PageSize::Size4K), self.asid, PageSize::Size4K) {
+        if let Some(e) = self.dtlb4k.probe(va.vpn(PageSize::Size4K), self.proc.asid, PageSize::Size4K) {
             self.stats.l1_tlb_hits += 1;
             return (self.entry_pa(&e, va), 0);
         }
-        if let Some(e) = self.dtlb2m.probe(va.vpn(PageSize::Size2M), self.asid, PageSize::Size2M) {
+        if let Some(e) = self.dtlb2m.probe(va.vpn(PageSize::Size2M), self.proc.asid, PageSize::Size2M) {
             self.stats.l1_tlb_hits += 1;
             return (self.entry_pa(&e, va), 0);
         }
@@ -323,7 +488,7 @@ impl System {
         // Unified L2 TLB, both page sizes probed in parallel.
         let mut latency = self.l2_tlb.latency();
         for size in PageSize::ALL {
-            if let Some(e) = self.l2_tlb.probe(va.vpn(size), self.asid, size) {
+            if let Some(e) = self.l2_tlb.probe(va.vpn(size), self.proc.asid, size) {
                 self.stats.l2_tlb_hits += 1;
                 self.fill_l1(e);
                 self.track_l1_miss(va, size);
@@ -360,7 +525,7 @@ impl System {
     /// Ground-truth translation straight from the page tables (no timing,
     /// no state changes). `None` if unmapped.
     pub fn ground_truth(&self, va: VirtAddr) -> Option<PhysAddr> {
-        match &self.memory {
+        match &self.proc.memory {
             Memory::Native { aspace, .. } => aspace.page_table.translate(va).map(|(pa, _)| pa),
             Memory::Virt { nested } => nested.full_translate(va),
         }
@@ -369,7 +534,7 @@ impl System {
     /// The page size backing `va` (guest-side in virtualised mode), or
     /// `None` if unmapped. Software lookup; no timing or state changes.
     pub fn page_size_at(&self, va: VirtAddr) -> Option<PageSize> {
-        match &self.memory {
+        match &self.proc.memory {
             Memory::Native { aspace, .. } => aspace.page_table.translate(va).map(|(_, s)| s),
             Memory::Virt { nested } => nested.guest.page_table.translate(va).map(|(_, s)| s),
         }
@@ -389,7 +554,7 @@ impl System {
 
     /// The page size backing `va` (software lookup).
     pub(crate) fn page_size_of(&self, va: VirtAddr) -> PageSize {
-        match &self.memory {
+        match &self.proc.memory {
             Memory::Native { aspace, .. } => {
                 aspace.page_table.translate(va).map(|(_, s)| s).unwrap_or(PageSize::Size4K)
             }
@@ -401,13 +566,13 @@ impl System {
 
     fn track_l1_miss(&mut self, va: VirtAddr, size: PageSize) {
         if let Some(t) = self.tracker.as_mut() {
-            t.on_l1_tlb_miss(self.asid, va, size);
+            t.on_l1_tlb_miss(self.proc.asid, va, size);
         }
     }
 
     fn track_l2_miss(&mut self, va: VirtAddr, size: PageSize) {
         if let Some(t) = self.tracker.as_mut() {
-            t.on_l2_tlb_miss(self.asid, va, size);
+            t.on_l2_tlb_miss(self.proc.asid, va, size);
         }
     }
 
@@ -479,7 +644,7 @@ impl System {
             return;
         }
         self.stats.victima_background_walks += 1;
-        let Memory::Native { aspace, .. } = &mut self.memory else {
+        let Memory::Native { aspace, .. } = &mut self.proc.memory else {
             unreachable!("native flow");
         };
         let walk = self.bg_walker.walk(&mut aspace.page_table, ev_va, ev.asid, &mut self.hier, &ctx);
@@ -503,7 +668,7 @@ impl System {
             latency += l3.latency();
             components[2] += l3.latency();
             for size in PageSize::ALL {
-                if let Some(e) = l3.probe(va.vpn(size), self.asid, size) {
+                if let Some(e) = l3.probe(va.vpn(size), self.proc.asid, size) {
                     self.stats.l3_tlb_hits += 1;
                     return MissResolution { entry: e, latency, components };
                 }
@@ -524,7 +689,7 @@ impl System {
         // contain 4KB-mapped chunks); on a stale view the parallel PTW
         // simply continues, costing nothing extra.
         if let Some(v) = self.victima.as_mut() {
-            if let Some(hit) = v.probe(self.hier.l2_mut(), va, self.asid, BlockKind::Tlb, &ctx) {
+            if let Some(hit) = v.probe(self.hier.l2_mut(), va, self.proc.asid, BlockKind::Tlb, &ctx) {
                 if self.page_size_of(va) == hit.size {
                     let l2c = self.hier.l2().latency();
                     latency += l2c;
@@ -542,11 +707,11 @@ impl System {
             let mut hit: Option<TlbEntry> = None;
             let mut pom_lat: Cycles = 0;
             for size in PageSize::ALL {
-                let lk = pom.lookup(va.vpn(size), self.asid, size);
+                let lk = pom.lookup(va.vpn(size), self.proc.asid, size);
                 let r = self.hier.access(lk.line, false, MemClass::PomTlb, &ctx);
                 pom_lat = pom_lat.max(r.latency);
                 if let Some(frame) = lk.frame {
-                    hit = Some(TlbEntry::new(va.vpn(size), self.asid, size, frame));
+                    hit = Some(TlbEntry::new(va.vpn(size), self.proc.asid, size, frame));
                     break;
                 }
             }
@@ -560,12 +725,12 @@ impl System {
         }
 
         // The page-table walk.
-        let Memory::Native { aspace, .. } = &mut self.memory else {
+        let Memory::Native { aspace, .. } = &mut self.proc.memory else {
             unreachable!("native flow");
         };
         let walk = self
             .walker
-            .walk(&mut aspace.page_table, va, self.asid, &mut self.hier, &ctx)
+            .walk(&mut aspace.page_table, va, self.proc.asid, &mut self.hier, &ctx)
             .unwrap_or_else(|| panic!("page fault at {va}: workload touched an unmapped page"));
         self.stats.ptws += 1;
         latency += walk.latency;
@@ -573,12 +738,12 @@ impl System {
         if let Some(t) = self.tracker.as_mut() {
             let pwc_hit = walk.memory_accesses < 4 && walk.page_size == PageSize::Size4K
                 || walk.memory_accesses < 3 && walk.page_size == PageSize::Size2M;
-            t.on_walk(self.asid, va, walk.page_size, walk.latency, walk.dram_touched, pwc_hit);
+            t.on_walk(self.proc.asid, va, walk.page_size, walk.latency, walk.dram_touched, pwc_hit);
         }
 
         let entry = TlbEntry::with_counters(
             va.vpn(walk.page_size),
-            self.asid,
+            self.proc.asid,
             walk.page_size,
             walk.frame,
             walk.leaf_pte.ptw_freq(),
@@ -594,7 +759,7 @@ impl System {
             self.hier.access(line, true, MemClass::PomTlb, &ctx);
         }
         if let Some(v) = self.victima.as_mut() {
-            if v.insert_after_walk(self.hier.l2_mut(), va, self.asid, BlockKind::Tlb, &walk, &ctx) {
+            if v.insert_after_walk(self.hier.l2_mut(), va, self.proc.asid, BlockKind::Tlb, &walk, &ctx) {
                 self.stats.victima_inserts += 1;
             }
         }
@@ -610,14 +775,14 @@ impl System {
     }
 
     pub(crate) fn software_entry_sized(&self, va: VirtAddr, size: PageSize) -> TlbEntry {
-        let Memory::Native { aspace, .. } = &self.memory else {
+        let Memory::Native { aspace, .. } = &self.proc.memory else {
             unreachable!("native helper");
         };
         let walk = aspace.page_table.walk(va).expect("mapped");
         debug_assert_eq!(walk.page_size, size);
         TlbEntry::with_counters(
             va.vpn(walk.page_size),
-            self.asid,
+            self.proc.asid,
             walk.page_size,
             walk.frame,
             walk.leaf_pte.ptw_freq(),
@@ -651,25 +816,66 @@ impl System {
         }
     }
 
-    /// OS-initiated TLB shootdown for one page (Sec. 6.2): invalidates the
-    /// page in every hardware TLB, the POM-TLB and Victima's TLB blocks.
+    /// OS-initiated TLB shootdown for one page of the *resident* address
+    /// space (Sec. 6.2): invalidates the page in every hardware TLB, the
+    /// POM-TLB and Victima's TLB blocks.
     pub fn tlb_shootdown(&mut self, va: VirtAddr) {
+        self.tlb_shootdown_asid(va, self.proc.asid);
+    }
+
+    /// Shootdown for an explicit address space — the inter-core IPI path:
+    /// remote cores invalidate a page of a process that is *not* resident
+    /// on them (its entries may still be cached under its ASID).
+    pub fn tlb_shootdown_asid(&mut self, va: VirtAddr, asid: Asid) {
         for size in PageSize::ALL {
             let vpn = va.vpn(size);
-            self.itlb.invalidate(vpn, self.asid, size);
-            self.dtlb4k.invalidate(vpn, self.asid, size);
-            self.dtlb2m.invalidate(vpn, self.asid, size);
-            self.l2_tlb.invalidate(vpn, self.asid, size);
+            self.itlb.invalidate(vpn, asid, size);
+            self.dtlb4k.invalidate(vpn, asid, size);
+            self.dtlb2m.invalidate(vpn, asid, size);
+            self.l2_tlb.invalidate(vpn, asid, size);
             if let Some(l3) = self.l3_tlb.as_mut() {
-                l3.invalidate(vpn, self.asid, size);
+                l3.invalidate(vpn, asid, size);
             }
             if let Some(p) = self.pom.as_mut() {
-                p.invalidate(vpn, self.asid, size);
+                p.invalidate(vpn, asid, size);
             }
         }
         if let Some(v) = self.victima.as_mut() {
-            v.shootdown(self.hier.l2_mut(), va, self.asid);
+            v.shootdown(self.hier.l2_mut(), va, asid);
         }
+    }
+
+    /// Total invalidations performed by this core's hardware TLBs so far
+    /// (shootdown accounting for the multi-core IPI protocol).
+    pub fn invalidation_count(&self) -> u64 {
+        let mut n = self.itlb.stats.invalidations
+            + self.dtlb4k.stats.invalidations
+            + self.dtlb2m.stats.invalidations
+            + self.l2_tlb.stats.invalidations;
+        if let Some(l3) = &self.l3_tlb {
+            n += l3.stats.invalidations;
+        }
+        n
+    }
+
+    /// ASID-selective invalidation (Sec. 6.1(ii)): drops every translation
+    /// of one address space from the hardware TLBs and Victima's blocks,
+    /// leaving other ASIDs' entries warm. Returns the number of hardware
+    /// TLB entries dropped. PWCs are not ASID-partitioned in this model,
+    /// so they flush entirely.
+    pub fn invalidate_asid(&mut self, asid: Asid) -> u64 {
+        let mut n = self.itlb.invalidate_asid(asid);
+        n += self.dtlb4k.invalidate_asid(asid);
+        n += self.dtlb2m.invalidate_asid(asid);
+        n += self.l2_tlb.invalidate_asid(asid);
+        if let Some(l3) = self.l3_tlb.as_mut() {
+            n += l3.invalidate_asid(asid);
+        }
+        self.walker.pwc.flush();
+        if let Some(v) = self.victima.as_mut() {
+            v.flush_asid(self.hier.l2_mut(), asid);
+        }
+        n
     }
 
     /// Full context-switch flush (Sec. 6.1): drops every translation the
@@ -690,21 +896,14 @@ impl System {
         }
     }
 
-    /// Remaps one data page to a fresh physical frame (a migration), as
-    /// the OS would before issuing a shootdown. Returns the new ground
-    /// truth. Native mode only.
+    /// Remaps one data page of the resident process to a fresh physical
+    /// frame (a migration), as the OS would before issuing a shootdown.
+    /// Returns the new ground truth. Native mode only.
     ///
     /// # Panics
     ///
     /// Panics if `va` is unmapped or the system is virtualised.
     pub fn migrate_page(&mut self, va: VirtAddr) -> PhysAddr {
-        let Memory::Native { alloc, aspace } = &mut self.memory else {
-            panic!("migrate_page supports native mode only");
-        };
-        let old = aspace.page_table.unmap(va.align_down(PageSize::Size4K)).expect("page must be mapped");
-        assert_eq!(old.page_size(), PageSize::Size4K, "migration test uses 4KB pages");
-        let frame = alloc.alloc_4k();
-        aspace.page_table.map(va.align_down(PageSize::Size4K), frame, PageSize::Size4K, alloc);
-        aspace.page_table.translate(va).expect("just mapped").0
+        self.proc.migrate_page(va)
     }
 }

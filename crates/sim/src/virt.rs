@@ -30,17 +30,17 @@ impl System {
     /// maintenance is free by definition of the ideal baseline.
     fn shadow_resolve(&mut self, gva: VirtAddr) -> MissResolution {
         let ctx = self.epoch.ctx();
-        let Memory::Virt { nested } = &mut self.memory else {
+        let Memory::Virt { nested } = &mut self.proc.memory else {
             unreachable!("virtualised flow");
         };
         let walk = self
             .walker
-            .walk(&mut nested.shadow.table, gva, self.asid, &mut self.hier, &ctx)
+            .walk(&mut nested.shadow.table, gva, self.proc.asid, &mut self.hier, &ctx)
             .unwrap_or_else(|| panic!("shadow page fault at {gva}"));
         self.stats.ptws += 1;
         let entry = TlbEntry::with_counters(
             gva.vpn(walk.page_size),
-            self.asid,
+            self.proc.asid,
             walk.page_size,
             walk.frame,
             walk.leaf_pte.ptw_freq(),
@@ -58,7 +58,7 @@ impl System {
         // a hit the guest walk is skipped entirely; only the gPA→hPA step
         // remains (nested TLB, nested block, or host walk).
         if let Some(v) = self.victima.as_mut() {
-            if let Some(hit) = v.probe(self.hier.l2_mut(), gva, self.asid, BlockKind::Tlb, &ctx) {
+            if let Some(hit) = v.probe(self.hier.l2_mut(), gva, self.proc.asid, BlockKind::Tlb, &ctx) {
                 // Validate the view: the cluster must actually map this
                 // gVA at the hit size (see the native flow).
                 if self.page_size_of(gva) == hit.size {
@@ -80,11 +80,11 @@ impl System {
             let mut pom_lat: Cycles = 0;
             let mut hit: Option<TlbEntry> = None;
             for size in PageSize::ALL {
-                let lk = self.pom.as_mut().expect("checked").lookup(gva.vpn(size), self.asid, size);
+                let lk = self.pom.as_mut().expect("checked").lookup(gva.vpn(size), self.proc.asid, size);
                 let r = self.hier.access(lk.line, false, MemClass::PomTlb, &ctx);
                 pom_lat = pom_lat.max(r.latency);
                 if let Some(frame) = lk.frame {
-                    hit = Some(TlbEntry::new(gva.vpn(size), self.asid, size, frame));
+                    hit = Some(TlbEntry::new(gva.vpn(size), self.proc.asid, size, frame));
                     break;
                 }
             }
@@ -116,7 +116,7 @@ impl System {
     pub(crate) fn nested_walk(&mut self, gva: VirtAddr, demand: bool) -> MissResolution {
         let ctx = self.epoch.ctx();
         let gw = {
-            let Memory::Virt { nested } = &self.memory else {
+            let Memory::Virt { nested } = &self.proc.memory else {
                 unreachable!("virtualised flow");
             };
             nested.guest.page_table.walk(gva).unwrap_or_else(|| panic!("guest page fault at {gva}"))
@@ -126,7 +126,7 @@ impl System {
         let mut host_lat: Cycles = 0;
         let mut guest_dram = false;
         let mut accesses = 0u8;
-        let deepest = self.walker.pwc.deepest_hit(gva, self.asid, leaf_level);
+        let deepest = self.walker.pwc.deepest_hit(gva, self.proc.asid, leaf_level);
         for step in gw.steps() {
             if let Some(l) = deepest {
                 if step.level >= l {
@@ -141,12 +141,12 @@ impl System {
             guest_dram |= r.dram_access;
             accesses += 1;
         }
-        self.walker.pwc.fill_all(gva, self.asid, leaf_level);
+        self.walker.pwc.fill_all(gva, self.proc.asid, leaf_level);
 
         // Update the guest leaf's predictor counters.
         let mut leaf_pte = gw.leaf_pte;
         {
-            let Memory::Virt { nested } = &mut self.memory else {
+            let Memory::Virt { nested } = &mut self.proc.memory else {
                 unreachable!("virtualised flow");
             };
             nested.guest.page_table.update_leaf(gva, |p| {
@@ -178,7 +178,7 @@ impl System {
         let victima_active = self.victima.is_some();
         if victima_active {
             let leaf_hpa = {
-                let Memory::Virt { nested } = &self.memory else {
+                let Memory::Virt { nested } = &self.proc.memory else {
                     unreachable!("virtualised flow");
                 };
                 nested.host_translate(gw.leaf_pte_paddr()).map(|(hpa, _)| hpa)
@@ -195,12 +195,12 @@ impl System {
                 };
                 let Some(v) = self.victima.as_mut() else { unreachable!("victima_active checked") };
                 let inserted = if demand {
-                    v.insert_after_walk(self.hier.l2_mut(), gva, self.asid, BlockKind::Tlb, &wo, &ctx)
+                    v.insert_after_walk(self.hier.l2_mut(), gva, self.proc.asid, BlockKind::Tlb, &wo, &ctx)
                 } else {
                     v.insert_after_eviction_walk(
                         self.hier.l2_mut(),
                         gva,
-                        self.asid,
+                        self.proc.asid,
                         BlockKind::Tlb,
                         &wo,
                         &ctx,
@@ -219,7 +219,7 @@ impl System {
     /// hit path, where the hardware reads the composed mapping straight
     /// out of the hit block (Fig. 19).
     fn compose_entry_sw(&self, gva: VirtAddr, gsize: PageSize) -> TlbEntry {
-        let Memory::Virt { nested } = &self.memory else {
+        let Memory::Virt { nested } = &self.proc.memory else {
             unreachable!("virtualised flow");
         };
         let (gpa, s) = nested.guest.page_table.translate(gva).expect("guest mapped");
@@ -230,7 +230,7 @@ impl System {
                 if hpa_base.page_offset(PageSize::Size2M) == 0 {
                     return TlbEntry::new(
                         gva.vpn(PageSize::Size2M),
-                        self.asid,
+                        self.proc.asid,
                         PageSize::Size2M,
                         hpa_base.frame(PageSize::Size4K),
                     );
@@ -241,7 +241,7 @@ impl System {
         let (hpa_piece, _) = nested.host_translate(gpa_piece).expect("gpa host-mapped");
         TlbEntry::new(
             gva.vpn(PageSize::Size4K),
-            self.asid,
+            self.proc.asid,
             PageSize::Size4K,
             hpa_piece.frame(PageSize::Size4K),
         )
@@ -252,7 +252,7 @@ impl System {
     fn compose_entry(&mut self, gva: VirtAddr, gsize: PageSize, demand: bool) -> (TlbEntry, Cycles) {
         // Guest-physical address of the accessed 4KB piece.
         let (gpa_page, host_view) = {
-            let Memory::Virt { nested } = &self.memory else {
+            let Memory::Virt { nested } = &self.proc.memory else {
                 unreachable!("virtualised flow");
             };
             let (gpa, s) = nested.guest.page_table.translate(gva).expect("guest mapped");
@@ -274,7 +274,7 @@ impl System {
                 if hpa_base.page_offset(PageSize::Size2M) == 0 {
                     let entry = TlbEntry::new(
                         gva.vpn(PageSize::Size2M),
-                        self.asid,
+                        self.proc.asid,
                         PageSize::Size2M,
                         hpa_base.frame(PageSize::Size4K),
                     );
@@ -284,7 +284,7 @@ impl System {
         }
         let entry = TlbEntry::new(
             gva.vpn(PageSize::Size4K),
-            self.asid,
+            self.proc.asid,
             PageSize::Size4K,
             hpa_piece.frame(PageSize::Size4K),
         );
@@ -304,7 +304,7 @@ impl System {
 
         // Nested TLB, both host page sizes.
         for size in PageSize::ALL {
-            if let Some(e) = self.nested_tlb.probe(gpa_va.vpn(size), self.asid, size) {
+            if let Some(e) = self.nested_tlb.probe(gpa_va.vpn(size), self.proc.asid, size) {
                 if demand {
                     self.stats.nested_tlb_hits += 1;
                 }
@@ -314,9 +314,10 @@ impl System {
 
         // Victima: nested TLB block in the L2 cache.
         if let Some(v) = self.victima.as_mut() {
-            if let Some(hit) = v.probe(self.hier.l2_mut(), gpa_va, self.asid, BlockKind::NestedTlb, &ctx) {
+            if let Some(hit) = v.probe(self.hier.l2_mut(), gpa_va, self.proc.asid, BlockKind::NestedTlb, &ctx)
+            {
                 let actual = {
-                    let Memory::Virt { nested } = &self.memory else {
+                    let Memory::Virt { nested } = &self.proc.memory else {
                         unreachable!("virtualised flow");
                     };
                     nested.host_pt.translate(gpa_va).map(|(_, s)| s)
@@ -335,11 +336,11 @@ impl System {
 
         // Host page-table walk.
         let walk = {
-            let Memory::Virt { nested } = &mut self.memory else {
+            let Memory::Virt { nested } = &mut self.proc.memory else {
                 unreachable!("virtualised flow");
             };
             self.host_walker
-                .walk(&mut nested.host_pt, gpa_va, self.asid, &mut self.hier, &ctx)
+                .walk(&mut nested.host_pt, gpa_va, self.proc.asid, &mut self.hier, &ctx)
                 .unwrap_or_else(|| panic!("host page fault at gpa {gpa}"))
         };
         if demand {
@@ -348,7 +349,7 @@ impl System {
         latency += walk.latency;
         let e = TlbEntry::with_counters(
             gpa_va.vpn(walk.page_size),
-            self.asid,
+            self.proc.asid,
             walk.page_size,
             walk.frame,
             walk.leaf_pte.ptw_freq(),
@@ -356,7 +357,14 @@ impl System {
         );
         self.fill_nested_tlb(e);
         if let Some(v) = self.victima.as_mut() {
-            v.insert_after_walk(self.hier.l2_mut(), gpa_va, self.asid, BlockKind::NestedTlb, &walk, &ctx);
+            v.insert_after_walk(
+                self.hier.l2_mut(),
+                gpa_va,
+                self.proc.asid,
+                BlockKind::NestedTlb,
+                &walk,
+                &ctx,
+            );
         }
         (compose(walk.frame, walk.page_size, gpa_va), latency)
     }
@@ -364,14 +372,14 @@ impl System {
     /// Builds a nested TLB entry from the host table without timing (the
     /// nested block hit path: the PTE is read out of the hit block).
     fn host_software_entry(&self, gpa_va: VirtAddr, size: PageSize) -> TlbEntry {
-        let Memory::Virt { nested } = &self.memory else {
+        let Memory::Virt { nested } = &self.proc.memory else {
             unreachable!("virtualised flow");
         };
         let walk = nested.host_pt.walk(gpa_va).expect("host mapped");
         debug_assert_eq!(walk.page_size, size);
         TlbEntry::with_counters(
             gpa_va.vpn(walk.page_size),
-            self.asid,
+            self.proc.asid,
             walk.page_size,
             walk.frame,
             walk.leaf_pte.ptw_freq(),
@@ -404,7 +412,7 @@ impl System {
         }
         self.stats.victima_background_walks += 1;
         let walk = {
-            let Memory::Virt { nested } = &mut self.memory else {
+            let Memory::Virt { nested } = &mut self.proc.memory else {
                 unreachable!("virtualised flow");
             };
             self.bg_walker.walk(&mut nested.host_pt, ev_va, ev.asid, &mut self.hier, &ctx)

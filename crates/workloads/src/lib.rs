@@ -36,6 +36,7 @@ pub mod dlrm;
 pub mod genomics;
 pub mod graph;
 pub mod gups;
+pub mod mixes;
 pub mod registry;
 pub mod xsbench;
 

@@ -1,0 +1,136 @@
+//! Multi-programmed workload mixes for the multi-core evaluation
+//! (Figs. 12–13).
+//!
+//! A mix names one workload per core slot. The 2-core and 4-core mixes
+//! are drawn from the 11-workload suite to cover the contention spectrum:
+//! translation-hostile pairs (random access, particle transport), graph
+//! pairs with large leaf page tables, and cache-friendlier combinations
+//! that stress the *shared-LLC* side of Victima's bargain (TLB blocks
+//! displace co-runners' data). Slot seeding is delegated to the simulator
+//! (`sim::slot_seed`), so a mix may repeat a workload and still stream
+//! independent references per slot.
+
+use crate::{registry, Scale, Workload};
+
+/// A named multi-programmed mix: one workload abbreviation per core slot.
+#[derive(Clone, Copy, Debug)]
+pub struct Mix {
+    /// Mix name used in figures and on the CLI ("MIX2-A", …).
+    pub name: &'static str,
+    /// Workload abbreviation per slot, in core order.
+    pub slots: &'static [&'static str],
+}
+
+impl Mix {
+    /// Number of core slots.
+    pub fn width(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Builds the slot workloads with explicit per-slot seeds
+    /// (`seeds[i]` drives slot `i`; see `sim::slot_seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds.len() != self.width()` or a slot names an unknown
+    /// workload (the committed mixes never do).
+    pub fn build(&self, scale: Scale, seeds: &[u64]) -> Vec<Box<dyn Workload>> {
+        assert_eq!(seeds.len(), self.width(), "one seed per slot");
+        self.slots
+            .iter()
+            .zip(seeds)
+            .map(|(&w, &seed)| {
+                registry::by_name_seeded(w, scale, seed)
+                    .unwrap_or_else(|| panic!("mix {} names unknown workload {w}", self.name))
+            })
+            .collect()
+    }
+}
+
+/// The four 2-core mixes (Fig. 12).
+pub const MIXES_2: [Mix; 4] = [
+    // Two translation-thrashers: contention *inside* the TLB-block space.
+    Mix { name: "MIX2-A", slots: &["RND", "XS"] },
+    // Graph traversal next to random access.
+    Mix { name: "MIX2-B", slots: &["BFS", "RND"] },
+    // Irregular hash/table walkers.
+    Mix { name: "MIX2-C", slots: &["GEN", "XS"] },
+    // Ranking + embedding lookups: heavier on data reuse in the LLC.
+    Mix { name: "MIX2-D", slots: &["PR", "DLRM"] },
+];
+
+/// The four 4-core mixes (Fig. 13).
+pub const MIXES_4: [Mix; 4] = [
+    // The headline TLB-hostile quartet.
+    Mix { name: "MIX4-A", slots: &["RND", "XS", "BFS", "GEN"] },
+    // Homogeneous stress: two RND + two XS instances (distinct seeds).
+    Mix { name: "MIX4-B", slots: &["RND", "RND", "XS", "XS"] },
+    // All-graph: big leaf page tables, pointer chasing.
+    Mix { name: "MIX4-C", slots: &["PR", "CC", "SSSP", "BC"] },
+    // Mixed data-reuse profile.
+    Mix { name: "MIX4-D", slots: &["DLRM", "GEN", "TC", "GC"] },
+];
+
+/// Every committed mix, 2-core mixes first.
+pub fn all() -> Vec<&'static Mix> {
+    MIXES_2.iter().chain(MIXES_4.iter()).collect()
+}
+
+/// Looks a mix up by name ("MIX2-A" … "MIX4-D").
+pub fn by_name(name: &str) -> Option<&'static Mix> {
+    all().into_iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm_types::VirtAddr;
+
+    #[test]
+    fn mixes_have_expected_widths_and_known_workloads() {
+        for m in all() {
+            let expected = if m.name.starts_with("MIX2") { 2 } else { 4 };
+            assert_eq!(m.width(), expected, "{}", m.name);
+            for w in m.slots {
+                assert!(registry::builder(w).is_some(), "{}: unknown workload {w}", m.name);
+            }
+        }
+        assert_eq!(all().len(), 8);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for m in all() {
+            assert_eq!(by_name(m.name).unwrap().name, m.name);
+        }
+        assert!(by_name("MIX9-Z").is_none());
+    }
+
+    #[test]
+    fn build_respects_slot_seeds() {
+        let mix = by_name("MIX4-B").unwrap(); // RND twice, XS twice
+        let built = mix.build(Scale::Tiny, &[11, 22, 33, 44]);
+        assert_eq!(built.len(), 4);
+        // The two RND instances must stream differently under their slot
+        // seeds, even though they are the same generator.
+        let streams: Vec<Vec<u64>> = built
+            .into_iter()
+            .take(2)
+            .map(|mut w| {
+                let bases: Vec<VirtAddr> = (0..w.region_specs().len())
+                    .map(|i| VirtAddr::new(0x10_0000_0000 * (i as u64 + 1)))
+                    .collect();
+                w.init(&bases);
+                let mut s = crate::WorkloadStream::new(w);
+                (0..64).map(|_| s.next_ref().vaddr.raw()).collect()
+            })
+            .collect();
+        assert_ne!(streams[0], streams[1], "same workload, different slot seeds");
+    }
+
+    #[test]
+    #[should_panic(expected = "one seed per slot")]
+    fn build_requires_matching_seed_count() {
+        by_name("MIX2-A").unwrap().build(Scale::Tiny, &[1]);
+    }
+}
