@@ -7,13 +7,20 @@
 //! cargo bench --bench engine_scaling
 //! ```
 //!
+//! The jobs=1/jobs=4 wall-clocks are merged into the shared
+//! `BENCH_throughput.json` artifact (the `sim_throughput` bench's
+//! report), so CI uploads one JSON with every perf number instead of the
+//! figures vanishing into the log.
+//!
 //! Determinism is always enforced. The wall-clock comparison is
 //! reported for the log; set `VICTIMA_ENFORCE_SCALING=1` to also assert
 //! the 4-worker run wins (only meaningful on a quiet multi-core
 //! machine — shared CI runners throttle unpredictably).
 
+use report::{ExperimentReport, Metric, Unit};
 use sim::{suite_specs, SimEngine, SystemConfig};
 use std::time::Instant;
+use victima_bench::perf;
 use workloads::Scale;
 
 fn main() {
@@ -45,6 +52,21 @@ fn main() {
         assert_eq!(a.stats, b.stats, "{}: stats diverged across worker counts", a.workload);
     }
     println!("  determinism: all 11 results byte-identical across worker counts");
+
+    // Land the wall-clocks in the shared perf artifact next to the
+    // sim_throughput numbers (metrics merge by name; a metrics-only
+    // report never disturbs sim_throughput's per-workload rows).
+    let path = perf::artifact_path();
+    let mut contribution = ExperimentReport::new(perf::THROUGHPUT_ID, "Simulator throughput (Minstr/s)");
+    contribution.push_metric(Metric::new("engine_scaling/wall_s_jobs1", wall_1.as_secs_f64(), Unit::Raw));
+    contribution.push_metric(Metric::new("engine_scaling/wall_s_jobs4", wall_4.as_secs_f64(), Unit::Raw));
+    contribution.push_metric(Metric::new(
+        "engine_scaling/speedup_jobs4",
+        wall_1.as_secs_f64() / wall_4.as_secs_f64(),
+        Unit::Factor,
+    ));
+    perf::merge_into(&path, contribution);
+    println!("  artifact: {} (engine_scaling/* metrics merged)", path.display());
 
     let enforce = std::env::var("VICTIMA_ENFORCE_SCALING").map(|v| v == "1").unwrap_or(false);
     if enforce && cores >= 2 {

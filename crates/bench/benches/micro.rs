@@ -6,12 +6,12 @@
 //! cargo bench --bench micro [filter]
 //! ```
 
-use mem_sim::{BlockKind, Cache, CacheConfig, Hierarchy, HierarchyConfig, MemClass, ReplacementCtx};
+use mem_sim::{BlockKind, Cache, CacheConfig, Hierarchy, HierarchyConfig, MemClass, Policy, ReplacementCtx};
 use page_table::{FrameAllocator, RadixPageTable};
 use std::hint::black_box;
 use std::time::Instant;
 use tlb_sim::{PageTableWalker, SetAssocTlb, TlbConfig, TlbEntry};
-use victima::{tlb_block, TlbAwareSrrip, Victima};
+use victima::{tlb_block, Victima};
 use vm_types::{Asid, PageSize, PhysAddr, SplitMix64, VirtAddr};
 
 /// Times `iters` calls of `f` after a short warm-up and prints ns/op.
@@ -40,7 +40,7 @@ fn main() {
 
     let mut cache = Cache::new(
         CacheConfig { name: "L2", size_bytes: 2 << 20, ways: 16, block_bytes: 64, latency: 16 },
-        Box::new(mem_sim::Srrip::new()),
+        Policy::srrip(),
     );
     let mut rng = SplitMix64::new(1);
     bench(&filter, "cache_access_random", 2_000_000, || {
@@ -48,6 +48,31 @@ fn main() {
         if !cache.access_data(black_box(pa), false, &ctx) {
             cache.fill_data(pa, false, false, &ctx);
         }
+    });
+
+    let mut hot_cache = Cache::new(
+        CacheConfig { name: "L2", size_bytes: 2 << 20, ways: 16, block_bytes: 64, latency: 16 },
+        Policy::srrip(),
+    );
+    let mut rng_h = SplitMix64::new(11);
+    // Working set half the cache: after warm-up, every access hits.
+    bench(&filter, "cache_access_hit", 4_000_000, || {
+        let pa = PhysAddr::new(rng_h.next_below(1 << 20) & !63);
+        if !hot_cache.access_data(black_box(pa), false, &ctx) {
+            hot_cache.fill_data(pa, false, false, &ctx);
+        }
+    });
+
+    let mut fill_cache = Cache::new(
+        CacheConfig { name: "L2", size_bytes: 2 << 20, ways: 16, block_bytes: 64, latency: 16 },
+        Policy::srrip(),
+    );
+    let mut rng_f = SplitMix64::new(12);
+    // Every op evicts + fills (addresses never repeat in cache lifetime).
+    let mut next_pa = 0u64;
+    bench(&filter, "cache_fill_evict", 2_000_000, || {
+        next_pa = next_pa.wrapping_add(rng_f.next_below(1 << 30) | 64) & !63;
+        black_box(fill_cache.fill_data(PhysAddr::new(next_pa), false, false, &ctx));
     });
 
     let mut hier = Hierarchy::new(HierarchyConfig::default());
@@ -85,7 +110,7 @@ fn main() {
     let vctx = ReplacementCtx { l2_tlb_mpki: 10.0, l2_cache_mpki: 0.0 };
     let mut l2 = Cache::new(
         CacheConfig { name: "L2", size_bytes: 2 << 20, ways: 16, block_bytes: 64, latency: 16 },
-        Box::new(TlbAwareSrrip::new()),
+        Policy::tlb_aware_srrip(),
     );
     let mut v = Victima::default();
     let sets = l2.num_sets();

@@ -1,0 +1,99 @@
+//! Simulator throughput macro-benchmark (harness = false): measures
+//! Minstr/s (millions of simulated instructions per wall-clock second)
+//! for each of the 11 Tiny-scale workloads under the Victima config, the
+//! configuration with the heaviest per-access hot path.
+//!
+//! ```text
+//! cargo bench --bench sim_throughput
+//! ```
+//!
+//! Results are written to `BENCH_throughput.json` (override with
+//! `VICTIMA_BENCH_OUT`) in the `report` crate's JSON schema and compared
+//! against a reference: `VICTIMA_BENCH_REF` when set (CI points it at a
+//! per-runner cached artifact), else the committed dev-box reference at
+//! `crates/bench/baselines/BENCH_throughput.json`. A per-workload
+//! regression beyond 25% fails the run. Wall-clock is machine-dependent
+//! — only same-machine comparisons are meaningful — so the gate is
+//! deliberately loose and can be skipped on noisy runners with
+//! `VICTIMA_SKIP_PERF_GATE=1`.
+
+use report::{Column, ExperimentReport, Metric, Provenance, Unit, Value};
+use sim::{RunSpec, SimEngine, SystemConfig};
+use std::time::Instant;
+use victima_bench::perf;
+use workloads::{registry::WORKLOAD_NAMES, Scale};
+
+const WARMUP: u64 = 50_000;
+const INSTRUCTIONS: u64 = 2_000_000;
+
+fn main() {
+    let cfg = SystemConfig::victima();
+    println!(
+        "sim_throughput: 11-workload Tiny suite, {WARMUP} warmup + {INSTRUCTIONS} measured instructions, config {}",
+        cfg.name
+    );
+
+    let mut report = ExperimentReport::new(perf::THROUGHPUT_ID, "Simulator throughput (Minstr/s)")
+        .with_columns([Column::new("Minstr/s", Unit::Raw), Column::new("wall", Unit::Raw).with_precision(3)])
+        .with_provenance(Provenance {
+            scale: format!("{:?}", Scale::Tiny),
+            warmup: WARMUP,
+            instructions: INSTRUCTIONS,
+            seed: vm_types::DEFAULT_SEED,
+            engine: sim::ENGINE_ID.to_owned(),
+            configs: vec![cfg.name.clone()],
+            workloads: WORKLOAD_NAMES.iter().map(|&w| w.to_owned()).collect(),
+        });
+    report.note("Minstr/s = simulated instructions (warmup + measured) / wall seconds, jobs=1");
+
+    // Each workload runs alone on one thread: per-workload Minstr/s is a
+    // scheduling-free measurement of the simulator's hot path.
+    let mut total_instr = 0u64;
+    let mut total_wall = 0.0f64;
+    for &w in WORKLOAD_NAMES.iter() {
+        let spec = RunSpec::new(w, cfg.clone(), Scale::Tiny, WARMUP, INSTRUCTIONS);
+        let t = Instant::now();
+        let r = SimEngine::run_one(0, &spec);
+        let wall = t.elapsed().as_secs_f64();
+        // The run simulates warmup + measured instructions end to end.
+        let simulated = WARMUP + r.stats.instructions;
+        let minstr_s = simulated as f64 / 1e6 / wall;
+        println!("  {w:<5} {minstr_s:>7.3} Minstr/s  ({wall:.3}s)");
+        report.push_row(w, [Value::from(minstr_s), Value::from(wall)]);
+        report.push_metric(Metric::new(format!("minstr_per_s/{w}"), minstr_s, Unit::Raw));
+        total_instr += simulated;
+        total_wall += wall;
+    }
+    let aggregate = total_instr as f64 / 1e6 / total_wall;
+    println!("  aggregate: {aggregate:.3} Minstr/s over {total_wall:.2}s");
+    report.push_metric(Metric::new("minstr_per_s/aggregate", aggregate, Unit::Raw));
+
+    // Persist (merging so engine_scaling's wall-clock metrics survive).
+    let path = perf::artifact_path();
+    perf::merge_into(&path, report);
+    println!("  artifact: {}", path.display());
+
+    // The regression gate (VICTIMA_BENCH_REF or the committed reference).
+    let fresh = perf::load(&path).expect("artifact just written");
+    match perf::load(&perf::reference_path()) {
+        None => println!("  gate: no committed reference at {} (skipped)", perf::reference_path().display()),
+        Some(reference) => {
+            let failures = perf::regressions(&fresh, &reference, "minstr_per_s/");
+            if failures.is_empty() {
+                println!("  gate: all workloads within 25% of the reference throughput");
+            } else if perf::gate_skipped() {
+                println!("  gate: {} regression(s) ignored (VICTIMA_SKIP_PERF_GATE=1)", failures.len());
+                for f in &failures {
+                    println!("    {f}");
+                }
+            } else {
+                eprintln!("  gate: throughput regressed >25% vs the reference:");
+                for f in &failures {
+                    eprintln!("    {f}");
+                }
+                eprintln!("  (set VICTIMA_SKIP_PERF_GATE=1 to skip on a noisy machine)");
+                std::process::exit(1);
+            }
+        }
+    }
+}

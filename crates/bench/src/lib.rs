@@ -9,6 +9,7 @@
 //! CSV or markdown and feeds the `--check` regression gate.
 
 pub mod experiments;
+pub mod perf;
 
 use report::Provenance;
 use sim::{RunSpec, Runner, SimEngine, SimStats, SystemConfig};

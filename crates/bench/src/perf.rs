@@ -1,0 +1,215 @@
+//! Shared plumbing for the wall-clock performance benches
+//! (`sim_throughput`, `engine_scaling`): one typed JSON artifact, one
+//! regression gate.
+//!
+//! Unlike the reproduction baselines, wall-clock numbers are
+//! machine-dependent, so they are *not* part of `experiments --check`.
+//! Instead the benches write a fresh `BENCH_throughput.json` (uploaded as
+//! a CI artifact) and compare per-workload simulation throughput against
+//! the committed reference under `crates/bench/baselines/`, failing only
+//! on a large (>25%) regression. Noisy runners can opt out with
+//! `VICTIMA_SKIP_PERF_GATE=1`.
+
+use report::{json, ExperimentReport};
+use std::path::{Path, PathBuf};
+
+/// Artifact id shared by every perf bench (they merge into one report).
+pub const THROUGHPUT_ID: &str = "bench_throughput";
+
+/// Fractional slowdown tolerated before the gate fails (25%).
+pub const GATE_TOLERANCE: f64 = 0.25;
+
+/// Where the fresh artifact is written: `VICTIMA_BENCH_OUT` or
+/// `BENCH_throughput.json` in the invoking directory.
+pub fn artifact_path() -> PathBuf {
+    std::env::var_os("VICTIMA_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_throughput.json"))
+}
+
+/// The reference the gate compares against: `VICTIMA_BENCH_REF` when
+/// set (CI points it at a per-runner cached artifact — wall-clock is
+/// only comparable on the same machine), else the committed reference
+/// under `crates/bench/baselines/`.
+pub fn reference_path() -> PathBuf {
+    std::env::var_os("VICTIMA_BENCH_REF").map(PathBuf::from).unwrap_or_else(|| {
+        Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/baselines")).join("BENCH_throughput.json")
+    })
+}
+
+/// Loads the report at `path`, if present and parseable.
+pub fn load(path: &Path) -> Option<ExperimentReport> {
+    let text = std::fs::read_to_string(path).ok()?;
+    json::from_json(&text).ok()
+}
+
+/// Writes `report` to `path` (panics on I/O errors: benches are dev tools).
+pub fn store(path: &Path, report: &ExperimentReport) {
+    std::fs::write(path, json::to_json(report))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+/// Merges `fresh` into the artifact at `path` and writes the result. The
+/// fresh report wins everywhere it carries content: its rows, provenance
+/// and notes replace the old ones (unless it has no rows — the
+/// metrics-only `engine_scaling` contribution — in which case the
+/// existing table is kept), and its metrics replace same-named ones.
+/// Metrics only the existing artifact knows are carried over, so the
+/// benches compose into one JSON regardless of which runs first.
+pub fn merge_into(path: &Path, mut fresh: ExperimentReport) {
+    if let Some(existing) = load(path).filter(|r| r.id == fresh.id) {
+        if fresh.rows.is_empty() && !existing.rows.is_empty() {
+            fresh.label_name = existing.label_name;
+            fresh.columns = existing.columns;
+            fresh.rows = existing.rows;
+            fresh.provenance = existing.provenance;
+            fresh.notes = existing.notes;
+        }
+        for m in existing.metrics {
+            if fresh.metric(&m.name).is_none() {
+                fresh.metrics.push(m);
+            }
+        }
+    }
+    store(path, &fresh);
+}
+
+/// One gate comparison outcome.
+#[derive(Debug)]
+pub struct GateFailure {
+    /// Metric name ("minstr_per_s/RND").
+    pub name: String,
+    /// Committed reference value.
+    pub reference: f64,
+    /// Freshly measured value.
+    pub actual: f64,
+}
+
+impl std::fmt::Display for GateFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} vs committed {:.3} ({:+.1}%)",
+            self.name,
+            self.actual,
+            self.reference,
+            (self.actual / self.reference - 1.0) * 100.0
+        )
+    }
+}
+
+/// Compares every `prefix`-named metric of `fresh` against `reference`,
+/// collecting the ones that regressed by more than [`GATE_TOLERANCE`].
+/// Higher is better for every gated metric (they are throughputs).
+pub fn regressions(fresh: &ExperimentReport, reference: &ExperimentReport, prefix: &str) -> Vec<GateFailure> {
+    let mut failures = Vec::new();
+    for have in reference.metrics.iter().filter(|m| m.name.starts_with(prefix)) {
+        let Some(now) = fresh.metric(&have.name) else {
+            continue;
+        };
+        if have.value > 0.0 && now.value < have.value * (1.0 - GATE_TOLERANCE) {
+            failures.push(GateFailure { name: have.name.clone(), reference: have.value, actual: now.value });
+        }
+    }
+    failures
+}
+
+/// Whether the perf gate is disabled via `VICTIMA_SKIP_PERF_GATE=1`.
+pub fn gate_skipped() -> bool {
+    std::env::var("VICTIMA_SKIP_PERF_GATE").map(|v| v == "1").unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use report::{Metric, Unit};
+
+    fn report_with(metrics: &[(&str, f64)]) -> ExperimentReport {
+        let mut r = ExperimentReport::new(THROUGHPUT_ID, "t");
+        for (name, v) in metrics {
+            r.push_metric(Metric::new(*name, *v, Unit::Raw));
+        }
+        r
+    }
+
+    #[test]
+    fn gate_flags_only_large_regressions() {
+        let reference = report_with(&[("minstr_per_s/A", 1.0), ("minstr_per_s/B", 1.0)]);
+        let fresh = report_with(&[("minstr_per_s/A", 0.80), ("minstr_per_s/B", 0.70)]);
+        let fails = regressions(&fresh, &reference, "minstr_per_s/");
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].name, "minstr_per_s/B");
+    }
+
+    #[test]
+    fn gate_ignores_metrics_absent_from_the_fresh_run() {
+        let reference = report_with(&[("minstr_per_s/GONE", 5.0)]);
+        let fresh = report_with(&[]);
+        assert!(regressions(&fresh, &reference, "minstr_per_s/").is_empty());
+    }
+
+    #[test]
+    fn improvements_pass() {
+        let reference = report_with(&[("minstr_per_s/A", 1.0)]);
+        let fresh = report_with(&[("minstr_per_s/A", 3.0)]);
+        assert!(regressions(&fresh, &reference, "minstr_per_s/").is_empty());
+    }
+
+    #[test]
+    fn merge_replaces_by_name_and_appends() {
+        let dir = std::env::temp_dir().join(format!("victima-perf-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("merge.json");
+        store(&path, &report_with(&[("minstr_per_s/A", 1.0)]));
+        merge_into(&path, report_with(&[("minstr_per_s/A", 2.0), ("wall_s/jobs1", 9.0)]));
+        let merged = load(&path).expect("artifact parses");
+        assert_eq!(merged.metrics.len(), 2);
+        assert_eq!(merged.metric("minstr_per_s/A").unwrap().value, 2.0);
+        assert_eq!(merged.metric("wall_s/jobs1").unwrap().value, 9.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_keeps_fresh_rows_over_stale_ones() {
+        use report::{Column, Value};
+        let dir = std::env::temp_dir().join(format!("victima-perf-rows-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rows.json");
+        // A stale artifact with old rows and an engine_scaling metric.
+        let mut stale = report_with(&[("minstr_per_s/A", 1.0), ("engine_scaling/wall_s_jobs1", 9.0)]);
+        stale.columns = vec![Column::new("Minstr/s", Unit::Raw)];
+        stale.push_row("A", [Value::from(1.0)]);
+        store(&path, &stale);
+        // A fresh full run: its rows must replace the stale table while the
+        // other bench's metric is carried over.
+        let mut fresh = report_with(&[("minstr_per_s/A", 2.0)]);
+        fresh.columns = vec![Column::new("Minstr/s", Unit::Raw)];
+        fresh.push_row("A", [Value::from(2.0)]);
+        merge_into(&path, fresh);
+        let merged = load(&path).expect("artifact parses");
+        assert_eq!(merged.rows.len(), 1);
+        assert_eq!(merged.rows[0].cells[0], Value::Float(2.0), "rows must come from the fresh run");
+        assert_eq!(merged.metric("minstr_per_s/A").unwrap().value, 2.0);
+        assert_eq!(merged.metric("engine_scaling/wall_s_jobs1").unwrap().value, 9.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_only_merge_preserves_existing_rows() {
+        use report::{Column, Value};
+        let dir = std::env::temp_dir().join(format!("victima-perf-keep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("keep.json");
+        let mut full = report_with(&[("minstr_per_s/A", 1.0)]);
+        full.columns = vec![Column::new("Minstr/s", Unit::Raw)];
+        full.push_row("A", [Value::from(1.0)]);
+        store(&path, &full);
+        // engine_scaling's rowless contribution must not wipe the table.
+        merge_into(&path, report_with(&[("engine_scaling/wall_s_jobs1", 9.0)]));
+        let merged = load(&path).expect("artifact parses");
+        assert_eq!(merged.rows.len(), 1, "metrics-only merge must keep the existing rows");
+        assert_eq!(merged.metric("minstr_per_s/A").unwrap().value, 1.0);
+        assert_eq!(merged.metric("engine_scaling/wall_s_jobs1").unwrap().value, 9.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -310,7 +310,7 @@ mod tests {
     fn l2() -> Cache {
         Cache::new(
             CacheConfig { name: "L2", size_bytes: 2 << 20, ways: 16, block_bytes: 64, latency: 16 },
-            Box::new(crate::policy::TlbAwareSrrip::new()),
+            mem_sim::Policy::tlb_aware_srrip(),
         )
     }
 

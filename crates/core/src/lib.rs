@@ -43,5 +43,4 @@ pub mod tlb_block;
 
 pub use flows::{Victima, VictimaConfig, VictimaStats};
 pub use metrics::ConfusionMatrix;
-pub use policy::TlbAwareSrrip;
 pub use predictor::PtwCostPredictor;

@@ -6,9 +6,29 @@
 //! address maps to different sets as a data vs. TLB block); the typed
 //! lookup/fill/invalidate entry points here take the precomputed set and
 //! tag so this crate stays mechanism-agnostic.
+//!
+//! # Hot-path layout
+//!
+//! The per-access path scans one *packed tag array*; fat [`CacheBlock`]
+//! records are materialised only for evictions and inspection:
+//!
+//! - `words` — one presence word per way ([`crate::block::pack_word`]):
+//!   valid + kind + page size + ASID + tag + dirty/prefetched + reuse +
+//!   the 2-bit SRRIP counter in a single `u64`. A lookup is one masked
+//!   compare per way over contiguous memory, and hits, fills, victim
+//!   aging and evictions mutate the same cache lines the scan loaded.
+//! - `lru` — packed LRU stamps, allocated only for LRU (L1) caches.
+//!
+//! A 16-way set is exactly two cache lines versus ~1 KB of block structs
+//! in a naive layout; a simulated 2 MB cache's whole state is 256 KB and
+//! lives comfortably in the host's cache hierarchy.
 
-use crate::block::{BlockKind, CacheBlock};
-use crate::replacement::{ReplacementCtx, ReplacementPolicy};
+use crate::block::{
+    pack_data_word, pack_word, pack_word_flags, word_asid, word_bump_reuse, word_dirty, word_is_translation,
+    word_is_valid, word_kind, word_prefetched, word_reuse, word_set_dirty, word_size, word_tag, BlockKind,
+    CacheBlock, INVALID_WORD, WORD_KEY_MASK,
+};
+use crate::replacement::{Policy, ReplSet, ReplacementCtx};
 use vm_types::{Asid, Cycles, PageSize, PhysAddr, ReuseHistogram};
 
 /// Geometry and latency of one cache.
@@ -93,13 +113,22 @@ pub struct EvictedBlock {
     pub block: CacheBlock,
 }
 
-/// A set-associative, typed-block cache.
+/// A set-associative, typed-block cache over packed tag arrays.
 pub struct Cache {
     cfg: CacheConfig,
     num_sets: usize,
     set_mask: u64,
-    blocks: Vec<CacheBlock>,
-    policy: Box<dyn ReplacementPolicy>,
+    /// log2(block_bytes): set/tag math is pure shifts, no division.
+    block_shift: u32,
+    /// log2(block_bytes * num_sets): the tag's right-shift distance.
+    tag_shift: u32,
+    /// Packed presence words, one per way: the only per-access array.
+    words: Vec<u64>,
+    /// Packed per-way LRU stamps; allocated only for [`Policy::Lru`]
+    /// caches (the SRRIP family never reads them, and the empty `Vec`
+    /// keeps a big L2/L3's footprint out of the host's caches).
+    lru: Vec<u64>,
+    policy: Policy,
     /// Count of valid TLB/NestedTlb blocks (translation-reach sampling).
     translation_blocks: usize,
     /// Statistics.
@@ -121,11 +150,17 @@ impl std::fmt::Debug for Cache {
 
 impl Cache {
     /// Creates a cache with the given geometry and replacement policy.
-    pub fn new(cfg: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+    pub fn new(cfg: CacheConfig, policy: Policy) -> Self {
         let num_sets = cfg.num_sets();
+        assert!(cfg.block_bytes.is_power_of_two(), "{}: block size must be a power of two", cfg.name);
+        let n = num_sets * cfg.ways;
+        let block_shift = cfg.block_bytes.trailing_zeros();
         Self {
             set_mask: num_sets as u64 - 1,
-            blocks: vec![CacheBlock::INVALID; num_sets * cfg.ways],
+            block_shift,
+            tag_shift: block_shift + num_sets.trailing_zeros(),
+            words: vec![INVALID_WORD; n],
+            lru: if matches!(policy, Policy::Lru { .. }) { vec![0; n] } else { Vec::new() },
             num_sets,
             cfg,
             policy,
@@ -159,7 +194,7 @@ impl Cache {
 
     /// Total number of blocks.
     pub fn num_blocks(&self) -> usize {
-        self.blocks.len()
+        self.words.len()
     }
 
     /// Number of valid translation (TLB + nested TLB) blocks currently held.
@@ -176,54 +211,68 @@ impl Cache {
     /// Set index for a physical (data) address.
     #[inline]
     pub fn data_set_index(&self, pa: PhysAddr) -> usize {
-        ((pa.raw() / self.cfg.block_bytes) & self.set_mask) as usize
+        ((pa.raw() >> self.block_shift) & self.set_mask) as usize
     }
 
     /// Tag for a physical (data) address.
     #[inline]
     pub fn data_tag(&self, pa: PhysAddr) -> u64 {
-        (pa.raw() / self.cfg.block_bytes) >> self.set_mask.count_ones()
+        pa.raw() >> self.tag_shift
     }
 
+    /// Scans one set's presence words for the identity `key` (counter and
+    /// flag bits masked out); returns the way.
     #[inline]
-    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
-        let start = set * self.cfg.ways;
-        start..start + self.cfg.ways
+    fn find(&self, start: usize, key: u64) -> Option<usize> {
+        self.words[start..start + self.cfg.ways].iter().position(|&w| w & WORD_KEY_MASK == key)
     }
 
+    /// Materialises the reporting record for way `i`.
     #[inline]
-    fn set_mut(&mut self, set: usize) -> &mut [CacheBlock] {
-        let r = self.set_range(set);
-        &mut self.blocks[r]
+    fn block_at(&self, i: usize) -> CacheBlock {
+        let w = self.words[i];
+        if !word_is_valid(w) {
+            return CacheBlock::INVALID;
+        }
+        CacheBlock {
+            valid: true,
+            dirty: word_dirty(w),
+            tag: word_tag(w),
+            kind: word_kind(w),
+            asid: word_asid(w),
+            page_size: word_size(w),
+            reuse: word_reuse(w),
+            prefetched: word_prefetched(w),
+        }
     }
 
+    /// Splits out one set's replacement view alongside the policy (the
+    /// borrows are disjoint fields, which the compiler can only see inside
+    /// a single function body).
     #[inline]
-    fn set_ref(&self, set: usize) -> &[CacheBlock] {
-        let r = self.set_range(set);
-        &self.blocks[r]
+    fn set_repl(&mut self, start: usize) -> (ReplSet<'_>, &mut Policy) {
+        let end = start + self.cfg.ways;
+        // The LRU stamp array is empty for SRRIP-family caches; hand those
+        // policies an empty window (they never index it).
+        let lru_range = if self.lru.is_empty() { 0..0 } else { start..end };
+        (ReplSet { words: &mut self.words[start..end], lru: &mut self.lru[lru_range] }, &mut self.policy)
     }
 
     /// Demand data access. Returns `true` on hit and updates replacement /
     /// reuse state; on a miss the caller is expected to fetch the line from
     /// the next level and call [`Cache::fill_data`].
     pub fn access_data(&mut self, pa: PhysAddr, write: bool, ctx: &ReplacementCtx) -> bool {
-        let set = self.data_set_index(pa);
-        let tag = self.data_tag(pa);
-        let ways = self.cfg.ways;
-        let start = set * ways;
-        let way = (0..ways).find(|&w| self.blocks[start + w].matches_data(tag));
-        match way {
+        let start = self.data_set_index(pa) * self.cfg.ways;
+        match self.find(start, pack_data_word(self.data_tag(pa))) {
             Some(w) => {
                 self.stats.hits += 1;
-                {
-                    let blocks = self.set_mut(set);
-                    blocks[w].reuse = blocks[w].reuse.saturating_add(1);
-                    if write {
-                        blocks[w].dirty = true;
-                    }
+                let word = &mut self.words[start + w];
+                *word = word_bump_reuse(*word);
+                if write {
+                    *word = word_set_dirty(*word);
                 }
-                let set_slice = &mut self.blocks[start..start + ways];
-                self.policy.on_hit(set_slice, w, ctx);
+                let (mut set, policy) = self.set_repl(start);
+                policy.on_hit(&mut set, w, ctx);
                 true
             }
             None => {
@@ -235,9 +284,8 @@ impl Cache {
 
     /// Non-destructive data probe: no stats, no replacement update.
     pub fn contains_data(&self, pa: PhysAddr) -> bool {
-        let set = self.data_set_index(pa);
-        let tag = self.data_tag(pa);
-        self.set_ref(set).iter().any(|b| b.matches_data(tag))
+        let start = self.data_set_index(pa) * self.cfg.ways;
+        self.find(start, pack_data_word(self.data_tag(pa))).is_some()
     }
 
     /// Fills a data line after a miss. Returns the displaced block, if any
@@ -267,15 +315,14 @@ impl Cache {
         ctx: &ReplacementCtx,
     ) -> bool {
         debug_assert!(kind.is_translation());
-        let ways = self.cfg.ways;
-        let start = set * ways;
-        let way = (0..ways).find(|&w| self.blocks[start + w].matches(tag, kind, asid, size));
-        match way {
+        let start = set * self.cfg.ways;
+        match self.find(start, pack_word(tag, kind, asid, size)) {
             Some(w) => {
                 self.stats.tlb_probe_hits += 1;
-                self.blocks[start + w].reuse = self.blocks[start + w].reuse.saturating_add(1);
-                let set_slice = &mut self.blocks[start..start + ways];
-                self.policy.on_hit(set_slice, w, ctx);
+                let word = &mut self.words[start + w];
+                *word = word_bump_reuse(*word);
+                let (mut set, policy) = self.set_repl(start);
+                policy.on_hit(&mut set, w, ctx);
                 true
             }
             None => {
@@ -294,7 +341,7 @@ impl Cache {
         asid: Asid,
         size: PageSize,
     ) -> bool {
-        self.set_ref(set).iter().any(|b| b.matches(tag, kind, asid, size))
+        self.find(set * self.cfg.ways, pack_word(tag, kind, asid, size)).is_some()
     }
 
     /// Inserts a translation block at the given (virtually indexed) set.
@@ -324,23 +371,22 @@ impl Cache {
         prefetched: bool,
         ctx: &ReplacementCtx,
     ) -> Option<EvictedBlock> {
-        let ways = self.cfg.ways;
-        let start = set * ways;
+        // Hard bound check on the (rare) fill path: an overflowing tag
+        // must never be stored, or it would alias another block's key
+        // (lookups with overflowing tags simply miss).
+        assert!(tag < 1 << crate::block::WORD_TAG_BITS, "{}: tag overflows the presence word", self.cfg.name);
+        let start = set * self.cfg.ways;
         let victim_way = {
-            let set_slice = &mut self.blocks[start..start + ways];
-            self.policy.choose_victim(set_slice, ctx)
+            let (mut set, policy) = self.set_repl(start);
+            policy.choose_victim(&mut set, ctx)
         };
-        let evicted = {
-            let victim = &self.blocks[start + victim_way];
-            victim.valid.then_some(EvictedBlock { block: *victim })
-        };
-        if let Some(ev) = &evicted {
-            self.account_eviction(&ev.block);
-        }
-        {
-            let b = &mut self.blocks[start + victim_way];
-            b.refill(tag, kind, asid, size, dirty, prefetched);
-        }
+        let victim = start + victim_way;
+        let evicted = word_is_valid(self.words[victim]).then(|| {
+            let block = self.block_at(victim);
+            self.account_eviction(&block);
+            EvictedBlock { block }
+        });
+        self.words[victim] = pack_word_flags(tag, kind, asid, size, dirty, prefetched);
         if kind.is_translation() {
             self.translation_blocks += 1;
         }
@@ -349,9 +395,9 @@ impl Cache {
         } else {
             self.stats.fills += 1;
         }
-        let set_slice = &mut self.blocks[start..start + ways];
-        self.policy.on_fill(set_slice, victim_way, ctx);
-        Some(()).and(evicted)
+        let (mut set, policy) = self.set_repl(start);
+        policy.on_fill(&mut set, victim_way, ctx);
+        evicted
     }
 
     fn account_eviction(&mut self, block: &CacheBlock) {
@@ -373,16 +419,14 @@ impl Cache {
     /// a block was invalidated. Used by Victima's block transformation: the
     /// PTE cluster's data copy is re-tagged as a TLB block.
     pub fn invalidate_data(&mut self, pa: PhysAddr) -> bool {
-        let set = self.data_set_index(pa);
-        let tag = self.data_tag(pa);
-        let blocks = self.set_mut(set);
-        for b in blocks.iter_mut() {
-            if b.matches_data(tag) {
-                b.valid = false;
-                return true;
+        let start = self.data_set_index(pa) * self.cfg.ways;
+        match self.find(start, pack_data_word(self.data_tag(pa))) {
+            Some(w) => {
+                self.words[start + w] = INVALID_WORD;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Invalidates one translation block identified by its exact location
@@ -396,15 +440,15 @@ impl Cache {
         asid: Asid,
         size: PageSize,
     ) -> bool {
-        let range = self.set_range(set);
-        for b in &mut self.blocks[range] {
-            if b.matches(tag, kind, asid, size) {
-                b.valid = false;
+        let start = set * self.cfg.ways;
+        match self.find(start, pack_word(tag, kind, asid, size)) {
+            Some(w) => {
+                self.words[start + w] = INVALID_WORD;
                 self.translation_blocks = self.translation_blocks.saturating_sub(1);
-                return true;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Invalidates every translation block matching `pred`, returning how
@@ -415,9 +459,9 @@ impl Cache {
         F: FnMut(&CacheBlock) -> bool,
     {
         let mut dropped = 0;
-        for b in self.blocks.iter_mut() {
-            if b.valid && b.kind.is_translation() && pred(b) {
-                b.valid = false;
+        for i in 0..self.words.len() {
+            if word_is_translation(self.words[i]) && pred(&self.block_at(i)) {
+                self.words[i] = INVALID_WORD;
                 dropped += 1;
             }
         }
@@ -425,10 +469,10 @@ impl Cache {
         dropped
     }
 
-    /// Iterates over all valid blocks (read-only), for inspection in tests
-    /// and reach sampling.
-    pub fn iter_valid(&self) -> impl Iterator<Item = &CacheBlock> {
-        self.blocks.iter().filter(|b| b.valid)
+    /// Iterates over all valid blocks (materialised records), for
+    /// inspection in tests and reach sampling.
+    pub fn iter_valid(&self) -> impl Iterator<Item = CacheBlock> + '_ {
+        (0..self.words.len()).filter(|&i| word_is_valid(self.words[i])).map(|i| self.block_at(i))
     }
 
     /// Clears all contents and statistics (used between warm-up and
@@ -436,17 +480,23 @@ impl Cache {
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
     }
+
+    /// Consistency check (tests): the translation-block counter must
+    /// match the packed population.
+    pub fn assert_packed_consistency(&self) {
+        let translations = self.words.iter().filter(|&&w| word_is_translation(w)).count();
+        assert_eq!(translations, self.translation_blocks, "translation block count diverged");
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::replacement::{Lru, Srrip};
 
     fn small_cache() -> Cache {
         Cache::new(
             CacheConfig { name: "T", size_bytes: 4096, ways: 4, block_bytes: 64, latency: 10 },
-            Box::new(Lru::new()),
+            Policy::lru(),
         )
     }
 
@@ -469,6 +519,7 @@ mod tests {
         assert_eq!(c.stats.hits, 1);
         assert_eq!(c.stats.misses, 1);
         assert!(c.contains_data(pa));
+        c.assert_packed_consistency();
     }
 
     #[test]
@@ -497,6 +548,7 @@ mod tests {
         assert_eq!(c.stats.evictions, 1);
         // One data block was recorded in the reuse histogram.
         assert_eq!(c.stats.data_reuse.total(), 1);
+        c.assert_packed_consistency();
     }
 
     #[test]
@@ -525,6 +577,7 @@ mod tests {
         assert!(!c.probe_translation(5, 0xaa, BlockKind::NestedTlb, asid, PageSize::Size4K, &ctx));
         assert_eq!(c.stats.tlb_probe_hits, 1);
         assert_eq!(c.stats.tlb_probe_misses, 4);
+        c.assert_packed_consistency();
     }
 
     #[test]
@@ -550,6 +603,7 @@ mod tests {
         assert!(c.invalidate_data(pa));
         assert!(!c.contains_data(pa));
         assert!(!c.invalidate_data(pa));
+        c.assert_packed_consistency();
     }
 
     #[test]
@@ -563,13 +617,14 @@ mod tests {
         assert_eq!(dropped, 2);
         assert_eq!(c.translation_block_count(), 1);
         assert!(c.contains_translation(2, 0x2, BlockKind::Tlb, Asid::new(2), PageSize::Size4K));
+        c.assert_packed_consistency();
     }
 
     #[test]
     fn srrip_cache_end_to_end() {
         let mut c = Cache::new(
             CacheConfig { name: "S", size_bytes: 4096, ways: 4, block_bytes: 64, latency: 16 },
-            Box::new(Srrip::new()),
+            Policy::srrip(),
         );
         let ctx = ReplacementCtx::default();
         for i in 0..64u64 {
@@ -585,6 +640,21 @@ mod tests {
         for i in 0..64u64 {
             assert!(c.access_data(PhysAddr::new(i * 64), false, &ctx));
         }
+        c.assert_packed_consistency();
+    }
+
+    #[test]
+    fn materialised_blocks_round_trip_identity() {
+        let mut c = small_cache();
+        let ctx = ReplacementCtx::default();
+        c.fill_translation(3, 0x7, BlockKind::NestedTlb, Asid::new(9), PageSize::Size2M, &ctx);
+        let b = c.iter_valid().next().expect("one valid block");
+        assert!(b.valid && !b.dirty && !b.prefetched);
+        assert_eq!(b.tag, 0x7);
+        assert_eq!(b.kind, BlockKind::NestedTlb);
+        assert_eq!(b.asid, Asid::new(9));
+        assert_eq!(b.page_size, PageSize::Size2M);
+        assert!(b.matches(0x7, BlockKind::NestedTlb, Asid::new(9), PageSize::Size2M));
     }
 
     #[test]

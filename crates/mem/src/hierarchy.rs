@@ -13,7 +13,7 @@
 use crate::cache::{Cache, CacheConfig};
 use crate::dram::{Dram, DramConfig};
 use crate::prefetch::{IpStridePrefetcher, StreamPrefetcher};
-use crate::replacement::{Lru, ReplacementCtx, ReplacementPolicy, Srrip};
+use crate::replacement::{Policy, ReplacementCtx};
 use std::cell::{Ref, RefCell};
 use std::rc::Rc;
 use vm_types::{Cycles, PhysAddr};
@@ -135,7 +135,7 @@ impl std::fmt::Debug for SharedLlc {
 impl SharedLlc {
     /// Builds an LLC + DRAM pair.
     pub fn new(l3: CacheConfig, dram: DramConfig) -> Self {
-        Self { l3: Cache::new(l3, Box::new(Srrip::new())), dram: Dram::new(dram) }
+        Self { l3: Cache::new(l3, Policy::srrip()), dram: Dram::new(dram) }
     }
 
     /// Builds one wrapped for sharing between hierarchies.
@@ -193,6 +193,10 @@ pub struct Hierarchy {
     ip_stride: IpStridePrefetcher,
     stream: StreamPrefetcher,
     prefetchers: bool,
+    /// Reused stream-prefetch candidate buffer: cleared per L2 demand
+    /// miss, never reallocated in steady state (capacity sticks at the
+    /// prefetch degree).
+    pf_scratch: Vec<PhysAddr>,
     /// Per-class statistics.
     pub stats: HierarchyStats,
 }
@@ -211,12 +215,12 @@ impl std::fmt::Debug for Hierarchy {
 impl Hierarchy {
     /// Builds the hierarchy with default policies (LRU L1s, SRRIP L2/L3).
     pub fn new(cfg: HierarchyConfig) -> Self {
-        Self::with_l2_policy(cfg, Box::new(Srrip::new()))
+        Self::with_l2_policy(cfg, Policy::srrip())
     }
 
     /// Builds the hierarchy with a caller-supplied L2 replacement policy —
     /// this is how Victima and POM-TLB install the TLB-aware SRRIP.
-    pub fn with_l2_policy(cfg: HierarchyConfig, l2_policy: Box<dyn ReplacementPolicy>) -> Self {
+    pub fn with_l2_policy(cfg: HierarchyConfig, l2_policy: Policy) -> Self {
         let llc = SharedLlc::shared(cfg.l3.clone(), cfg.dram.clone());
         Self::with_shared_llc(cfg, l2_policy, llc)
     }
@@ -225,21 +229,31 @@ impl Hierarchy {
     /// an externally owned LLC. `cfg.l3`/`cfg.dram` are ignored: the shared
     /// LLC was sized by whoever built it (the multi-core system scales the
     /// L3 by core count).
-    pub fn with_shared_llc(
-        cfg: HierarchyConfig,
-        l2_policy: Box<dyn ReplacementPolicy>,
-        llc: Rc<RefCell<SharedLlc>>,
-    ) -> Self {
+    pub fn with_shared_llc(cfg: HierarchyConfig, l2_policy: Policy, llc: Rc<RefCell<SharedLlc>>) -> Self {
         Self {
-            l1i: Cache::new(cfg.l1i.clone(), Box::new(Lru::new())),
-            l1d: Cache::new(cfg.l1d.clone(), Box::new(Lru::new())),
+            l1i: Cache::new(cfg.l1i.clone(), Policy::lru()),
+            l1d: Cache::new(cfg.l1d.clone(), Policy::lru()),
             l2: Cache::new(cfg.l2.clone(), l2_policy),
             llc,
             ip_stride: IpStridePrefetcher::default(),
             stream: StreamPrefetcher::default(),
             prefetchers: cfg.prefetchers,
+            pf_scratch: Vec::new(),
             stats: HierarchyStats::default(),
         }
+    }
+
+    /// Installs a recycled prefetch scratch buffer (the batch engine hands
+    /// workers' buffers from one finished run to the next so a fresh
+    /// system starts with warmed capacity).
+    pub fn set_prefetch_scratch(&mut self, mut scratch: Vec<PhysAddr>) {
+        scratch.clear();
+        self.pf_scratch = scratch;
+    }
+
+    /// Takes the prefetch scratch buffer back out (end of a run).
+    pub fn take_prefetch_scratch(&mut self) -> Vec<PhysAddr> {
+        std::mem::take(&mut self.pf_scratch)
     }
 
     /// Immutable access to the L2 (Victima probes TLB blocks there).
@@ -325,10 +339,16 @@ impl Hierarchy {
             return AccessResult { latency: self.l2.latency(), served_by: MemLevel::L2, dram_access: false };
         }
         if class == MemClass::Data && self.prefetchers {
-            let candidates = self.stream.train(pa);
-            for c in candidates {
+            // Reuse one scratch buffer across misses (allocation-free in
+            // steady state); it is taken out while the fills run because
+            // they need `&mut self` too.
+            let mut candidates = std::mem::take(&mut self.pf_scratch);
+            candidates.clear();
+            self.stream.train_into(pa, &mut candidates);
+            for &c in &candidates {
                 self.prefetch_fill_l2(c, ctx);
             }
+            self.pf_scratch = candidates;
         }
 
         // L3 + DRAM stage (the shared LLC).

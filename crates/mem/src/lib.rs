@@ -7,9 +7,11 @@
 //! number (the tag/set math for those lives in the `victima` crate; this
 //! crate provides the kind-aware storage, replacement and statistics).
 //!
-//! Replacement is pluggable through the [`ReplacementPolicy`] trait; LRU and
-//! SRRIP ship here, and the paper's TLB-aware SRRIP (Listing 1) is
-//! implemented in the `victima` crate against the same trait.
+//! The per-access hot path scans packed parallel tag arrays (one presence
+//! word per way, see [`block`]) and dispatches replacement through the
+//! [`Policy`] enum — LRU, SRRIP, and the paper's TLB-aware SRRIP
+//! (Listing 1) — statically, over packed per-set victim metadata. See
+//! DESIGN.md, "Hot path & performance model".
 //!
 //! # Examples
 //!
@@ -36,4 +38,4 @@ pub use cache::{Cache, CacheConfig, CacheStats, EvictedBlock};
 pub use dram::{Dram, DramConfig};
 pub use hierarchy::{AccessResult, Hierarchy, HierarchyConfig, MemClass, MemLevel, SharedLlc};
 pub use prefetch::{IpStridePrefetcher, StreamPrefetcher};
-pub use replacement::{Lru, ReplacementCtx, ReplacementPolicy, Srrip, RRIP_MAX};
+pub use replacement::{Policy, ReplSet, ReplacementCtx, RRIP_INSERT, RRIP_MAX};

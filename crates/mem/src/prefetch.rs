@@ -11,6 +11,11 @@ use vm_types::{PhysAddr, CACHE_BLOCK_BYTES};
 
 const PAGE_4K: u64 = 4096;
 
+/// Sentinel head block number for an empty stream slot: far beyond any
+/// 52-bit physical address's block number, so adjacency checks never
+/// match it.
+const INVALID_HEAD: u64 = 1 << 62;
+
 /// Per-PC stride detector driving L1D prefetches.
 ///
 /// Prefetches never cross a 4KB page boundary (physical prefetching cannot
@@ -86,9 +91,17 @@ impl Default for IpStridePrefetcher {
 /// Tracks up to `streams` active streams; when a miss lands adjacent to a
 /// tracked stream head, the stream advances and `degree` next blocks are
 /// prefetched (within the 4KB page).
+///
+/// Stream state is kept in packed parallel arrays — the per-miss scan
+/// compares one cache line of head block numbers instead of striding
+/// through fat per-stream structs.
 #[derive(Clone, Debug)]
 pub struct StreamPrefetcher {
-    streams: Vec<Stream>,
+    /// Head block number per stream (`INVALID_HEAD` = empty slot, far
+    /// outside any reachable 46-bit block number so it never matches).
+    last_block: Vec<u64>,
+    /// Packed direction (+1/-1) and 2-bit confidence per stream.
+    meta: Vec<StreamMeta>,
     degree: usize,
     next_victim: usize,
     /// Prefetch candidates issued.
@@ -96,10 +109,9 @@ pub struct StreamPrefetcher {
 }
 
 #[derive(Clone, Copy, Debug, Default)]
-struct Stream {
-    valid: bool,
-    last_block: u64,
-    direction: i64,
+struct StreamMeta {
+    /// +1 or -1.
+    direction: i8,
     confidence: u8,
 }
 
@@ -107,50 +119,70 @@ impl StreamPrefetcher {
     /// Creates a stream prefetcher with `streams` trackers issuing
     /// `degree` blocks per advance.
     pub fn new(streams: usize, degree: usize) -> Self {
-        Self { streams: vec![Stream::default(); streams], degree, next_victim: 0, issued: 0 }
+        Self {
+            last_block: vec![INVALID_HEAD; streams],
+            meta: vec![StreamMeta::default(); streams],
+            degree,
+            next_victim: 0,
+            issued: 0,
+        }
     }
 
-    /// Trains on an L2 demand miss; returns prefetch candidates.
-    pub fn train(&mut self, pa: PhysAddr) -> Vec<PhysAddr> {
+    /// Trains on an L2 demand miss, appending prefetch candidates to the
+    /// caller-owned `out` buffer. The buffer is *not* cleared — callers
+    /// clear and reuse one scratch `Vec` across misses, keeping the miss
+    /// path allocation-free in steady state.
+    pub fn train_into(&mut self, pa: PhysAddr, out: &mut Vec<PhysAddr>) {
         let block = pa.raw() / CACHE_BLOCK_BYTES;
-        // Find a stream whose head is within 4 blocks of this miss.
-        for s in self.streams.iter_mut() {
-            if !s.valid {
-                continue;
+        // Find a stream whose head is within 4 blocks of this miss. Only
+        // the packed head array is scanned; `INVALID_HEAD` slots sit 2^62
+        // blocks away from any real address and can never match.
+        let hit = self.last_block.iter().position(|&head| {
+            let delta = block as i64 - head as i64;
+            delta != 0 && delta.abs() <= 4
+        });
+        if let Some(s) = hit {
+            let delta = block as i64 - self.last_block[s] as i64;
+            let dir = delta.signum() as i8;
+            let m = &mut self.meta[s];
+            if dir == m.direction {
+                m.confidence = (m.confidence + 1).min(3);
+            } else {
+                m.direction = dir;
+                m.confidence = 1;
             }
-            let delta = block as i64 - s.last_block as i64;
-            if delta != 0 && delta.abs() <= 4 {
-                let dir = delta.signum();
-                if dir == s.direction {
-                    s.confidence = (s.confidence + 1).min(3);
-                } else {
-                    s.direction = dir;
-                    s.confidence = 1;
-                }
-                s.last_block = block;
-                if s.confidence >= 2 {
-                    let mut out = Vec::with_capacity(self.degree);
-                    for i in 1..=self.degree as i64 {
-                        let t = block as i64 + i * s.direction;
-                        if t < 0 {
-                            break;
-                        }
-                        let target = t as u64 * CACHE_BLOCK_BYTES;
-                        if target / PAGE_4K == pa.raw() / PAGE_4K {
-                            out.push(PhysAddr::new(target));
-                        }
+            let confident = m.confidence >= 2;
+            let direction = m.direction as i64;
+            self.last_block[s] = block;
+            if confident {
+                for i in 1..=self.degree as i64 {
+                    let t = block as i64 + i * direction;
+                    if t < 0 {
+                        break;
                     }
-                    self.issued += out.len() as u64;
-                    return out;
+                    let target = t as u64 * CACHE_BLOCK_BYTES;
+                    if target / PAGE_4K == pa.raw() / PAGE_4K {
+                        out.push(PhysAddr::new(target));
+                        self.issued += 1;
+                    }
                 }
-                return Vec::new();
             }
+            return;
         }
         // Allocate a new stream (round-robin victim).
         let victim = self.next_victim;
-        self.next_victim = (self.next_victim + 1) % self.streams.len();
-        self.streams[victim] = Stream { valid: true, last_block: block, direction: 1, confidence: 0 };
-        Vec::new()
+        self.next_victim = (self.next_victim + 1) % self.last_block.len();
+        self.last_block[victim] = block;
+        self.meta[victim] = StreamMeta { direction: 1, confidence: 0 };
+    }
+
+    /// Trains on an L2 demand miss; returns prefetch candidates in a fresh
+    /// `Vec` (two allocations per confident miss).
+    #[deprecated(note = "use `train_into` with a reused scratch buffer on the hot path")]
+    pub fn train(&mut self, pa: PhysAddr) -> Vec<PhysAddr> {
+        let mut out = Vec::new();
+        self.train_into(pa, &mut out);
+        out
     }
 }
 
@@ -209,7 +241,8 @@ mod tests {
         let mut p = StreamPrefetcher::default();
         let mut candidates = Vec::new();
         for i in 0..6u64 {
-            candidates = p.train(PhysAddr::new(0x10_0000 + i * 64));
+            candidates.clear();
+            p.train_into(PhysAddr::new(0x10_0000 + i * 64), &mut candidates);
         }
         assert!(!candidates.is_empty(), "confident stream should prefetch");
         assert_eq!(candidates[0].raw(), 0x10_0000 + 6 * 64);
@@ -219,12 +252,12 @@ mod tests {
     fn stream_prefetcher_ignores_random_misses() {
         let mut p = StreamPrefetcher::default();
         let mut rng = vm_types::SplitMix64::new(9);
-        let mut any = false;
+        let mut scratch = Vec::new();
         for _ in 0..64 {
             let pa = PhysAddr::new(rng.next_u64() & 0xfff_ffff & !63);
-            any |= !p.train(pa).is_empty();
+            p.train_into(pa, &mut scratch);
         }
-        assert!(!any, "random misses should not trigger streams");
+        assert!(scratch.is_empty(), "random misses should not trigger streams");
     }
 
     #[test]
@@ -233,10 +266,27 @@ mod tests {
         let base = 0x10_0000u64 + 4096 - 3 * 64; // three blocks before page end
         let mut cands = Vec::new();
         for i in 0..6u64 {
-            cands = p.train(PhysAddr::new(base + i * 64));
+            cands.clear();
+            p.train_into(PhysAddr::new(base + i * 64), &mut cands);
         }
         for c in cands {
             assert_eq!(c.raw() / 4096, (base + 5 * 64) / 4096);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_train_wrapper_matches_train_into() {
+        let mut a = StreamPrefetcher::default();
+        let mut b = StreamPrefetcher::default();
+        let mut scratch = Vec::new();
+        for i in 0..6u64 {
+            let pa = PhysAddr::new(0x20_0000 + i * 64);
+            let owned = a.train(pa);
+            scratch.clear();
+            b.train_into(pa, &mut scratch);
+            assert_eq!(owned, scratch);
+        }
+        assert_eq!(a.issued, b.issued);
     }
 }

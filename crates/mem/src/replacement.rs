@@ -1,12 +1,24 @@
-//! Pluggable cache replacement policies.
+//! Cache replacement policies, statically dispatched.
 //!
 //! The baseline system uses LRU in the L1s and SRRIP [Jaleel+, ISCA'10] in
-//! the L2/L3 (Table 3). Victima's TLB-aware SRRIP variant (Listing 1) is
-//! implemented in the `victima` crate against [`ReplacementPolicy`]; the
-//! context it needs — whether address-translation pressure is currently
-//! high — travels in [`ReplacementCtx`].
+//! the L2/L3 (Table 3); Victima's TLB-aware SRRIP variant (Listing 1 of
+//! the paper) is the third [`Policy`] variant. Policies are an `enum`
+//! rather than a trait object so the per-access hot path pays a jump
+//! table, not a vtable load, and so the compiler can inline the match
+//! arms into [`crate::Cache`]'s scan loops.
+//!
+//! Replacement state never lives in fat per-block structs: the 2-bit
+//! SRRIP counters are embedded in the packed presence words the lookup
+//! already scanned (see [`crate::block`]), and LRU stamps sit in a packed
+//! `Vec<u64>`. Victim selection therefore mutates the cache lines the
+//! probe just loaded instead of re-walking cold struct fields, and the
+//! SRRIP aging loop is folded into a closed form (one max-scan, one
+//! add-pass) rather than repeated rescans.
+//!
+//! The dynamic context a policy may consult — whether address-translation
+//! pressure is currently high — travels in [`ReplacementCtx`].
 
-use crate::block::CacheBlock;
+use crate::block::{word_is_translation, word_is_valid, word_rrip, word_with_rrip};
 
 /// Maximum re-reference prediction value for 2-bit SRRIP counters.
 pub const RRIP_MAX: u8 = 3;
@@ -46,178 +58,341 @@ impl ReplacementCtx {
     }
 }
 
-/// A cache replacement policy.
-///
-/// Policies are stateless per-block (all state lives in [`CacheBlock`]
-/// metadata) except for bookkeeping like LRU's global tick, hence the
-/// `&mut self` receivers. One policy instance serves one cache.
-pub trait ReplacementPolicy: Send {
-    /// Called after `set[way]` has been (re)filled.
-    fn on_fill(&mut self, set: &mut [CacheBlock], way: usize, ctx: &ReplacementCtx);
+/// One set's replacement view: the packed presence words (identity +
+/// embedded SRRIP counters) and the packed LRU stamps.
+#[derive(Debug)]
+pub struct ReplSet<'a> {
+    /// Packed presence words, one per way (see [`crate::block`]). Policies
+    /// read validity/kind and mutate the embedded RRIP bits; they never
+    /// touch the identity bits.
+    pub words: &'a mut [u64],
+    /// LRU stamps, one per way.
+    pub lru: &'a mut [u64],
+}
 
-    /// Called when `set[way]` hits.
-    fn on_hit(&mut self, set: &mut [CacheBlock], way: usize, ctx: &ReplacementCtx);
+/// A statically dispatched cache replacement policy. One value serves one
+/// cache; the only policy-global state is LRU's monotonic tick.
+#[derive(Clone, Debug)]
+pub enum Policy {
+    /// Least-recently-used (the L1 caches).
+    Lru {
+        /// Monotonic touch tick; the way with the smallest stamp loses.
+        tick: u64,
+    },
+    /// Static re-reference interval prediction (SRRIP-HP) with 2-bit
+    /// RRPVs: fills insert at [`RRIP_INSERT`], hits promote by one, and
+    /// victim selection searches for [`RRIP_MAX`], aging the set until
+    /// one is found.
+    Srrip,
+    /// Victima's TLB-aware SRRIP (Listing 1). Three deviations from
+    /// baseline SRRIP, all gated on high translation pressure:
+    /// TLB blocks insert at RRPV 0, a hit on one promotes by 3, and a
+    /// TLB-block victim triggers one retry for a non-TLB alternative.
+    TlbAwareSrrip,
+}
 
-    /// Chooses a victim way. May mutate replacement metadata (SRRIP ages
-    /// the whole set). Invalid ways must be preferred.
-    fn choose_victim(&mut self, set: &mut [CacheBlock], ctx: &ReplacementCtx) -> usize;
+impl Policy {
+    /// Creates the LRU policy.
+    pub fn lru() -> Self {
+        Policy::Lru { tick: 0 }
+    }
+
+    /// Creates the SRRIP policy.
+    pub fn srrip() -> Self {
+        Policy::Srrip
+    }
+
+    /// Creates Victima's TLB-aware SRRIP policy.
+    pub fn tlb_aware_srrip() -> Self {
+        Policy::TlbAwareSrrip
+    }
 
     /// Human-readable policy name.
-    fn name(&self) -> &'static str;
-}
-
-/// Least-recently-used replacement (used by the L1 caches).
-#[derive(Debug, Default)]
-pub struct Lru {
-    tick: u64,
-}
-
-impl Lru {
-    /// Creates an LRU policy.
-    pub fn new() -> Self {
-        Self::default()
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Lru { .. } => "LRU",
+            Policy::Srrip => "SRRIP",
+            Policy::TlbAwareSrrip => "TLB-aware-SRRIP",
+        }
     }
 
+    /// Called after `way` has been (re)filled.
     #[inline]
-    fn touch(&mut self, block: &mut CacheBlock) {
-        self.tick += 1;
-        block.lru_stamp = self.tick;
-    }
-}
-
-impl ReplacementPolicy for Lru {
-    fn on_fill(&mut self, set: &mut [CacheBlock], way: usize, _ctx: &ReplacementCtx) {
-        self.touch(&mut set[way]);
-    }
-
-    fn on_hit(&mut self, set: &mut [CacheBlock], way: usize, _ctx: &ReplacementCtx) {
-        self.touch(&mut set[way]);
-    }
-
-    fn choose_victim(&mut self, set: &mut [CacheBlock], _ctx: &ReplacementCtx) -> usize {
-        if let Some(way) = set.iter().position(|b| !b.valid) {
-            return way;
-        }
-        set.iter()
-            .enumerate()
-            .min_by_key(|(_, b)| b.lru_stamp)
-            .map(|(i, _)| i)
-            .expect("cache sets are never empty")
-    }
-
-    fn name(&self) -> &'static str {
-        "LRU"
-    }
-}
-
-/// Static re-reference interval prediction (SRRIP-HP) with 2-bit RRPVs.
-///
-/// Fills insert at a long re-reference interval ([`RRIP_INSERT`]), hits
-/// promote by one (the paper's Listing 1 baseline), and victim selection
-/// searches for an RRPV of [`RRIP_MAX`], aging the set until one is found.
-#[derive(Debug, Default)]
-pub struct Srrip;
-
-impl Srrip {
-    /// Creates an SRRIP policy.
-    pub fn new() -> Self {
-        Self
-    }
-
-    /// Shared victim scan: returns the first way whose RRPV is RRIP_MAX,
-    /// aging the set until one exists. Exposed for the TLB-aware variant in
-    /// the `victima` crate.
-    pub fn scan_victim(set: &mut [CacheBlock]) -> usize {
-        if let Some(way) = set.iter().position(|b| !b.valid) {
-            return way;
-        }
-        loop {
-            if let Some(way) = set.iter().position(|b| b.rrip >= RRIP_MAX) {
-                return way;
+    pub fn on_fill(&mut self, set: &mut ReplSet<'_>, way: usize, ctx: &ReplacementCtx) {
+        match self {
+            Policy::Lru { tick } => {
+                *tick += 1;
+                set.lru[way] = *tick;
             }
-            for b in set.iter_mut() {
-                b.rrip = (b.rrip + 1).min(RRIP_MAX);
+            Policy::Srrip => set.words[way] = word_with_rrip(set.words[way], RRIP_INSERT),
+            Policy::TlbAwareSrrip => {
+                let w = set.words[way];
+                let rrip = if word_is_translation(w) && ctx.tlb_pressure_high() { 0 } else { RRIP_INSERT };
+                set.words[way] = word_with_rrip(w, rrip);
             }
         }
     }
+
+    /// Called when `way` hits.
+    #[inline]
+    pub fn on_hit(&mut self, set: &mut ReplSet<'_>, way: usize, ctx: &ReplacementCtx) {
+        match self {
+            Policy::Lru { tick } => {
+                *tick += 1;
+                set.lru[way] = *tick;
+            }
+            Policy::Srrip => {
+                let w = set.words[way];
+                set.words[way] = word_with_rrip(w, word_rrip(w).saturating_sub(1));
+            }
+            Policy::TlbAwareSrrip => {
+                let w = set.words[way];
+                let promote = if word_is_translation(w) && ctx.tlb_pressure_high() { 3 } else { 1 };
+                set.words[way] = word_with_rrip(w, word_rrip(w).saturating_sub(promote));
+            }
+        }
+    }
+
+    /// Chooses a victim way. May mutate replacement metadata (the SRRIP
+    /// family ages the whole set). Invalid ways are preferred.
+    #[inline]
+    pub fn choose_victim(&mut self, set: &mut ReplSet<'_>, ctx: &ReplacementCtx) -> usize {
+        match self {
+            Policy::Lru { .. } => {
+                if let Some(way) = set.words.iter().position(|&w| !word_is_valid(w)) {
+                    return way;
+                }
+                let mut best = 0;
+                for (way, &stamp) in set.lru.iter().enumerate() {
+                    if stamp < set.lru[best] {
+                        best = way;
+                    }
+                }
+                best
+            }
+            Policy::Srrip => scan_victim(set),
+            Policy::TlbAwareSrrip => {
+                let way = scan_victim(set);
+                if word_is_translation(set.words[way]) && ctx.tlb_pressure_high() {
+                    // One more attempt (Listing 1 line 23): prefer any
+                    // non-TLB block that has also aged to RRIP_MAX. If none
+                    // exists, the TLB block is evicted (and dropped, not
+                    // written back).
+                    let alt = set.words.iter().position(|&w| {
+                        word_is_valid(w) && !word_is_translation(w) && word_rrip(w) >= RRIP_MAX
+                    });
+                    if let Some(alt) = alt {
+                        return alt;
+                    }
+                }
+                way
+            }
+        }
+    }
 }
 
-impl ReplacementPolicy for Srrip {
-    fn on_fill(&mut self, set: &mut [CacheBlock], way: usize, _ctx: &ReplacementCtx) {
-        set[way].rrip = RRIP_INSERT;
+/// Shared SRRIP victim scan: the first invalid way, else the first way
+/// whose RRPV is [`RRIP_MAX`], aging the whole set until one exists. The
+/// iterate-and-age loop is folded into a closed form — age everyone by
+/// `RRIP_MAX - max(rrip)` in one pass; the first way that *was* at the
+/// maximum is exactly the way the stepwise loop would have found.
+#[inline]
+fn scan_victim(set: &mut ReplSet<'_>) -> usize {
+    if let Some(way) = set.words.iter().position(|&w| !word_is_valid(w)) {
+        return way;
     }
-
-    fn on_hit(&mut self, set: &mut [CacheBlock], way: usize, _ctx: &ReplacementCtx) {
-        set[way].rrip = set[way].rrip.saturating_sub(1);
+    let max = set.words.iter().map(|&w| word_rrip(w)).max().expect("cache sets are never empty");
+    let victim = set.words.iter().position(|&w| word_rrip(w) >= max).expect("max exists");
+    if max < RRIP_MAX {
+        // All ways age together until the closest one reaches RRIP_MAX.
+        // No saturation is needed: every counter is ≤ max, so counter +
+        // (RRIP_MAX - max) ≤ RRIP_MAX.
+        let age = RRIP_MAX - max;
+        for w in set.words.iter_mut() {
+            *w = word_with_rrip(*w, word_rrip(*w) + age);
+        }
     }
-
-    fn choose_victim(&mut self, set: &mut [CacheBlock], _ctx: &ReplacementCtx) -> usize {
-        Self::scan_victim(set)
-    }
-
-    fn name(&self) -> &'static str {
-        "SRRIP"
-    }
+    victim
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::block::BlockKind;
+    use crate::block::{pack_word, BlockKind, INVALID_WORD};
     use vm_types::{Asid, PageSize};
 
-    fn valid_set(n: usize) -> Vec<CacheBlock> {
-        let mut set = vec![CacheBlock::INVALID; n];
-        for (i, b) in set.iter_mut().enumerate() {
-            b.refill(i as u64, BlockKind::Data, Asid::KERNEL, PageSize::Size4K, false, false);
+    const PRESSURE: ReplacementCtx = ReplacementCtx { l2_tlb_mpki: 10.0, l2_cache_mpki: 0.0 };
+    const CALM: ReplacementCtx = ReplacementCtx { l2_tlb_mpki: 0.0, l2_cache_mpki: 0.0 };
+
+    /// A free-standing set for driving policies directly in tests.
+    struct TestSet {
+        words: Vec<u64>,
+        lru: Vec<u64>,
+    }
+
+    impl TestSet {
+        fn new(kinds: &[BlockKind]) -> Self {
+            Self {
+                words: kinds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &k)| pack_word(i as u64, k, Asid::new(1), PageSize::Size4K))
+                    .collect(),
+                lru: vec![0; kinds.len()],
+            }
         }
-        set
+
+        fn view(&mut self) -> ReplSet<'_> {
+            ReplSet { words: &mut self.words, lru: &mut self.lru }
+        }
+
+        fn rrip(&self, way: usize) -> u8 {
+            word_rrip(self.words[way])
+        }
+
+        fn set_rrip(&mut self, way: usize, r: u8) {
+            self.words[way] = word_with_rrip(self.words[way], r);
+        }
     }
 
     #[test]
     fn lru_prefers_invalid_ways() {
-        let mut lru = Lru::new();
-        let mut set = valid_set(4);
-        set[2].valid = false;
-        assert_eq!(lru.choose_victim(&mut set, &ReplacementCtx::default()), 2);
+        let mut lru = Policy::lru();
+        let mut set = TestSet::new(&[BlockKind::Data; 4]);
+        set.words[2] = INVALID_WORD;
+        assert_eq!(lru.choose_victim(&mut set.view(), &CALM), 2);
     }
 
     #[test]
     fn lru_evicts_least_recent() {
-        let mut lru = Lru::new();
-        let ctx = ReplacementCtx::default();
-        let mut set = valid_set(4);
+        let mut lru = Policy::lru();
+        let mut set = TestSet::new(&[BlockKind::Data; 4]);
         for way in [0, 1, 2, 3, 0, 1, 3] {
-            lru.on_hit(&mut set, way, &ctx);
+            lru.on_hit(&mut set.view(), way, &CALM);
         }
         // Way 2 was touched least recently.
-        assert_eq!(lru.choose_victim(&mut set, &ctx), 2);
+        assert_eq!(lru.choose_victim(&mut set.view(), &CALM), 2);
     }
 
     #[test]
     fn srrip_inserts_long_and_promotes_on_hit() {
-        let mut p = Srrip::new();
-        let ctx = ReplacementCtx::default();
-        let mut set = valid_set(2);
-        p.on_fill(&mut set, 0, &ctx);
-        assert_eq!(set[0].rrip, RRIP_INSERT);
-        p.on_hit(&mut set, 0, &ctx);
-        assert_eq!(set[0].rrip, RRIP_INSERT - 1);
+        let mut p = Policy::srrip();
+        let mut set = TestSet::new(&[BlockKind::Data; 2]);
+        p.on_fill(&mut set.view(), 0, &CALM);
+        assert_eq!(set.rrip(0), RRIP_INSERT);
+        p.on_hit(&mut set.view(), 0, &CALM);
+        assert_eq!(set.rrip(0), RRIP_INSERT - 1);
     }
 
     #[test]
     fn srrip_ages_until_victim_found() {
-        let mut p = Srrip::new();
-        let ctx = ReplacementCtx::default();
-        let mut set = valid_set(4);
-        for b in set.iter_mut() {
-            b.rrip = 0;
-        }
-        set[1].rrip = 2;
-        let victim = p.choose_victim(&mut set, &ctx);
+        let mut p = Policy::srrip();
+        let mut set = TestSet::new(&[BlockKind::Data; 4]);
+        set.set_rrip(1, 2);
+        let victim = p.choose_victim(&mut set.view(), &CALM);
         assert_eq!(victim, 1, "the block closest to RRIP_MAX is aged there first");
         // Everyone has been aged by the same amount.
-        assert!(set.iter().all(|b| b.rrip >= 1));
+        assert!((0..4).all(|w| set.rrip(w) >= 1));
+    }
+
+    #[test]
+    fn closed_form_aging_matches_stepwise_semantics() {
+        // rrip = [1, 0, 2, 1]: the stepwise loop ages once (→ [2,1,3,2])
+        // then picks way 2; everyone's counter must read exactly that.
+        let mut p = Policy::srrip();
+        let mut set = TestSet::new(&[BlockKind::Data; 4]);
+        for (way, r) in [1u8, 0, 2, 1].into_iter().enumerate() {
+            set.set_rrip(way, r);
+        }
+        assert_eq!(p.choose_victim(&mut set.view(), &CALM), 2);
+        assert_eq!((0..4).map(|w| set.rrip(w)).collect::<Vec<_>>(), vec![2, 1, 3, 2]);
+        // A way already at RRIP_MAX means no aging at all.
+        let mut set = TestSet::new(&[BlockKind::Data; 3]);
+        for (way, r) in [0u8, 3, 3].into_iter().enumerate() {
+            set.set_rrip(way, r);
+        }
+        assert_eq!(p.choose_victim(&mut set.view(), &CALM), 1, "first way at the max wins");
+        assert_eq!(set.rrip(0), 0, "no aging when a victim already exists");
+    }
+
+    #[test]
+    fn tlb_fill_under_pressure_gets_rrpv_zero() {
+        let mut p = Policy::tlb_aware_srrip();
+        let mut set = TestSet::new(&[BlockKind::Tlb, BlockKind::Data]);
+        set.set_rrip(0, 3);
+        set.set_rrip(1, 3);
+        p.on_fill(&mut set.view(), 0, &PRESSURE);
+        p.on_fill(&mut set.view(), 1, &PRESSURE);
+        assert_eq!(set.rrip(0), 0);
+        assert_eq!(set.rrip(1), RRIP_INSERT);
+    }
+
+    #[test]
+    fn tlb_fill_without_pressure_is_ordinary() {
+        let mut p = Policy::tlb_aware_srrip();
+        let mut set = TestSet::new(&[BlockKind::Tlb]);
+        p.on_fill(&mut set.view(), 0, &CALM);
+        assert_eq!(set.rrip(0), RRIP_INSERT);
+    }
+
+    #[test]
+    fn tlb_hit_promotes_by_three() {
+        let mut p = Policy::tlb_aware_srrip();
+        let mut set = TestSet::new(&[BlockKind::Tlb, BlockKind::Data]);
+        set.set_rrip(0, 3);
+        set.set_rrip(1, 3);
+        p.on_hit(&mut set.view(), 0, &PRESSURE);
+        p.on_hit(&mut set.view(), 1, &PRESSURE);
+        assert_eq!(set.rrip(0), 0, "TLB promotion is -3");
+        assert_eq!(set.rrip(1), 2, "data promotion is -1");
+    }
+
+    #[test]
+    fn victim_diverts_away_from_tlb_blocks_under_pressure() {
+        let mut p = Policy::tlb_aware_srrip();
+        let mut set = TestSet::new(&[BlockKind::Tlb, BlockKind::Data]);
+        set.set_rrip(0, RRIP_MAX);
+        set.set_rrip(1, RRIP_MAX);
+        // The scan finds way 0 (the TLB block) first; the second attempt
+        // must divert to the data block.
+        assert_eq!(p.choose_victim(&mut set.view(), &PRESSURE), 1);
+        // Without pressure the TLB block is fair game.
+        set.set_rrip(0, RRIP_MAX);
+        set.set_rrip(1, RRIP_MAX);
+        assert_eq!(p.choose_victim(&mut set.view(), &CALM), 0);
+    }
+
+    #[test]
+    fn tlb_block_still_evictable_when_no_alternative() {
+        let mut p = Policy::tlb_aware_srrip();
+        let mut set = TestSet::new(&[BlockKind::Tlb, BlockKind::Tlb]);
+        set.set_rrip(0, RRIP_MAX);
+        set.set_rrip(1, 1);
+        assert_eq!(p.choose_victim(&mut set.view(), &PRESSURE), 0, "all-TLB set must still yield a victim");
+    }
+
+    #[test]
+    fn nested_tlb_blocks_get_the_same_treatment() {
+        let mut p = Policy::tlb_aware_srrip();
+        let mut set = TestSet::new(&[BlockKind::NestedTlb]);
+        set.set_rrip(0, 3);
+        p.on_fill(&mut set.view(), 0, &PRESSURE);
+        assert_eq!(set.rrip(0), 0);
+    }
+
+    #[test]
+    fn invalid_ways_win_immediately() {
+        let mut p = Policy::tlb_aware_srrip();
+        let mut set = TestSet::new(&[BlockKind::Data, BlockKind::Data]);
+        set.words[1] = INVALID_WORD;
+        assert_eq!(p.choose_victim(&mut set.view(), &PRESSURE), 1);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(Policy::lru().name(), "LRU");
+        assert_eq!(Policy::srrip().name(), "SRRIP");
+        assert_eq!(Policy::tlb_aware_srrip().name(), "TLB-aware-SRRIP");
     }
 
     #[test]

@@ -112,6 +112,18 @@ impl RunSpec {
     }
 }
 
+/// Reusable per-worker simulation scratch. Each pool worker owns one and
+/// hands it from a finished run to the next spec it picks up, so
+/// fill/prefetch buffers keep their grown capacity across runs instead of
+/// being reallocated per spec. Purely an allocation-reuse vehicle: it
+/// carries no results, so determinism is untouched.
+#[derive(Debug, Default)]
+pub struct RunScratch {
+    /// Recycled stream-prefetch candidate buffer (see
+    /// `Hierarchy::set_prefetch_scratch`).
+    prefetch: Vec<vm_types::PhysAddr>,
+}
+
 /// The outcome of one [`RunSpec`].
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -170,6 +182,13 @@ impl SimEngine {
     /// Panics if the spec names an unknown workload or pairs a mechanism
     /// with an unsupported execution mode.
     pub fn run_one(index: usize, spec: &RunSpec) -> RunResult {
+        Self::run_one_reusing(index, spec, &mut RunScratch::default())
+    }
+
+    /// [`SimEngine::run_one`] with a caller-owned [`RunScratch`]: the
+    /// worker-pool entry point, which recycles each worker's buffers
+    /// across the specs it executes.
+    pub fn run_one_reusing(index: usize, spec: &RunSpec, scratch: &mut RunScratch) -> RunResult {
         let start = Instant::now();
         let mut cfg = spec.config.clone();
         cfg.seed = spec.seed;
@@ -177,11 +196,13 @@ impl SimEngine {
         let workload = registry::by_name_seeded(&spec.workload, spec.scale, spec.seed)
             .unwrap_or_else(|| panic!("unknown workload {}", spec.workload));
         let mut sys = System::new(cfg, workload);
+        sys.hier.set_prefetch_scratch(std::mem::take(&mut scratch.prefetch));
         if spec.collect_features {
             sys.enable_feature_tracking();
         }
         sys.run_with_warmup(spec.warmup, spec.instructions);
         sys.finalize_stats();
+        scratch.prefetch = sys.hier.take_prefetch_scratch();
         RunResult {
             index,
             workload: spec.workload.clone(),
@@ -211,7 +232,7 @@ impl SimEngine {
     /// assert!(results[0].stats.instructions >= 20_000);
     /// ```
     pub fn run_batch(&self, specs: Vec<RunSpec>) -> Vec<RunResult> {
-        self.map(specs, Self::run_one)
+        self.map_reusing(specs, RunScratch::default, Self::run_one_reusing)
     }
 
     /// Deterministic parallel map over arbitrary work items: applies `f`
@@ -226,21 +247,40 @@ impl SimEngine {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.map_reusing(items, || (), |i, item, ()| f(i, item))
+    }
+
+    /// [`SimEngine::map`] with worker-local state: `init` builds one `W`
+    /// per pool worker, and `f` receives it mutably alongside each item
+    /// the worker executes. `W` must not influence results (it is a
+    /// scratch-reuse vehicle — see [`RunScratch`]); determinism still
+    /// rests on `f` being a pure function of `(index, item)`.
+    pub fn map_reusing<T, R, W, F, I>(&self, items: Vec<T>, init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T, &mut W) -> R + Sync,
+        I: Fn() -> W + Sync,
+    {
         let n = self.jobs.min(items.len());
         if n <= 1 {
-            return items.iter().enumerate().map(|(i, s)| f(i, s)).collect();
+            let mut scratch = init();
+            return items.iter().enumerate().map(|(i, s)| f(i, s, &mut scratch)).collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..n {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let result = f(i, &items[i], &mut scratch);
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
                     }
-                    let result = f(i, &items[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
                 });
             }
         });

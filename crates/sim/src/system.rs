@@ -9,12 +9,12 @@
 use crate::config::{ExecMode, SystemConfig, TranslationMechanism};
 use crate::epochs::EpochTracker;
 use crate::stats::SimStats;
-use mem_sim::{BlockKind, Hierarchy, MemClass, MemLevel, ReplacementPolicy, SharedLlc, Srrip};
+use mem_sim::{BlockKind, Hierarchy, MemClass, MemLevel, Policy, SharedLlc};
 use page_table::{AddressSpace, FrameAllocator, MappedRegion, NestedMemory};
 use std::cell::RefCell;
 use std::rc::Rc;
 use tlb_sim::{PageTableWalker, PomTlb, SetAssocTlb, TlbEntry};
-use victima::{features::FeatureTracker, TlbAwareSrrip, Victima};
+use victima::{features::FeatureTracker, Victima};
 use vm_types::{AccessKind, Asid, Cycles, MemRef, PageSize, PhysAddr, VirtAddr};
 use workloads::{Workload, WorkloadStream};
 
@@ -265,11 +265,11 @@ impl System {
         pom_base: Option<PhysAddr>,
         llc: Option<Rc<RefCell<SharedLlc>>>,
     ) -> Self {
-        let l2_policy: Box<dyn ReplacementPolicy> = match &cfg.mechanism {
+        let l2_policy = match &cfg.mechanism {
             TranslationMechanism::Victima(_)
             | TranslationMechanism::PomTlb(_)
-            | TranslationMechanism::VictimaPom(..) => Box::new(TlbAwareSrrip::new()),
-            _ => Box::new(Srrip::new()),
+            | TranslationMechanism::VictimaPom(..) => Policy::tlb_aware_srrip(),
+            _ => Policy::srrip(),
         };
         let hier = match llc {
             Some(llc) => Hierarchy::with_shared_llc(cfg.hierarchy.clone(), l2_policy, llc),
@@ -441,7 +441,11 @@ impl System {
     /// translation latency (nonzero only on I-TLB misses, which are rare
     /// since the code region is small).
     fn ifetch(&mut self, pc: u64) -> Cycles {
-        let va = self.proc.code.at(pc % self.proc.code.bytes);
+        // Code regions are power-of-two sized; masking avoids a 64-bit
+        // division per simulated instruction.
+        let bytes = self.proc.code.bytes;
+        let offset = if bytes.is_power_of_two() { pc & (bytes - 1) } else { pc % bytes };
+        let va = self.proc.code.at(offset);
         let vpn = va.vpn(PageSize::Size4K);
         let (frame, lat) = match self.itlb.probe(vpn, self.proc.asid, PageSize::Size4K) {
             Some(e) => (e.frame, 0),
@@ -690,12 +694,13 @@ impl System {
         // simply continues, costing nothing extra.
         if let Some(v) = self.victima.as_mut() {
             if let Some(hit) = v.probe(self.hier.l2_mut(), va, self.proc.asid, BlockKind::Tlb, &ctx) {
-                if self.page_size_of(va) == hit.size {
+                // One software walk validates the view *and* composes the
+                // entry (the hardware reads the PTE out of the hit block).
+                if let Some(entry) = self.software_entry_if_sized(va, hit.size) {
                     let l2c = self.hier.l2().latency();
                     latency += l2c;
                     components[1] += l2c;
                     self.stats.victima_hits += 1;
-                    let entry = self.software_entry_sized(va, hit.size);
                     return MissResolution { entry, latency, components };
                 }
             }
@@ -770,24 +775,24 @@ impl System {
     /// ideal backstop and by Victima probe hits, where the hardware reads
     /// the PTE straight out of the hit block).
     pub(crate) fn software_entry(&self, va: VirtAddr) -> TlbEntry {
-        let size = self.page_size_of(va);
-        self.software_entry_sized(va, size)
-    }
-
-    pub(crate) fn software_entry_sized(&self, va: VirtAddr, size: PageSize) -> TlbEntry {
         let Memory::Native { aspace, .. } = &self.proc.memory else {
             unreachable!("native helper");
         };
         let walk = aspace.page_table.walk(va).expect("mapped");
-        debug_assert_eq!(walk.page_size, size);
-        TlbEntry::with_counters(
-            va.vpn(walk.page_size),
-            self.proc.asid,
-            walk.page_size,
-            walk.frame,
-            walk.leaf_pte.ptw_freq(),
-            walk.leaf_pte.ptw_cost(),
-        )
+        soft_walk_entry(va, self.proc.asid, &walk)
+    }
+
+    /// Composes the TLB entry for `va` when the mapping's page size
+    /// matches `size` — the Victima probe-hit view validation. One radix
+    /// walk serves both the size check and the entry composition (this
+    /// used to be two back-to-back software walks: `page_size_of` followed
+    /// by a `software_entry` re-walk).
+    pub(crate) fn software_entry_if_sized(&self, va: VirtAddr, size: PageSize) -> Option<TlbEntry> {
+        let Memory::Native { aspace, .. } = &self.proc.memory else {
+            unreachable!("native helper");
+        };
+        let walk = aspace.page_table.walk(va)?;
+        (walk.page_size == size).then(|| soft_walk_entry(va, self.proc.asid, &walk))
     }
 
     /// Finalises aggregate statistics from component counters. Call after
@@ -906,4 +911,17 @@ impl System {
     pub fn migrate_page(&mut self, va: VirtAddr) -> PhysAddr {
         self.proc.migrate_page(va)
     }
+}
+
+/// Composes a TLB entry from a completed software radix walk.
+#[inline]
+pub(crate) fn soft_walk_entry(va: VirtAddr, asid: Asid, walk: &page_table::Walk) -> TlbEntry {
+    TlbEntry::with_counters(
+        va.vpn(walk.page_size),
+        asid,
+        walk.page_size,
+        walk.frame,
+        walk.leaf_pte.ptw_freq(),
+        walk.leaf_pte.ptw_cost(),
+    )
 }

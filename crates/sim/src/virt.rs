@@ -59,17 +59,17 @@ impl System {
         // remains (nested TLB, nested block, or host walk).
         if let Some(v) = self.victima.as_mut() {
             if let Some(hit) = v.probe(self.hier.l2_mut(), gva, self.proc.asid, BlockKind::Tlb, &ctx) {
-                // Validate the view: the cluster must actually map this
-                // gVA at the hit size (see the native flow).
-                if self.page_size_of(gva) == hit.size {
-                    // Virtualised TLB blocks store *direct* gVA→hPA
-                    // mappings (Fig. 19): a hit costs one L2 access and
-                    // skips both the guest and the host walk.
+                // Validate the view — the cluster must actually map this
+                // gVA at the hit size (see the native flow) — and compose
+                // the entry from the *same* guest translation instead of
+                // re-walking. Virtualised TLB blocks store *direct*
+                // gVA→hPA mappings (Fig. 19): a hit costs one L2 access
+                // and skips both the guest and the host walk.
+                if let Some(entry) = self.compose_entry_sw_if_sized(gva, hit.size) {
                     let latency = self.hier.l2().latency();
                     let mut components = [0u64; 4];
                     components[1] += latency;
                     self.stats.victima_hits += 1;
-                    let entry = self.compose_entry_sw(gva, hit.size);
                     return MissResolution { entry, latency, components };
                 }
             }
@@ -217,34 +217,39 @@ impl System {
 
     /// Builds the composed gVA→hPA entry without timing — the TLB-block
     /// hit path, where the hardware reads the composed mapping straight
-    /// out of the hit block (Fig. 19).
-    fn compose_entry_sw(&self, gva: VirtAddr, gsize: PageSize) -> TlbEntry {
+    /// out of the hit block (Fig. 19). Returns `None` when the guest
+    /// mapping's page size differs from `gsize` (a stale 2MB/4KB view):
+    /// one guest translation serves both the view validation and the
+    /// entry composition.
+    fn compose_entry_sw_if_sized(&self, gva: VirtAddr, gsize: PageSize) -> Option<TlbEntry> {
         let Memory::Virt { nested } = &self.proc.memory else {
             unreachable!("virtualised flow");
         };
-        let (gpa, s) = nested.guest.page_table.translate(gva).expect("guest mapped");
-        debug_assert_eq!(s, gsize);
+        let (gpa, s) = nested.guest.page_table.translate(gva)?;
+        if s != gsize {
+            return None;
+        }
         if gsize == PageSize::Size2M {
             let gpa_base = PhysAddr::new(gpa.raw() & !((2u64 << 20) - 1));
             if let Some((hpa_base, PageSize::Size2M)) = nested.host_translate(gpa_base) {
                 if hpa_base.page_offset(PageSize::Size2M) == 0 {
-                    return TlbEntry::new(
+                    return Some(TlbEntry::new(
                         gva.vpn(PageSize::Size2M),
                         self.proc.asid,
                         PageSize::Size2M,
                         hpa_base.frame(PageSize::Size4K),
-                    );
+                    ));
                 }
             }
         }
         let gpa_piece = PhysAddr::new(gpa.raw() & !0xfff);
         let (hpa_piece, _) = nested.host_translate(gpa_piece).expect("gpa host-mapped");
-        TlbEntry::new(
+        Some(TlbEntry::new(
             gva.vpn(PageSize::Size4K),
             self.proc.asid,
             PageSize::Size4K,
             hpa_piece.frame(PageSize::Size4K),
-        )
+        ))
     }
 
     /// Builds the composed (possibly splintered) gVA→hPA TLB entry for a
@@ -316,18 +321,24 @@ impl System {
         if let Some(v) = self.victima.as_mut() {
             if let Some(hit) = v.probe(self.hier.l2_mut(), gpa_va, self.proc.asid, BlockKind::NestedTlb, &ctx)
             {
-                let actual = {
+                // One software walk of the host table validates the hit's
+                // page-size view *and* yields the entry (previously a
+                // translate followed by a full re-walk).
+                let entry = {
                     let Memory::Virt { nested } = &self.proc.memory else {
                         unreachable!("virtualised flow");
                     };
-                    nested.host_pt.translate(gpa_va).map(|(_, s)| s)
+                    nested
+                        .host_pt
+                        .walk(gpa_va)
+                        .filter(|w| w.page_size == hit.size)
+                        .map(|w| crate::system::soft_walk_entry(gpa_va, self.proc.asid, &w))
                 };
-                if actual == Some(hit.size) {
+                if let Some(e) = entry {
                     latency += self.hier.l2().latency();
                     if demand {
                         self.stats.nested_block_hits += 1;
                     }
-                    let e = self.host_software_entry(gpa_va, hit.size);
                     self.fill_nested_tlb(e);
                     return (compose(e.frame, e.size, gpa_va), latency);
                 }
@@ -367,24 +378,6 @@ impl System {
             );
         }
         (compose(walk.frame, walk.page_size, gpa_va), latency)
-    }
-
-    /// Builds a nested TLB entry from the host table without timing (the
-    /// nested block hit path: the PTE is read out of the hit block).
-    fn host_software_entry(&self, gpa_va: VirtAddr, size: PageSize) -> TlbEntry {
-        let Memory::Virt { nested } = &self.proc.memory else {
-            unreachable!("virtualised flow");
-        };
-        let walk = nested.host_pt.walk(gpa_va).expect("host mapped");
-        debug_assert_eq!(walk.page_size, size);
-        TlbEntry::with_counters(
-            gpa_va.vpn(walk.page_size),
-            self.proc.asid,
-            walk.page_size,
-            walk.frame,
-            walk.leaf_pte.ptw_freq(),
-            walk.leaf_pte.ptw_cost(),
-        )
     }
 
     /// Fills the nested TLB; a displaced entry runs Victima's nested

@@ -5,6 +5,23 @@
 //! TLB, the hardware L3 TLBs of Sec. 3.1, and the 64-entry nested TLB of
 //! virtualised mode (where the "virtual page number" key is a
 //! guest-physical frame number).
+//!
+//! # Packed key words
+//!
+//! Like `mem_sim::Cache`, the probe path scans a packed parallel key
+//! array, not the fat [`TlbEntry`] payloads: each way's identity (valid
+//! bit, page size, ASID, VPN) packs into one `u64`, so a probe is one
+//! equality compare per way over contiguous memory. Payload entries
+//! (output frame + PTW counter snapshots) are touched only on hits and
+//! fills, and LRU stamps live in their own packed array. Layout, low bit
+//! first:
+//!
+//! ```text
+//! [63:16] vpn   (48 bits; VPNs of a 48-bit VA need ≤ 36)
+//! [15:4]  asid  (12-bit PCID)
+//! [3]     page size (0 = 4KB, 1 = 2MB)
+//! [0]     valid
+//! ```
 
 use vm_types::{Asid, Cycles, PageSize};
 
@@ -14,7 +31,7 @@ use vm_types::{Asid, Cycles, PageSize};
 /// frequency/cost counters at fill time: Victima's eviction flow consults
 /// the predictor with these values when the entry leaves the L2 TLB
 /// (Sec. 5.2).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TlbEntry {
     /// Valid bit.
     pub valid: bool,
@@ -30,6 +47,8 @@ pub struct TlbEntry {
     pub ptw_freq: u8,
     /// PTW cost counter snapshot (4-bit).
     pub ptw_cost: u8,
+    /// LRU stamp (monotonic tick of the owning TLB); lives in the payload
+    /// so a probe hit touches exactly the scanned key line plus this one.
     lru_stamp: u64,
 }
 
@@ -55,10 +74,31 @@ impl TlbEntry {
         lru_stamp: 0,
     };
 
+    /// The packed key word of this entry's identity.
     #[inline]
-    fn matches(&self, vpn: u64, asid: Asid, size: PageSize) -> bool {
-        self.valid && self.vpn == vpn && self.asid == asid && self.size == size
+    fn key(&self) -> u64 {
+        pack_key(self.vpn, self.asid, self.size)
     }
+}
+
+/// Packs a (vpn, asid, size) identity into a key word (see module docs).
+#[inline]
+const fn pack_key(vpn: u64, asid: Asid, size: PageSize) -> u64 {
+    debug_assert!(vpn < 1 << 48, "vpn overflows the key word");
+    (vpn << 16) | ((asid.raw() as u64) << 4) | ((size.is_huge() as u64) << 3) | 1
+}
+
+/// The key word of an empty way.
+const INVALID_KEY: u64 = 0;
+
+#[inline]
+const fn key_is_valid(key: u64) -> bool {
+    key & 1 != 0
+}
+
+#[inline]
+const fn key_asid(key: u64) -> Asid {
+    Asid::new(((key >> 4) & 0xfff) as u16)
 }
 
 /// Geometry of a TLB.
@@ -130,10 +170,14 @@ impl TlbStats {
     }
 }
 
-/// A set-associative, LRU TLB.
+/// A set-associative, LRU TLB over packed key words.
 pub struct SetAssocTlb {
     cfg: TlbConfig,
     set_mask: u64,
+    /// Packed identity keys, one per way (the scanned hot array).
+    keys: Vec<u64>,
+    /// Fat payloads (translation + counters + LRU stamp), touched only on
+    /// hit/fill.
     entries: Vec<TlbEntry>,
     tick: u64,
     /// Statistics.
@@ -157,6 +201,7 @@ impl SetAssocTlb {
         let sets = cfg.num_sets();
         Self {
             set_mask: sets as u64 - 1,
+            keys: vec![INVALID_KEY; cfg.entries],
             entries: vec![TlbEntry::INVALID; cfg.entries],
             cfg,
             tick: 0,
@@ -176,36 +221,36 @@ impl SetAssocTlb {
     }
 
     #[inline]
-    fn set_of(&self, vpn: u64) -> usize {
-        (vpn & self.set_mask) as usize
+    fn set_start(&self, vpn: u64) -> usize {
+        (vpn & self.set_mask) as usize * self.cfg.ways
     }
 
+    /// Scans one set's keys for `key`; returns the absolute index.
     #[inline]
-    fn set_range(&self, vpn: u64) -> std::ops::Range<usize> {
-        let s = self.set_of(vpn) * self.cfg.ways;
-        s..s + self.cfg.ways
+    fn find(&self, start: usize, key: u64) -> Option<usize> {
+        self.keys[start..start + self.cfg.ways].iter().position(|&k| k == key).map(|w| start + w)
     }
 
     /// Looks up a translation, updating LRU and statistics.
     pub fn probe(&mut self, vpn: u64, asid: Asid, size: PageSize) -> Option<TlbEntry> {
-        let range = self.set_range(vpn);
         self.tick += 1;
-        let tick = self.tick;
-        for e in &mut self.entries[range] {
-            if e.matches(vpn, asid, size) {
-                e.lru_stamp = tick;
+        let start = self.set_start(vpn);
+        match self.find(start, pack_key(vpn, asid, size)) {
+            Some(i) => {
+                self.entries[i].lru_stamp = self.tick;
                 self.stats.hits += 1;
-                return Some(*e);
+                Some(self.entries[i])
+            }
+            None => {
+                self.stats.misses += 1;
+                None
             }
         }
-        self.stats.misses += 1;
-        None
     }
 
     /// Non-destructive lookup (no LRU or statistics updates).
     pub fn contains(&self, vpn: u64, asid: Asid, size: PageSize) -> bool {
-        let range = self.set_range(vpn);
-        self.entries[range].iter().any(|e| e.matches(vpn, asid, size))
+        self.find(self.set_start(vpn), pack_key(vpn, asid, size)).is_some()
     }
 
     /// Inserts an entry; returns the entry displaced, if a valid one was.
@@ -213,51 +258,58 @@ impl SetAssocTlb {
     pub fn fill(&mut self, mut entry: TlbEntry) -> Option<TlbEntry> {
         self.stats.fills += 1;
         self.tick += 1;
-        entry.lru_stamp = self.tick;
         entry.valid = true;
-        let range = self.set_range(entry.vpn);
-        let set = &mut self.entries[range];
+        entry.lru_stamp = self.tick;
+        let key = entry.key();
+        let start = self.set_start(entry.vpn);
         // Refresh in place if present.
-        if let Some(e) = set.iter_mut().find(|e| e.matches(entry.vpn, entry.asid, entry.size)) {
-            *e = entry;
+        if let Some(i) = self.find(start, key) {
+            self.entries[i] = entry;
             return None;
         }
         // Otherwise pick an invalid way or the LRU victim.
-        let victim_idx = match set.iter().position(|e| !e.valid) {
-            Some(i) => i,
-            None => set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.lru_stamp)
-                .map(|(i, _)| i)
-                .expect("TLB sets are never empty"),
+        let set_keys = &self.keys[start..start + self.cfg.ways];
+        let victim = match set_keys.iter().position(|&k| !key_is_valid(k)) {
+            Some(w) => start + w,
+            None => {
+                let set = &self.entries[start..start + self.cfg.ways];
+                let mut best = 0;
+                for (w, e) in set.iter().enumerate() {
+                    if e.lru_stamp < set[best].lru_stamp {
+                        best = w;
+                    }
+                }
+                start + best
+            }
         };
-        let displaced = set[victim_idx].valid.then_some(set[victim_idx]);
+        let displaced = key_is_valid(self.keys[victim]).then(|| self.entries[victim]);
         if displaced.is_some() {
             self.stats.evictions += 1;
         }
-        set[victim_idx] = entry;
+        self.keys[victim] = key;
+        self.entries[victim] = entry;
         displaced
     }
 
     /// Invalidates one translation; returns whether one was present.
     pub fn invalidate(&mut self, vpn: u64, asid: Asid, size: PageSize) -> bool {
-        let range = self.set_range(vpn);
-        for e in &mut self.entries[range] {
-            if e.matches(vpn, asid, size) {
-                e.valid = false;
+        match self.find(self.set_start(vpn), pack_key(vpn, asid, size)) {
+            Some(i) => {
+                self.keys[i] = INVALID_KEY;
+                self.entries[i].valid = false;
                 self.stats.invalidations += 1;
-                return true;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Invalidates every entry of an address space; returns the count.
     pub fn invalidate_asid(&mut self, asid: Asid) -> u64 {
         let mut n = 0;
-        for e in &mut self.entries {
-            if e.valid && e.asid == asid {
+        for (k, e) in self.keys.iter_mut().zip(self.entries.iter_mut()) {
+            if key_is_valid(*k) && key_asid(*k) == asid {
+                *k = INVALID_KEY;
                 e.valid = false;
                 n += 1;
             }
@@ -269,8 +321,9 @@ impl SetAssocTlb {
     /// Invalidates everything; returns the count.
     pub fn invalidate_all(&mut self) -> u64 {
         let mut n = 0;
-        for e in &mut self.entries {
-            if e.valid {
+        for (k, e) in self.keys.iter_mut().zip(self.entries.iter_mut()) {
+            if key_is_valid(*k) {
+                *k = INVALID_KEY;
                 e.valid = false;
                 n += 1;
             }
@@ -281,7 +334,7 @@ impl SetAssocTlb {
 
     /// Number of currently valid entries.
     pub fn valid_entries(&self) -> usize {
-        self.entries.iter().filter(|e| e.valid).count()
+        self.keys.iter().filter(|&&k| key_is_valid(k)).count()
     }
 
     /// Clears statistics (contents stay warm).
@@ -383,5 +436,32 @@ mod tests {
         }
         assert!(t.fill(TlbEntry::new(8, a, PageSize::Size4K, 8)).is_some());
         assert!(t.fill(TlbEntry::new(1, a, PageSize::Size4K, 1)).is_none());
+    }
+
+    #[test]
+    fn keys_stay_consistent_with_payloads() {
+        let mut t = tlb(16, 4);
+        let mut rng = vm_types::SplitMix64::new(77);
+        for _ in 0..500 {
+            let vpn = rng.next_below(32);
+            let asid = Asid::new(1 + (rng.next_below(2) as u16));
+            match rng.next_below(3) {
+                0 => {
+                    t.fill(TlbEntry::new(vpn, asid, PageSize::Size4K, vpn));
+                }
+                1 => {
+                    t.probe(vpn, asid, PageSize::Size4K);
+                }
+                _ => {
+                    t.invalidate(vpn, asid, PageSize::Size4K);
+                }
+            }
+        }
+        for i in 0..t.keys.len() {
+            if key_is_valid(t.keys[i]) {
+                assert!(t.entries[i].valid);
+                assert_eq!(t.keys[i], t.entries[i].key(), "key {i} diverged from payload");
+            }
+        }
     }
 }

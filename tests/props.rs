@@ -3,7 +3,7 @@
 //! workspace's deterministic [`SplitMix64`] generator (no external
 //! property-testing dependency), so every failure is reproducible.
 
-use victima_repro::mem::{BlockKind, Cache, CacheConfig, Lru, ReplacementCtx};
+use victima_repro::mem::{BlockKind, Cache, CacheConfig, Policy, ReplacementCtx};
 use victima_repro::pt::{FrameAllocator, Pte, RadixPageTable};
 use victima_repro::tlb::{SetAssocTlb, TlbConfig, TlbEntry};
 use victima_repro::types::{Asid, PageSize, PhysAddr, SplitMix64, VirtAddr};
@@ -136,7 +136,7 @@ fn cache_translation_block_count_is_exact() {
         let ctx = ReplacementCtx::default();
         let mut cache = Cache::new(
             CacheConfig { name: "P", size_bytes: 64 << 10, ways: 8, block_bytes: 64, latency: 1 },
-            Box::new(Lru::new()),
+            Policy::lru(),
         );
         let ops = 1 + rng.next_below(199);
         for _ in 0..ops {
