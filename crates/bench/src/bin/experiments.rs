@@ -9,6 +9,9 @@
 //! experiments --save-baselines [ids...]              # regenerate committed baselines
 //! experiments calibrate                              # baseline vitals (not a paper figure)
 //! experiments --list
+//! experiments trace record RND --out rnd.vtrace      # capture a reference stream
+//! experiments trace replay rnd.vtrace [--config victima]
+//! experiments trace info rnd.vtrace [--format json --out DIR]
 //! ```
 //!
 //! Budgets: `VICTIMA_INSTR` / `VICTIMA_WARMUP` env vars (defaults
@@ -65,6 +68,10 @@ fn usage() -> ! {
     eprintln!("       experiments --check [ids...]          (pinned profile vs committed baselines)");
     eprintln!("       experiments --save-baselines [ids...] (regenerate committed baselines)");
     eprintln!("       experiments --list");
+    eprintln!("       experiments trace record <WORKLOAD> --out FILE");
+    eprintln!("                   [--config NAME] [--scale tiny|full] [--seed N] [--warmup N] [--instr N]");
+    eprintln!("       experiments trace replay <FILE> [--config NAME] [--jobs N] [--format F] [--out DIR]");
+    eprintln!("       experiments trace info <FILE> [--format F] [--out DIR]");
     std::process::exit(2);
 }
 
@@ -91,6 +98,9 @@ const BASELINE_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines");
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        std::process::exit(trace_cli(args.split_off(1)));
+    }
     let quick = take_flag(&mut args, "--quick");
     let check = take_flag(&mut args, "--check");
     let save_baselines = take_flag(&mut args, "--save-baselines");
@@ -292,5 +302,127 @@ fn run_check(reports: &[ExperimentReport]) -> i32 {
     } else {
         println!("check passed: {} experiment(s) match their baselines", reports.len());
         0
+    }
+}
+
+/// Default trace-recording budgets (the pinned `--check` profile, so a
+/// bare `trace record` on a Tiny workload is committed-baseline sized).
+const TRACE_WARMUP: u64 = 5_000;
+const TRACE_INSTR: u64 = 50_000;
+
+/// Resolves the `--config` name for the trace subcommands.
+fn config_by_name(name: &str) -> Option<sim::SystemConfig> {
+    Some(match name {
+        "radix" => sim::SystemConfig::radix(),
+        "victima" => sim::SystemConfig::victima(),
+        "victima+stlb" => sim::SystemConfig::victima_plus_stlb(),
+        "pom" => sim::SystemConfig::pom_tlb(),
+        _ => return None,
+    })
+}
+
+/// `experiments trace <record|replay|info> …` — see `usage()`.
+fn trace_cli(mut args: Vec<String>) -> i32 {
+    if args.is_empty() {
+        usage();
+    }
+    let sub = args.remove(0);
+    let cfg = flag_value(&mut args, "--config")
+        .map(|v| {
+            config_by_name(&v).unwrap_or_else(|| {
+                eprintln!("unknown config {v:?} (pick radix, victima, victima+stlb or pom)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(sim::SystemConfig::radix);
+    let format = flag_value(&mut args, "--format")
+        .map(|v| {
+            Format::parse(&v).unwrap_or_else(|| {
+                eprintln!("unknown format {v:?} (pick text, json, csv or md)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(Format::Text);
+    let out = flag_value(&mut args, "--out").map(std::path::PathBuf::from);
+    let jobs: usize = flag_value(&mut args, "--jobs")
+        .map(|v| {
+            v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(|| sim::SimEngine::new().jobs());
+    let parse_u64 = |args: &mut Vec<String>, flag: &str, default: u64| -> u64 {
+        flag_value(args, flag)
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("{flag} needs an unsigned integer");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(default)
+    };
+
+    match sub.as_str() {
+        "record" => {
+            let seed = parse_u64(&mut args, "--seed", vm_types::DEFAULT_SEED);
+            let warmup = parse_u64(&mut args, "--warmup", TRACE_WARMUP);
+            let instr = parse_u64(&mut args, "--instr", TRACE_INSTR);
+            let scale = match flag_value(&mut args, "--scale").as_deref() {
+                None | Some("tiny") => workloads::Scale::Tiny,
+                Some("full") => workloads::Scale::Full,
+                Some(other) => {
+                    eprintln!("unknown scale {other:?} (pick tiny or full)");
+                    return 2;
+                }
+            };
+            let Some(out) = out else {
+                eprintln!("trace record needs --out FILE");
+                return 2;
+            };
+            let [workload] = args.as_slice() else {
+                eprintln!("trace record takes exactly one workload name");
+                return 2;
+            };
+            match victima_bench::trace::record(workload, &cfg, scale, seed, warmup, instr, &out) {
+                Ok(s) => {
+                    println!(
+                        "recorded {}: {} records ({} loads, {} stores) / {} instructions, {} chunk(s), {} bytes",
+                        out.display(),
+                        s.counts.records,
+                        s.counts.loads,
+                        s.counts.stores,
+                        s.counts.instructions,
+                        s.chunks,
+                        s.bytes
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("trace record failed: {e}");
+                    1
+                }
+            }
+        }
+        "replay" | "info" => {
+            let [file] = args.as_slice() else {
+                eprintln!("trace {sub} takes exactly one trace file");
+                return 2;
+            };
+            let path = std::path::Path::new(file);
+            let report = if sub == "replay" {
+                victima_bench::trace::replay_report(path, &cfg, jobs)
+            } else {
+                victima_bench::trace::info_report(path)
+            };
+            match report {
+                Ok(r) => emit(&[r], format, out.as_deref()),
+                Err(e) => {
+                    eprintln!("trace {sub} failed: {e}");
+                    1
+                }
+            }
+        }
+        _ => usage(),
     }
 }

@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod perf;
+pub mod trace;
 
 use report::Provenance;
 use sim::{RunSpec, Runner, SimEngine, SimStats, SystemConfig};

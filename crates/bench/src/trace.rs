@@ -1,0 +1,204 @@
+//! Trace capture & replay commands behind `experiments trace …`:
+//! recording a workload's reference stream to a `.vtrace` file, replaying
+//! a file through the full simulator, and summarising a file's header
+//! and per-kind histogram as a `report`-schema artifact.
+
+use report::{Column, ExperimentReport, Metric, Provenance, Unit, Value};
+use sim::{RunSpec, SimEngine, SimStats, System, SystemConfig};
+use std::cell::RefCell;
+use std::path::Path;
+use std::rc::Rc;
+use victima_trace::{
+    TraceCounts, TraceError, TraceHeader, TraceReader, TraceScale, TraceSummary, TraceWriter,
+};
+use workloads::{registry, replay::trace_name, Scale};
+
+/// Writer identity recorded in every trace header's provenance field.
+pub const TRACE_WRITER_ID: &str = "victima-trace/1";
+
+/// Records `workload`'s reference stream under `cfg` to `out`
+/// (warm-up included — replay re-runs the whole budget). Returns the
+/// writer's summary (record counts, chunks, encoded bytes).
+///
+/// The recorded stream depends only on the workload generator and the
+/// region mapping (scale + seed), not on the translation mechanism, so a
+/// trace recorded under one native config replays byte-identically under
+/// any other native config with the same seed.
+pub fn record(
+    workload: &str,
+    cfg: &SystemConfig,
+    scale: Scale,
+    seed: u64,
+    warmup: u64,
+    measured: u64,
+    out: &Path,
+) -> Result<TraceSummary, TraceError> {
+    let w = registry::by_name_seeded(workload, scale, seed)
+        .ok_or_else(|| TraceError::Format(format!("unknown workload {workload} (try --list)")))?;
+    let mut header = TraceHeader::new(workload, TraceScale::from(scale), seed, warmup, measured);
+    header.regions = w
+        .region_specs()
+        .iter()
+        .map(|s| victima_trace::TraceRegion::new(s.name, s.bytes, s.huge_fraction))
+        .collect();
+    header.writer = format!("{TRACE_WRITER_ID} engine={} config={}", sim::ENGINE_ID, cfg.name);
+    let writer = Rc::new(RefCell::new(TraceWriter::create(out, &header)?));
+
+    let mut run_cfg = cfg.clone();
+    run_cfg.seed = seed;
+    let mut sys = System::new(run_cfg, w);
+    let sink = Rc::clone(&writer);
+    sys.set_record_hook(Box::new(move |r| sink.borrow_mut().push(r)));
+    sys.run_with_warmup(warmup, measured);
+    drop(sys.take_record_hook());
+    drop(sys);
+    let writer = Rc::try_unwrap(writer).expect("record hook released its writer clone").into_inner();
+    writer.finish().map_err(TraceError::Io)
+}
+
+/// Replays `path` through the full simulator under `cfg` (seed, scale and
+/// budgets come from the trace header) and returns the run's statistics.
+pub fn replay(path: &Path, cfg: &SystemConfig, jobs: usize) -> Result<SimStats, TraceError> {
+    run_replay(path, cfg, jobs).map(|(_, stats)| stats)
+}
+
+/// One header parse serves both the run and its report: the replay spec
+/// (budgets, scale, seed) and the artifact provenance come from the same
+/// open. (The engine worker still opens its own reader — that is the
+/// `trace:<path>` contract.)
+fn run_replay(path: &Path, cfg: &SystemConfig, jobs: usize) -> Result<(TraceHeader, SimStats), TraceError> {
+    let header = TraceReader::open_path(path)?.header().clone();
+    let mut run_cfg = cfg.clone();
+    run_cfg.seed = header.seed;
+    let spec =
+        RunSpec::new(trace_name(path), run_cfg, Scale::from(header.scale), header.warmup, header.measured);
+    let mut results = SimEngine::with_jobs(jobs).run_batch(vec![spec]);
+    Ok((header, results.remove(0).stats))
+}
+
+/// Renders a replay run as a `report`-schema artifact (id `trace_replay`).
+pub fn replay_report(path: &Path, cfg: &SystemConfig, jobs: usize) -> Result<ExperimentReport, TraceError> {
+    let (header, stats) = run_replay(path, cfg, jobs)?;
+    let mut r =
+        ExperimentReport::new("trace_replay", format!("Trace replay: {} under {}", path.display(), cfg.name))
+            .with_label_name("stat")
+            .with_columns([Column::new("value", Unit::Raw)])
+            .with_provenance(trace_provenance(&header, vec![cfg.name.clone()]));
+    r.push_row("instructions", [Value::from(stats.instructions as f64)]);
+    r.push_row("cycles", [Value::from(stats.cycles())]);
+    r.push_row("l1_tlb_misses", [Value::from(stats.l1_tlb_misses as f64)]);
+    r.push_row("l2_tlb_misses", [Value::from(stats.l2_tlb_misses as f64)]);
+    r.push_row("page_table_walks", [Value::from(stats.ptws as f64)]);
+    r.push_metric(Metric::new("ipc", stats.ipc(), Unit::Ipc));
+    r.push_metric(Metric::new("l2_tlb_mpki", stats.l2_tlb_mpki(), Unit::Mpki));
+    r.note(format!("replayed {} ({})", path.display(), header.writer));
+    Ok(r)
+}
+
+/// Scans a trace and renders its header plus a per-kind record histogram
+/// as a `report`-schema artifact (id `trace_info`).
+pub fn info_report(path: &Path) -> Result<ExperimentReport, TraceError> {
+    let reader = TraceReader::open_path(path)?;
+    let header = reader.header().clone();
+    let mut counts = TraceCounts::default();
+    let mut records = reader.records();
+    for r in records.by_ref() {
+        counts.observe(r?);
+    }
+    let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+
+    let mut r = ExperimentReport::new("trace_info", format!("Trace info: {}", path.display()))
+        .with_label_name("record kind")
+        .with_columns([Column::new("records", Unit::Count), Column::new("share", Unit::Percent)])
+        .with_provenance(trace_provenance(&header, Vec::new()));
+    let total = counts.records.max(1) as f64;
+    for (kind, n) in [("load", counts.loads), ("store", counts.stores), ("ifetch", counts.ifetches)] {
+        r.push_row(kind, [Value::from(n as f64), Value::from(n as f64 / total)]);
+    }
+    r.push_metric(Metric::new("records", counts.records as f64, Unit::Count));
+    r.push_metric(Metric::new("instructions", counts.instructions as f64, Unit::Count));
+    r.push_metric(Metric::new("file_bytes", file_bytes as f64, Unit::Bytes));
+    r.push_metric(Metric::new(
+        "bytes_per_record",
+        file_bytes as f64 / counts.records.max(1) as f64,
+        Unit::Raw,
+    ));
+    r.push_metric(Metric::new("footprint_bytes", header.footprint_bytes() as f64, Unit::Bytes));
+    r.note(format!(
+        "workload {} @ {} scale, seed {:#x}, {} warm-up + {} measured instructions, {} regions",
+        header.workload,
+        header.scale.name(),
+        header.seed,
+        header.warmup,
+        header.measured,
+        header.regions.len()
+    ));
+    r.note(format!("written by {}", header.writer));
+    Ok(r)
+}
+
+/// Provenance block for trace artifacts, sourced from the header.
+/// `configs` names the configs actually simulated — the replayed system
+/// for `trace_replay`, empty for `trace_info` (which runs no simulator).
+fn trace_provenance(h: &TraceHeader, configs: Vec<String>) -> Provenance {
+    Provenance {
+        scale: h.scale.name().to_owned(),
+        warmup: h.warmup,
+        instructions: h.measured,
+        seed: h.seed,
+        engine: sim::ENGINE_ID.to_owned(),
+        configs,
+        workloads: vec![h.workload.clone()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("vtrace-bench-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn record_then_replay_matches_live_run() {
+        let path = tmp("rnd.vtrace");
+        let cfg = SystemConfig::radix();
+        let (warmup, measured) = (1_000, 10_000);
+        let summary = record("RND", &cfg, Scale::Tiny, cfg.seed, warmup, measured, &path).unwrap();
+        assert!(summary.counts.records > 0);
+        assert!(summary.counts.instructions >= warmup + measured);
+
+        let live = SimEngine::with_jobs(1)
+            .run_batch(vec![RunSpec::new("RND", cfg.clone(), Scale::Tiny, warmup, measured)])
+            .remove(0)
+            .stats;
+        let replayed = replay(&path, &cfg, 1).unwrap();
+        assert_eq!(live, replayed, "replay must be byte-identical to the live run");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn info_summarises_the_header_and_histogram() {
+        let path = tmp("info.vtrace");
+        let cfg = SystemConfig::radix();
+        record("RND", &cfg, Scale::Tiny, cfg.seed, 500, 5_000, &path).unwrap();
+        let r = info_report(&path).unwrap();
+        assert_eq!(r.id, "trace_info");
+        assert_eq!(r.rows.len(), 3);
+        assert!(r.metric("records").unwrap().value > 0.0);
+        assert!(r.metric("file_bytes").unwrap().value > 0.0);
+        // The artifact must survive the JSON round trip (the schema gate).
+        let json = report::json::to_json(&r);
+        assert_eq!(report::json::from_json(&json).unwrap(), r);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let path = tmp("nope.vtrace");
+        let err =
+            record("NOPE", &SystemConfig::radix(), Scale::Tiny, 1, 10, 100, &path).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("unknown workload"), "{err}");
+    }
+}

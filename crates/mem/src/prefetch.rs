@@ -175,15 +175,6 @@ impl StreamPrefetcher {
         self.last_block[victim] = block;
         self.meta[victim] = StreamMeta { direction: 1, confidence: 0 };
     }
-
-    /// Trains on an L2 demand miss; returns prefetch candidates in a fresh
-    /// `Vec` (two allocations per confident miss).
-    #[deprecated(note = "use `train_into` with a reused scratch buffer on the hot path")]
-    pub fn train(&mut self, pa: PhysAddr) -> Vec<PhysAddr> {
-        let mut out = Vec::new();
-        self.train_into(pa, &mut out);
-        out
-    }
 }
 
 impl Default for StreamPrefetcher {
@@ -275,18 +266,15 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_train_wrapper_matches_train_into() {
-        let mut a = StreamPrefetcher::default();
-        let mut b = StreamPrefetcher::default();
-        let mut scratch = Vec::new();
+    fn train_into_appends_without_clearing() {
+        // The buffer contract: `train_into` appends and never clears —
+        // callers own the clear so one scratch Vec serves every miss.
+        let mut p = StreamPrefetcher::default();
+        let mut scratch = vec![PhysAddr::new(0xdead_0000)];
         for i in 0..6u64 {
-            let pa = PhysAddr::new(0x20_0000 + i * 64);
-            let owned = a.train(pa);
-            scratch.clear();
-            b.train_into(pa, &mut scratch);
-            assert_eq!(owned, scratch);
+            p.train_into(PhysAddr::new(0x20_0000 + i * 64), &mut scratch);
         }
-        assert_eq!(a.issued, b.issued);
+        assert_eq!(scratch[0].raw(), 0xdead_0000, "pre-existing entries survive");
+        assert!(scratch.len() > 1, "confident stream appended candidates");
     }
 }

@@ -165,6 +165,10 @@ pub struct System {
     pub stats: SimStats,
     /// Optional per-page feature tracker (Table 2 profiling runs).
     pub tracker: Option<FeatureTracker>,
+    /// Optional tap on the consumed reference stream (trace recording):
+    /// sees every [`MemRef`] exactly as [`System::step`] consumes it,
+    /// warm-up included, so a recorded trace replays the whole run.
+    record_hook: Option<Box<dyn FnMut(MemRef)>>,
 }
 
 impl std::fmt::Debug for System {
@@ -303,6 +307,7 @@ impl System {
             epoch: EpochTracker::new(),
             stats: SimStats::default(),
             tracker: None,
+            record_hook: None,
             hier,
             cfg,
         }
@@ -321,6 +326,21 @@ impl System {
     /// Enables per-page feature collection (Table 2 profiling).
     pub fn enable_feature_tracking(&mut self) {
         self.tracker = Some(FeatureTracker::new());
+    }
+
+    /// Installs a tap on the reference stream the core consumes. The
+    /// hook fires once per [`MemRef`], *before* the reference executes
+    /// and from the very first instruction (warm-up included) — exactly
+    /// the stream a `.vtrace` recorder must capture for replay to be
+    /// byte-identical to the live run. Replaces any previous hook.
+    pub fn set_record_hook(&mut self, hook: Box<dyn FnMut(MemRef)>) {
+        self.record_hook = Some(hook);
+    }
+
+    /// Removes and returns the record hook, releasing whatever sink it
+    /// captured (recorders reclaim their writer through this).
+    pub fn take_record_hook(&mut self) -> Option<Box<dyn FnMut(MemRef)>> {
+        self.record_hook.take()
     }
 
     /// Runs for `instructions` instructions (memory + gap instructions).
@@ -393,6 +413,9 @@ impl System {
 
     /// Executes one memory reference through the full model.
     fn step(&mut self, r: MemRef) {
+        if let Some(hook) = self.record_hook.as_mut() {
+            hook(r);
+        }
         let instrs = r.instructions();
         self.stats.instructions += instrs;
         self.stats.mem_refs += 1;

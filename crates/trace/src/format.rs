@@ -1,0 +1,236 @@
+//! On-disk layout of the `.vtrace` format: header schema and the
+//! per-record codec shared by the writer and the reader.
+//!
+//! ```text
+//! file   := header chunk* end
+//! header := magic "VTRC" | uvarint version | str workload
+//!         | uvarint scale | u64le seed | uvarint warmup
+//!         | uvarint measured | uvarint nregions
+//!         | (str name, uvarint bytes, u64le huge_fraction_bits)*
+//!         | str writer
+//! chunk  := uvarint nrecords (> 0) | uvarint payload_len | payload
+//! end    := uvarint 0
+//! str    := uvarint len | len utf8 bytes
+//! ```
+//!
+//! Within a chunk's payload, each record is three varints — the deltas
+//! reset at every chunk boundary so chunks decode independently (and can
+//! be skipped using `payload_len` alone):
+//!
+//! ```text
+//! record := uvarint (gap << 2 | kind)       kind: 0 load, 1 store, 2 ifetch
+//!         | ivarint (vaddr - prev_vaddr)
+//!         | ivarint (pc - prev_pc)
+//! ```
+
+use crate::TraceError;
+use vm_types::codec::{put_uvarint, take_ivarint, take_uvarint};
+use vm_types::{AccessKind, MemRef, VirtAddr, VA_BITS};
+
+/// Leading magic bytes of every trace file.
+pub const MAGIC: [u8; 4] = *b"VTRC";
+
+/// Current format version. Readers reject anything newer.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Hard cap on records per chunk, enforced by writer and reader alike.
+/// Bounding the chunk geometry bounds the reader's payload allocation
+/// (≤ 30 bytes/record → ≤ 128MB), so a corrupt or hostile chunk header
+/// surfaces as a `TraceError::Format` instead of an abort-on-alloc.
+pub const MAX_CHUNK_RECORDS: u64 = 1 << 22;
+
+/// Workload footprint scale recorded in the header.
+///
+/// Mirrors `workloads::Scale` without depending on that crate (the
+/// dependency points the other way: the replay frontend lives in
+/// `workloads` and reads traces written here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceScale {
+    /// Tiny footprints (tens of MB) — the test/check profile.
+    Tiny,
+    /// The evaluation scale (hundreds of MB to GBs).
+    Full,
+}
+
+impl TraceScale {
+    /// Stable wire code.
+    pub fn code(self) -> u64 {
+        match self {
+            TraceScale::Tiny => 0,
+            TraceScale::Full => 1,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u64) -> Option<Self> {
+        match code {
+            0 => Some(TraceScale::Tiny),
+            1 => Some(TraceScale::Full),
+            _ => None,
+        }
+    }
+
+    /// Display name matching `workloads::Scale`'s `Debug` form.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceScale::Tiny => "Tiny",
+            TraceScale::Full => "Full",
+        }
+    }
+}
+
+/// One mapped data region of the recorded workload.
+///
+/// Region layout is provenance *and* replay contract: the simulator maps
+/// these regions (in order, with the recorded seed) before replay, which
+/// reproduces the exact address-space layout the recorded virtual
+/// addresses were generated under.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRegion {
+    /// Human-readable region name ("edges", "hash_table", …).
+    pub name: String,
+    /// Region size in bytes.
+    pub bytes: u64,
+    /// IEEE-754 bits of the region's 2MB-page fraction, stored as raw
+    /// bits so the round trip is bit-exact.
+    pub huge_bits: u64,
+}
+
+impl TraceRegion {
+    /// Builds a region from a huge-page fraction in `[0, 1]`.
+    pub fn new(name: impl Into<String>, bytes: u64, huge_fraction: f64) -> Self {
+        Self { name: name.into(), bytes, huge_bits: huge_fraction.to_bits() }
+    }
+
+    /// The region's 2MB-page fraction.
+    pub fn huge_fraction(&self) -> f64 {
+        f64::from_bits(self.huge_bits)
+    }
+}
+
+/// The self-describing trace header.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceHeader {
+    /// Source workload abbreviation ("RND", "BFS", …).
+    pub workload: String,
+    /// Footprint scale the workload was built at.
+    pub scale: TraceScale,
+    /// Base seed of the recorded run (drives region placement; replay
+    /// must reuse it).
+    pub seed: u64,
+    /// Warm-up instructions of the recorded run.
+    pub warmup: u64,
+    /// Measured instructions of the recorded run.
+    pub measured: u64,
+    /// The workload's mapped regions, in `region_specs` order.
+    pub regions: Vec<TraceRegion>,
+    /// Free-form writer provenance ("victima-trace/1 config=Radix …").
+    pub writer: String,
+}
+
+impl TraceHeader {
+    /// A header with no regions and an empty writer string (builder
+    /// entry point; push regions and set `writer` as needed).
+    pub fn new(
+        workload: impl Into<String>,
+        scale: TraceScale,
+        seed: u64,
+        warmup: u64,
+        measured: u64,
+    ) -> Self {
+        Self {
+            workload: workload.into(),
+            scale,
+            seed,
+            warmup,
+            measured,
+            regions: Vec::new(),
+            writer: String::new(),
+        }
+    }
+
+    /// Total recorded footprint in bytes (sum of region sizes).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.bytes).sum()
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_uvarint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Serialises a header to bytes (magic included).
+pub(crate) fn encode_header(h: &TraceHeader, out: &mut Vec<u8>) {
+    out.extend_from_slice(&MAGIC);
+    put_uvarint(out, FORMAT_VERSION);
+    put_str(out, &h.workload);
+    put_uvarint(out, h.scale.code());
+    out.extend_from_slice(&h.seed.to_le_bytes());
+    put_uvarint(out, h.warmup);
+    put_uvarint(out, h.measured);
+    put_uvarint(out, h.regions.len() as u64);
+    for r in &h.regions {
+        put_str(out, &r.name);
+        put_uvarint(out, r.bytes);
+        out.extend_from_slice(&r.huge_bits.to_le_bytes());
+    }
+    put_str(out, &h.writer);
+}
+
+/// Record kind wire codes.
+const KIND_LOAD: u64 = 0;
+const KIND_STORE: u64 = 1;
+const KIND_IFETCH: u64 = 2;
+
+pub(crate) fn kind_code(kind: AccessKind) -> u64 {
+    match kind {
+        AccessKind::Load => KIND_LOAD,
+        AccessKind::Store => KIND_STORE,
+        AccessKind::IFetch => KIND_IFETCH,
+    }
+}
+
+/// Rolling delta state, reset at every chunk boundary.
+#[derive(Debug, Default)]
+pub(crate) struct DeltaState {
+    pub vaddr: u64,
+    pub pc: u64,
+}
+
+/// Encodes one record against the rolling state.
+pub(crate) fn encode_record(out: &mut Vec<u8>, state: &mut DeltaState, r: MemRef) {
+    put_uvarint(out, ((r.gap as u64) << 2) | kind_code(r.kind));
+    vm_types::codec::put_ivarint(out, (r.vaddr.raw() as i64).wrapping_sub(state.vaddr as i64));
+    vm_types::codec::put_ivarint(out, (r.pc as i64).wrapping_sub(state.pc as i64));
+    state.vaddr = r.vaddr.raw();
+    state.pc = r.pc;
+}
+
+/// Decodes one record from a chunk payload, advancing `pos`.
+pub(crate) fn decode_record(
+    payload: &[u8],
+    pos: &mut usize,
+    state: &mut DeltaState,
+) -> Result<MemRef, TraceError> {
+    let corrupt = |what: &str| TraceError::Format(format!("corrupt record: {what}"));
+    let tag = take_uvarint(payload, pos).ok_or_else(|| corrupt("bad tag varint"))?;
+    let kind = match tag & 3 {
+        KIND_LOAD => AccessKind::Load,
+        KIND_STORE => AccessKind::Store,
+        KIND_IFETCH => AccessKind::IFetch,
+        _ => return Err(corrupt("unknown access kind")),
+    };
+    let gap = tag >> 2;
+    if gap > u32::MAX as u64 {
+        return Err(corrupt("gap exceeds 32 bits"));
+    }
+    let dva = take_ivarint(payload, pos).ok_or_else(|| corrupt("bad vaddr delta"))?;
+    let dpc = take_ivarint(payload, pos).ok_or_else(|| corrupt("bad pc delta"))?;
+    state.vaddr = state.vaddr.wrapping_add(dva as u64);
+    state.pc = state.pc.wrapping_add(dpc as u64);
+    if state.vaddr >> VA_BITS != 0 {
+        return Err(corrupt("virtual address exceeds 48 bits"));
+    }
+    Ok(MemRef { vaddr: VirtAddr::new(state.vaddr), kind, pc: state.pc, gap: gap as u32 })
+}

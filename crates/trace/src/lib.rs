@@ -1,0 +1,97 @@
+//! The `.vtrace` binary memory-reference trace format: a recorder
+//! ([`TraceWriter`]) and a replay reader ([`TraceReader`]).
+//!
+//! The paper's methodology (and the Sniper-based follow-ups it spawned)
+//! is trace-driven: figures come from replaying fixed reference streams.
+//! This crate turns the reproduction's synthetic generator loop into an
+//! open platform — record a workload once, replay it anywhere, or ingest
+//! externally produced traces — with replay as the cheapest possible
+//! path through the simulator hot loop (no generator work per record).
+//!
+//! A trace is self-describing: a header carries the format version, the
+//! source workload's name, scale, seed, instruction budgets and region
+//! layout (everything the simulator needs to rebuild the *identical*
+//! address-space mapping), followed by a stream of memory-reference
+//! records. Records are delta-encoded with LEB128 varints ([`vm_types::codec`])
+//! and grouped into chunks (~64K records each) whose headers carry the
+//! record count and payload byte length, so readers can skip warm-up
+//! prefixes without decoding them. See DESIGN.md ("Trace capture &
+//! replay") for the byte-level layout.
+//!
+//! The defining invariant, enforced by `tests/trace_replay.rs` at the
+//! workspace root: recording a workload and replaying the trace yields
+//! simulation statistics byte-identical to the live generator run with
+//! the same seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use victima_trace::{TraceHeader, TraceReader, TraceScale, TraceWriter};
+//! use vm_types::{MemRef, VirtAddr};
+//!
+//! let header = TraceHeader::new("RND", TraceScale::Tiny, 42, 1_000, 10_000);
+//! let mut writer = TraceWriter::new(Vec::new(), &header).unwrap();
+//! writer.push(MemRef::load(VirtAddr::new(0x1000), 0x40_0000, 3));
+//! writer.push(MemRef::store(VirtAddr::new(0x1040), 0x40_0040, 0));
+//! let (bytes, summary) = writer.finish_into_inner().unwrap();
+//! assert_eq!(summary.counts.records, 2);
+//!
+//! let mut reader = TraceReader::new(&bytes[..]).unwrap();
+//! assert_eq!(reader.header().workload, "RND");
+//! let refs: Vec<MemRef> = reader.records().map(|r| r.unwrap()).collect();
+//! assert_eq!(refs.len(), 2);
+//! assert_eq!(refs[1].vaddr, VirtAddr::new(0x1040));
+//! ```
+
+#![deny(missing_docs)]
+
+mod format;
+mod reader;
+mod writer;
+
+pub use format::{TraceHeader, TraceRegion, TraceScale, FORMAT_VERSION, MAGIC, MAX_CHUNK_RECORDS};
+pub use reader::{Records, TraceReader};
+pub use writer::{TraceCounts, TraceSummary, TraceWriter, DEFAULT_CHUNK_RECORDS};
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced while reading or writing a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The bytes are not a valid `.vtrace` stream (bad magic, unsupported
+    /// version, truncation, or a corrupt record).
+    Format(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::Format(m) => write!(f, "malformed trace: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        // A short read inside the format layer means the file was cut off,
+        // which is a format problem, not an environment problem.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::Format("unexpected end of file (truncated trace)".to_owned())
+        } else {
+            TraceError::Io(e)
+        }
+    }
+}

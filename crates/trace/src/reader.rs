@@ -1,0 +1,240 @@
+//! Streaming trace reader with an iterator API and zero per-record
+//! allocation (records decode out of a reused chunk buffer).
+
+use crate::format::{decode_record, DeltaState, TraceHeader, TraceRegion, TraceScale, FORMAT_VERSION, MAGIC};
+use crate::TraceError;
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+use vm_types::MemRef;
+
+/// Hard cap on header string/region lengths, so a corrupt length varint
+/// fails fast instead of attempting a multi-gigabyte allocation.
+const MAX_HEADER_FIELD: u64 = 1 << 20;
+
+fn bad(msg: impl Into<String>) -> TraceError {
+    TraceError::Format(msg.into())
+}
+
+/// Reads one LEB128 varint from a byte stream.
+fn read_uvarint<R: Read>(src: &mut R) -> Result<u64, TraceError> {
+    let mut v: u64 = 0;
+    let mut byte = [0u8; 1];
+    for group in 0..vm_types::codec::MAX_VARINT_BYTES {
+        src.read_exact(&mut byte)?;
+        let payload = (byte[0] & 0x7f) as u64;
+        if group == vm_types::codec::MAX_VARINT_BYTES - 1 && payload > 1 {
+            return Err(bad("varint overflows 64 bits"));
+        }
+        v |= payload << (7 * group);
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(bad("varint overflows 64 bits"))
+}
+
+fn read_str<R: Read>(src: &mut R, what: &str) -> Result<String, TraceError> {
+    let len = read_uvarint(src)?;
+    if len > MAX_HEADER_FIELD {
+        return Err(bad(format!("{what} length {len} is implausible")));
+    }
+    let mut buf = vec![0u8; len as usize];
+    src.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| bad(format!("{what} is not valid UTF-8")))
+}
+
+fn read_u64le<R: Read>(src: &mut R) -> Result<u64, TraceError> {
+    let mut buf = [0u8; 8];
+    src.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_header<R: Read>(src: &mut R) -> Result<TraceHeader, TraceError> {
+    let mut magic = [0u8; 4];
+    src.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(bad(format!("bad magic {magic:02x?} (expected {MAGIC:02x?} — not a .vtrace file?)")));
+    }
+    let version = read_uvarint(src)?;
+    if version != FORMAT_VERSION {
+        return Err(bad(format!(
+            "unsupported format version {version} (this reader speaks {FORMAT_VERSION})"
+        )));
+    }
+    let workload = read_str(src, "workload name")?;
+    let scale_code = read_uvarint(src)?;
+    let scale =
+        TraceScale::from_code(scale_code).ok_or_else(|| bad(format!("unknown scale code {scale_code}")))?;
+    let seed = read_u64le(src)?;
+    let warmup = read_uvarint(src)?;
+    let measured = read_uvarint(src)?;
+    let nregions = read_uvarint(src)?;
+    if nregions > MAX_HEADER_FIELD {
+        return Err(bad(format!("region count {nregions} is implausible")));
+    }
+    let mut regions = Vec::with_capacity(nregions as usize);
+    for _ in 0..nregions {
+        let name = read_str(src, "region name")?;
+        let bytes = read_uvarint(src)?;
+        let huge_bits = read_u64le(src)?;
+        regions.push(TraceRegion { name, bytes, huge_bits });
+    }
+    let writer = read_str(src, "writer provenance")?;
+    Ok(TraceHeader { workload, scale, seed, warmup, measured, regions, writer })
+}
+
+/// Streaming `.vtrace` reader.
+///
+/// The header is parsed eagerly by [`TraceReader::new`]; records are then
+/// pulled chunk-wise with [`TraceReader::read_chunk`] (appending into a
+/// caller-owned buffer, the replay hot path), skipped wholesale with
+/// [`TraceReader::skip_chunk`] (warm-up skip: only the chunk header is
+/// decoded), or iterated one by one via [`TraceReader::records`].
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    src: R,
+    header: TraceHeader,
+    payload: Vec<u8>,
+    chunks_read: u64,
+    finished: bool,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens a trace file and parses its header.
+    pub fn open_path(path: &Path) -> Result<Self, TraceError> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps a byte source and parses the header.
+    pub fn new(mut src: R) -> Result<Self, TraceError> {
+        let header = read_header(&mut src)?;
+        Ok(Self { src, header, payload: Vec::new(), chunks_read: 0, finished: false })
+    }
+
+    /// The trace's self-describing header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Chunks consumed so far (read or skipped).
+    pub fn chunks_read(&self) -> u64 {
+        self.chunks_read
+    }
+
+    /// Reads the next chunk header, or `None` at the end-of-stream marker.
+    fn next_chunk_len(&mut self) -> Result<Option<(u64, u64)>, TraceError> {
+        if self.finished {
+            return Ok(None);
+        }
+        let records = read_uvarint(&mut self.src)?;
+        if records == 0 {
+            self.finished = true;
+            return Ok(None);
+        }
+        if records > crate::MAX_CHUNK_RECORDS {
+            return Err(bad(format!(
+                "chunk declares {records} records (cap {}); refusing the implied allocation",
+                crate::MAX_CHUNK_RECORDS
+            )));
+        }
+        let len = read_uvarint(&mut self.src)?;
+        // Every record is 3 varints of 1–10 bytes each; with the record
+        // cap above this bounds the payload buffer at ~128MB.
+        if len < records.saturating_mul(3)
+            || len > records.saturating_mul(3 * vm_types::codec::MAX_VARINT_BYTES as u64)
+        {
+            return Err(bad(format!(
+                "chunk of {records} records declares implausible payload of {len} bytes"
+            )));
+        }
+        Ok(Some((records, len)))
+    }
+
+    /// Decodes the next chunk, appending its records to `out` (which is
+    /// *not* cleared). Returns the number of records appended; `Ok(0)`
+    /// means the trace ended cleanly.
+    pub fn read_chunk(&mut self, out: &mut Vec<MemRef>) -> Result<usize, TraceError> {
+        let Some((records, len)) = self.next_chunk_len()? else {
+            return Ok(0);
+        };
+        self.payload.resize(len as usize, 0);
+        self.src.read_exact(&mut self.payload)?;
+        out.reserve(records as usize);
+        let mut pos = 0;
+        let mut state = DeltaState::default();
+        for _ in 0..records {
+            out.push(decode_record(&self.payload, &mut pos, &mut state)?);
+        }
+        if pos != self.payload.len() {
+            return Err(bad(format!(
+                "chunk payload has {} trailing bytes after its {records} records",
+                self.payload.len() - pos
+            )));
+        }
+        self.chunks_read += 1;
+        Ok(records as usize)
+    }
+
+    /// Skips the next chunk without decoding its records (cheap warm-up
+    /// skip: only the two-varint chunk header is parsed). Returns the
+    /// skipped record count, or `None` at the end of the trace.
+    pub fn skip_chunk(&mut self) -> Result<Option<u64>, TraceError> {
+        let Some((records, len)) = self.next_chunk_len()? else {
+            return Ok(None);
+        };
+        std::io::copy(&mut self.src.by_ref().take(len), &mut std::io::sink()).map_err(TraceError::from)?;
+        self.chunks_read += 1;
+        Ok(Some(records))
+    }
+
+    /// Consumes the reader into a per-record iterator (chunk decoding is
+    /// amortised through an internal reused buffer).
+    pub fn records(self) -> Records<R> {
+        Records { reader: self, buf: Vec::new(), pos: 0, failed: false }
+    }
+}
+
+/// Iterator over every record of a trace; yields an `Err` once and then
+/// terminates if the stream is corrupt.
+#[derive(Debug)]
+pub struct Records<R: Read> {
+    reader: TraceReader<R>,
+    buf: Vec<MemRef>,
+    pos: usize,
+    failed: bool,
+}
+
+impl<R: Read> Records<R> {
+    /// The underlying trace header.
+    pub fn header(&self) -> &TraceHeader {
+        self.reader.header()
+    }
+}
+
+impl<R: Read> Iterator for Records<R> {
+    type Item = Result<MemRef, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        while self.pos >= self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            match self.reader.read_chunk(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        let r = self.buf[self.pos];
+        self.pos += 1;
+        Some(Ok(r))
+    }
+}

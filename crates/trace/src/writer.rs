@@ -1,0 +1,190 @@
+//! Streaming trace recorder.
+
+use crate::format::{encode_header, encode_record, DeltaState, TraceHeader};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use vm_types::codec::put_uvarint;
+use vm_types::{AccessKind, MemRef};
+
+/// Records per chunk before the writer flushes it (≈64K, so readers can
+/// skip warm-up prefixes in coarse, cheap steps).
+pub const DEFAULT_CHUNK_RECORDS: u64 = 65_536;
+
+/// Per-kind record tallies accumulated while writing (or scanning) a
+/// trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCounts {
+    /// Total records.
+    pub records: u64,
+    /// Data loads.
+    pub loads: u64,
+    /// Data stores.
+    pub stores: u64,
+    /// Instruction fetches (not produced by the bundled workloads, but
+    /// legal in externally recorded traces).
+    pub ifetches: u64,
+    /// Instructions the records account for (Σ gap + 1).
+    pub instructions: u64,
+}
+
+impl TraceCounts {
+    /// Folds one record into the tallies.
+    pub fn observe(&mut self, r: MemRef) {
+        self.records += 1;
+        self.instructions += r.instructions();
+        match r.kind {
+            AccessKind::Load => self.loads += 1,
+            AccessKind::Store => self.stores += 1,
+            AccessKind::IFetch => self.ifetches += 1,
+        }
+    }
+}
+
+/// What a finished recording produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Per-kind record tallies.
+    pub counts: TraceCounts,
+    /// Chunks written.
+    pub chunks: u64,
+    /// Total encoded bytes (header + chunks + end marker).
+    pub bytes: u64,
+}
+
+/// Streaming `.vtrace` writer with zero per-record allocation: records
+/// are delta-encoded into a reused chunk buffer and flushed every
+/// [`DEFAULT_CHUNK_RECORDS`] records.
+///
+/// [`TraceWriter::push`] is infallible so it can sit behind the
+/// simulator's record hook (a plain `FnMut(MemRef)`); I/O errors are
+/// stashed and surfaced by [`TraceWriter::finish`].
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    payload: Vec<u8>,
+    head: Vec<u8>,
+    chunk_records: u64,
+    max_chunk_records: u64,
+    state: DeltaState,
+    counts: TraceCounts,
+    chunks: u64,
+    bytes: u64,
+    deferred: Option<io::Error>,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates `path` (and any missing parent directories) and writes the
+    /// header.
+    pub fn create(path: &Path, header: &TraceHeader) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Self::new(BufWriter::new(File::create(path)?), header)
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps `sink` and immediately writes the header.
+    pub fn new(mut sink: W, header: &TraceHeader) -> io::Result<Self> {
+        let mut head = Vec::with_capacity(256);
+        encode_header(header, &mut head);
+        sink.write_all(&head)?;
+        let bytes = head.len() as u64;
+        head.clear();
+        Ok(Self {
+            sink,
+            payload: Vec::with_capacity(64 * 1024),
+            head,
+            chunk_records: 0,
+            max_chunk_records: DEFAULT_CHUNK_RECORDS,
+            state: DeltaState::default(),
+            counts: TraceCounts::default(),
+            chunks: 0,
+            bytes,
+            deferred: None,
+        })
+    }
+
+    /// Overrides the chunk size (tests exercise multi-chunk traces with
+    /// small budgets; production recording keeps the default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is zero or exceeds
+    /// [`crate::MAX_CHUNK_RECORDS`] (readers enforce the same cap, so a
+    /// larger chunk would produce an unreadable file).
+    pub fn with_chunk_records(mut self, records: u64) -> Self {
+        assert!(records > 0, "a chunk holds at least one record");
+        assert!(
+            records <= crate::MAX_CHUNK_RECORDS,
+            "chunks are capped at {} records (readers refuse larger allocations)",
+            crate::MAX_CHUNK_RECORDS
+        );
+        self.max_chunk_records = records;
+        self
+    }
+
+    /// Appends one record. Never fails; I/O errors are deferred to
+    /// [`TraceWriter::finish`].
+    #[inline]
+    pub fn push(&mut self, r: MemRef) {
+        if self.deferred.is_some() {
+            return;
+        }
+        encode_record(&mut self.payload, &mut self.state, r);
+        self.counts.observe(r);
+        self.chunk_records += 1;
+        if self.chunk_records >= self.max_chunk_records {
+            self.flush_chunk();
+        }
+    }
+
+    /// Running tallies of everything pushed so far.
+    pub fn counts(&self) -> TraceCounts {
+        self.counts
+    }
+
+    fn flush_chunk(&mut self) {
+        if self.chunk_records == 0 {
+            return;
+        }
+        self.head.clear();
+        put_uvarint(&mut self.head, self.chunk_records);
+        put_uvarint(&mut self.head, self.payload.len() as u64);
+        let res = self.sink.write_all(&self.head).and_then(|()| self.sink.write_all(&self.payload));
+        if let Err(e) = res {
+            self.deferred = Some(e);
+            return;
+        }
+        self.bytes += (self.head.len() + self.payload.len()) as u64;
+        self.chunks += 1;
+        self.chunk_records = 0;
+        self.payload.clear();
+        // Deltas reset at chunk boundaries so chunks decode independently.
+        self.state = DeltaState::default();
+    }
+
+    /// Flushes the final chunk, writes the end-of-stream marker and
+    /// returns the summary, surfacing any deferred I/O error.
+    pub fn finish(self) -> io::Result<TraceSummary> {
+        self.finish_into_inner().map(|(_, s)| s)
+    }
+
+    /// [`TraceWriter::finish`], additionally handing back the sink (used
+    /// when writing into an in-memory buffer).
+    pub fn finish_into_inner(mut self) -> io::Result<(W, TraceSummary)> {
+        self.flush_chunk();
+        if let Some(e) = self.deferred.take() {
+            return Err(e);
+        }
+        self.head.clear();
+        put_uvarint(&mut self.head, 0);
+        self.sink.write_all(&self.head)?;
+        self.bytes += self.head.len() as u64;
+        self.sink.flush()?;
+        Ok((self.sink, TraceSummary { counts: self.counts, chunks: self.chunks, bytes: self.bytes }))
+    }
+}

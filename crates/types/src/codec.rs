@@ -1,0 +1,175 @@
+//! LEB128 varint and zigzag codecs for compact binary encodings.
+//!
+//! These sit next to [`crate::SplitMix64`] as the workspace's shared
+//! byte-level primitives: the `victima-trace` crate delta-encodes memory
+//! reference streams with them, and property tests drive them with
+//! SplitMix64 streams. Unsigned values use standard LEB128 (7 payload
+//! bits per byte, high bit = continuation, little-endian groups); signed
+//! values are zigzag-folded first so small-magnitude deltas of either
+//! sign stay short.
+//!
+//! # Examples
+//!
+//! ```
+//! use vm_types::codec;
+//!
+//! let mut buf = Vec::new();
+//! codec::put_uvarint(&mut buf, 300);
+//! codec::put_ivarint(&mut buf, -2);
+//! let mut pos = 0;
+//! assert_eq!(codec::take_uvarint(&buf, &mut pos), Some(300));
+//! assert_eq!(codec::take_ivarint(&buf, &mut pos), Some(-2));
+//! assert_eq!(pos, buf.len());
+//! ```
+
+/// Maximum encoded length of one 64-bit varint (⌈64 / 7⌉ bytes).
+pub const MAX_VARINT_BYTES: usize = 10;
+
+/// Appends `v` to `buf` as a LEB128 varint (1–10 bytes).
+#[inline]
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Decodes one LEB128 varint from `bytes` starting at `*pos`, advancing
+/// `*pos` past it. Returns `None` — leaving `*pos` untouched — if the
+/// input is truncated mid-varint or the encoding overflows 64 bits (an
+/// 11th continuation byte, or a 10th byte above 1).
+#[inline]
+pub fn take_uvarint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut cursor = *pos;
+    for shift_bytes in 0..MAX_VARINT_BYTES {
+        let b = *bytes.get(cursor)?;
+        cursor += 1;
+        let payload = (b & 0x7f) as u64;
+        // The 10th byte carries bits 63.. and may only contribute one bit.
+        if shift_bytes == MAX_VARINT_BYTES - 1 && payload > 1 {
+            return None;
+        }
+        v |= payload << (7 * shift_bytes);
+        if b & 0x80 == 0 {
+            *pos = cursor;
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Zigzag-folds a signed value so small magnitudes of either sign map to
+/// small unsigned values (`0, -1, 1, -2, … → 0, 1, 2, 3, …`).
+#[inline]
+pub const fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub const fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Appends a signed value as a zigzag-folded LEB128 varint.
+#[inline]
+pub fn put_ivarint(buf: &mut Vec<u8>, v: i64) {
+    put_uvarint(buf, zigzag(v));
+}
+
+/// Decodes one zigzag-folded varint; same contract as [`take_uvarint`].
+#[inline]
+pub fn take_ivarint(bytes: &[u8], pos: &mut usize) -> Option<i64> {
+    take_uvarint(bytes, pos).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_encode_in_one_byte() {
+        for v in 0..0x80u64 {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            assert_eq!(buf, vec![v as u8]);
+        }
+    }
+
+    #[test]
+    fn max_value_uses_ten_bytes_and_round_trips() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), MAX_VARINT_BYTES);
+        let mut pos = 0;
+        assert_eq!(take_uvarint(&buf, &mut pos), Some(u64::MAX));
+        assert_eq!(pos, MAX_VARINT_BYTES);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected_without_advancing() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 1 << 40);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(take_uvarint(&buf[..cut], &mut pos), None, "cut at {cut}");
+            assert_eq!(pos, 0, "failed decode must not advance");
+        }
+    }
+
+    #[test]
+    fn overflowing_encodings_are_rejected() {
+        // 11 continuation bytes: walks past the 10-byte cap.
+        let overlong = [0x80u8; 11];
+        assert_eq!(take_uvarint(&overlong, &mut 0), None);
+        // 10th byte contributing more than bit 63.
+        let mut too_big = vec![0x80u8; 9];
+        too_big.push(0x02);
+        assert_eq!(take_uvarint(&too_big, &mut 0), None);
+        // 10th byte equal to 1 is exactly u64::MAX's top bit: accepted.
+        let mut max = vec![0xffu8; 9];
+        max.push(0x01);
+        assert_eq!(take_uvarint(&max, &mut 0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn zigzag_orders_by_magnitude() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+        for v in [0, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn mixed_stream_round_trips() {
+        // Ok = unsigned entry, Err = signed entry; shifts spread the
+        // magnitudes across every encoded length.
+        let mut rng = crate::SplitMix64::new(0xc0dec);
+        let mut buf = Vec::new();
+        let mut expect: Vec<Result<u64, i64>> = Vec::new();
+        for _ in 0..4_000 {
+            let raw = rng.next_u64() >> (rng.next_below(64) as u32);
+            if rng.chance(0.5) {
+                put_uvarint(&mut buf, raw);
+                expect.push(Ok(raw));
+            } else {
+                let v = if rng.chance(0.5) { (raw as i64).wrapping_neg() } else { raw as i64 };
+                put_ivarint(&mut buf, v);
+                expect.push(Err(v));
+            }
+        }
+        let mut pos = 0;
+        for e in expect {
+            match e {
+                Ok(v) => assert_eq!(take_uvarint(&buf, &mut pos), Some(v)),
+                Err(v) => assert_eq!(take_ivarint(&buf, &mut pos), Some(v)),
+            }
+        }
+        assert_eq!(pos, buf.len());
+    }
+}

@@ -6,8 +6,10 @@
 //! ([`PageSize`]), identifier newtypes ([`Asid`], [`Vmid`]), the memory
 //! reference record produced by workload generators ([`MemRef`]), a family
 //! of small statistics helpers ([`Histogram`], [`ReuseHistogram`],
-//! [`RunningMean`]) and a deterministic, allocation-free random number
-//! generator ([`SplitMix64`]) used by the procedural workloads.
+//! [`RunningMean`]), a deterministic, allocation-free random number
+//! generator ([`SplitMix64`]) used by the procedural workloads, and the
+//! LEB128 varint / zigzag codecs ([`codec`]) underlying the binary trace
+//! format.
 //!
 //! # Examples
 //!
@@ -23,6 +25,7 @@
 
 pub mod access;
 pub mod addr;
+pub mod codec;
 pub mod ident;
 pub mod page;
 pub mod rng;

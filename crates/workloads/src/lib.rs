@@ -16,6 +16,10 @@
 //! (2MB), and that the leaf page tables of the TLB-hostile structures
 //! exceed the cache hierarchy, which holds at [`Scale::Full`].
 //!
+//! Beyond the generators, [`replay`] turns a recorded `.vtrace` file
+//! into a workload: the registry name `trace:<path>` replays the file
+//! with statistics byte-identical to the live run it was captured from.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,6 +42,7 @@ pub mod graph;
 pub mod gups;
 pub mod mixes;
 pub mod registry;
+pub mod replay;
 pub mod xsbench;
 
 use vm_types::{MemRef, VirtAddr};

@@ -1,0 +1,243 @@
+//! Trace-driven workload frontend: replays a recorded `.vtrace` file as
+//! a [`Workload`], making replay the fastest path through the simulator
+//! hot loop (chunk decode instead of generator work per reference).
+//!
+//! Replay reproduces the *identical* run: the trace header carries the
+//! recorded region layout, scale and seed, so the simulator rebuilds the
+//! same address-space mapping and the recorded absolute virtual
+//! addresses land on the same pages. The registry exposes this as the
+//! `trace:<path>` workload name ([`crate::registry::by_name_seeded`]),
+//! which keeps the batch engine's contract intact: the spec string is
+//! `Send`, and every worker opens its own reader.
+
+use crate::{RegionSpec, Scale, Workload};
+use std::collections::HashSet;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use victima_trace::{TraceHeader, TraceReader, TraceScale};
+use vm_types::{MemRef, VirtAddr};
+
+/// Registry prefix selecting trace replay: `trace:<path>`.
+pub const TRACE_PREFIX: &str = "trace:";
+
+/// The registry workload name replaying `path` (`trace:<path>`).
+pub fn trace_name(path: &Path) -> String {
+    format!("{TRACE_PREFIX}{}", path.display())
+}
+
+/// Leak-based string interner: [`Workload::name`] and
+/// [`RegionSpec::name`] want `&'static str`, but trace-loaded names only
+/// exist at runtime. Interning bounds the leak to one copy per distinct
+/// name for the process lifetime.
+fn intern(s: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let set = INTERNED.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut guard = set.lock().expect("intern table poisoned");
+    if let Some(&have) = guard.get(s) {
+        return have;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
+impl From<TraceScale> for Scale {
+    fn from(s: TraceScale) -> Self {
+        match s {
+            TraceScale::Tiny => Scale::Tiny,
+            TraceScale::Full => Scale::Full,
+        }
+    }
+}
+
+impl From<Scale> for TraceScale {
+    fn from(s: Scale) -> Self {
+        match s {
+            Scale::Tiny => TraceScale::Tiny,
+            Scale::Full => TraceScale::Full,
+        }
+    }
+}
+
+/// A workload that replays a `.vtrace` file.
+///
+/// The stream is exactly as long as the recorded run; replaying past the
+/// recorded instruction budget panics (an infinite generator cannot be
+/// faked from a finite trace without breaking the byte-identical
+/// contract).
+pub struct TraceWorkload {
+    reader: TraceReader<BufReader<File>>,
+    path: PathBuf,
+    name: &'static str,
+    specs: Vec<RegionSpec>,
+    delivered: u64,
+}
+
+impl std::fmt::Debug for TraceWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceWorkload")
+            .field("path", &self.path)
+            .field("workload", &self.name)
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+impl TraceWorkload {
+    /// Opens a trace for replay at the given scale and seed.
+    ///
+    /// The requested scale and seed must match the recorded ones: region
+    /// placement is a function of both, and a mismatched mapping would
+    /// silently send the recorded addresses to unmapped (or wrong)
+    /// pages. Errors are rendered as actionable strings — the registry
+    /// front door panics with them.
+    pub fn open(path: &Path, scale: Scale, seed: u64) -> Result<Self, String> {
+        let reader = TraceReader::open_path(path)
+            .map_err(|e| format!("trace replay: cannot read {}: {e}", path.display()))?;
+        let h = reader.header();
+        if Scale::from(h.scale) != scale {
+            return Err(format!(
+                "trace replay: {} was recorded at scale {:?} but the run requests {:?}",
+                path.display(),
+                Scale::from(h.scale),
+                scale
+            ));
+        }
+        if h.seed != seed {
+            return Err(format!(
+                "trace replay: {} was recorded with seed {:#x} but the run requests {:#x}; \
+                 replay must reuse the recorded seed (region placement depends on it)",
+                path.display(),
+                h.seed,
+                seed
+            ));
+        }
+        let name = intern(&h.workload);
+        let specs = h
+            .regions
+            .iter()
+            .map(|r| RegionSpec { name: intern(&r.name), bytes: r.bytes, huge_fraction: r.huge_fraction() })
+            .collect();
+        Ok(Self { reader, path: path.to_owned(), name, specs, delivered: 0 })
+    }
+
+    /// The trace's self-describing header (provenance, budgets, layout).
+    pub fn header(&self) -> &TraceHeader {
+        self.reader.header()
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn region_specs(&self) -> Vec<RegionSpec> {
+        self.specs.clone()
+    }
+
+    fn init(&mut self, bases: &[VirtAddr]) {
+        // The simulator maps the recorded regions in order; the recorded
+        // absolute addresses already point into them, so the bases are
+        // only sanity-checked, not consumed.
+        assert_eq!(
+            bases.len(),
+            self.specs.len(),
+            "trace replay: {} regions mapped, trace declares {}",
+            bases.len(),
+            self.specs.len()
+        );
+    }
+
+    fn fill(&mut self, out: &mut Vec<MemRef>) {
+        match self.reader.read_chunk(out) {
+            Ok(0) => panic!(
+                "trace replay: {} is exhausted after {} records (recorded budget: {} warm-up + {} \
+                 measured instructions); the replay budget must not exceed the recorded run",
+                self.path.display(),
+                self.delivered,
+                self.reader.header().warmup,
+                self.reader.header().measured,
+            ),
+            Ok(n) => self.delivered += n as u64,
+            Err(e) => panic!("trace replay: {}: {e}", self.path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadStream;
+    use victima_trace::{TraceRegion, TraceWriter};
+
+    fn write_test_trace(path: &Path, seed: u64, refs: &[MemRef]) {
+        let mut h = TraceHeader::new("RND", TraceScale::Tiny, seed, 100, 1_000);
+        h.regions.push(TraceRegion::new("table", 1 << 20, 0.25));
+        let mut w = TraceWriter::create(path, &h).unwrap();
+        for &r in refs {
+            w.push(r);
+        }
+        w.finish().unwrap();
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vtrace-replay-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn replays_recorded_refs_verbatim() {
+        let path = tmp("verbatim.vtrace");
+        let refs: Vec<MemRef> =
+            (0..500).map(|i| MemRef::load(VirtAddr::new(0x10_0000 + i * 64), 0x40_0000, 2)).collect();
+        write_test_trace(&path, 7, &refs);
+        let mut w = TraceWorkload::open(&path, Scale::Tiny, 7).unwrap();
+        let specs = w.region_specs();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].name, "table");
+        assert_eq!(specs[0].huge_fraction, 0.25);
+        w.init(&[VirtAddr::new(0x10_0000)]);
+        assert_eq!(w.name(), "RND");
+        let mut stream = WorkloadStream::new(Box::new(w));
+        let got: Vec<MemRef> = (0..500).map(|_| stream.next_ref()).collect();
+        assert_eq!(got, refs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seed_and_scale_mismatches_are_refused() {
+        let path = tmp("mismatch.vtrace");
+        write_test_trace(&path, 7, &[MemRef::load(VirtAddr::new(0x1000), 1, 0)]);
+        let err = TraceWorkload::open(&path, Scale::Tiny, 8).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+        let err = TraceWorkload::open(&path, Scale::Full, 7).unwrap_err();
+        assert!(err.contains("scale"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_actionable_error() {
+        let err = TraceWorkload::open(Path::new("/nonexistent/nope.vtrace"), Scale::Tiny, 1).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics_instead_of_looping() {
+        let path = tmp("exhausted.vtrace");
+        write_test_trace(&path, 7, &[MemRef::load(VirtAddr::new(0x1000), 1, 0)]);
+        let mut w = TraceWorkload::open(&path, Scale::Tiny, 7).unwrap();
+        let mut out = Vec::new();
+        w.fill(&mut out); // the single recorded chunk
+        w.fill(&mut out); // past the end
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let a = intern("BFS-like");
+        let b = intern("BFS-like");
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -18,7 +18,10 @@
 //!   the PTW cost predictor, the TLB-aware SRRIP policy, and the Table 2
 //!   predictor design study;
 //! - [`sim`] — the full-system simulator and every evaluated system;
-//! - `workloads` — procedural analogues of the 11 evaluated workloads;
+//! - `workloads` — procedural analogues of the 11 evaluated workloads,
+//!   plus the `trace:<path>` replay frontend;
+//! - [`trace`] (`victima-trace`) — the compact `.vtrace` binary trace
+//!   format: recorder, replay reader, chunked delta/varint codec;
 //! - [`report`] — the typed results pipeline: experiment reports with
 //!   units and provenance, JSON/CSV/text/markdown renderers, and the
 //!   baseline `--check` regression gate.
@@ -44,5 +47,6 @@ pub use report;
 pub use sim;
 pub use tlb_sim as tlb;
 pub use victima;
+pub use victima_trace as trace;
 pub use vm_types as types;
 pub use workloads;

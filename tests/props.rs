@@ -186,3 +186,65 @@ fn page_table_walk_returns_mapping() {
         }
     }
 }
+
+/// Varint codec: any seeded stream of 64-bit values round-trips, and
+/// every prefix truncation of the encoding is rejected without panicking.
+#[test]
+fn varint_round_trips_and_rejects_truncation() {
+    use victima_repro::types::codec;
+    let mut rng = SplitMix64::new(0x9009);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_below(64) as usize;
+        let values: Vec<u64> = (0..n).map(|_| rng.next_u64() >> (rng.next_below(64) as u32)).collect();
+        let mut buf = Vec::new();
+        for &v in &values {
+            codec::put_uvarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(codec::take_uvarint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len(), "decode must consume exactly the encoding");
+        // Any truncation of a single max-length encoding fails cleanly.
+        let mut one = Vec::new();
+        codec::put_uvarint(&mut one, u64::MAX);
+        assert_eq!(one.len(), codec::MAX_VARINT_BYTES);
+        for cut in 0..one.len() {
+            assert_eq!(codec::take_uvarint(&one[..cut], &mut 0), None);
+        }
+    }
+}
+
+/// Delta codec: random (vaddr, pc, gap, kind) streams survive the full
+/// `.vtrace` write→read cycle verbatim at arbitrary chunk sizes.
+#[test]
+fn trace_delta_codec_round_trips_random_streams() {
+    use victima_repro::trace::{TraceHeader, TraceReader, TraceScale, TraceWriter};
+    use victima_repro::types::MemRef;
+    let mut rng = SplitMix64::new(0x900a);
+    for case in 0..20 {
+        let n = 1 + rng.next_below(3_000) as usize;
+        let chunk = 1 + rng.next_below(300);
+        let refs: Vec<MemRef> = (0..n)
+            .map(|_| {
+                let vaddr = VirtAddr::new(rng.next_below(1 << 48));
+                let pc = rng.next_u64();
+                let gap = rng.next_below(1 << 20) as u32;
+                if rng.chance(0.5) {
+                    MemRef::store(vaddr, pc, gap)
+                } else {
+                    MemRef::load(vaddr, pc, gap)
+                }
+            })
+            .collect();
+        let header = TraceHeader::new("PROP", TraceScale::Tiny, case, 0, n as u64);
+        let mut w = TraceWriter::new(Vec::new(), &header).unwrap().with_chunk_records(chunk);
+        for &r in &refs {
+            w.push(r);
+        }
+        let (bytes, summary) = w.finish_into_inner().unwrap();
+        assert_eq!(summary.counts.records, n as u64);
+        let got: Vec<MemRef> = TraceReader::new(&bytes[..]).unwrap().records().map(|r| r.unwrap()).collect();
+        assert_eq!(got, refs, "case {case} (chunk {chunk})");
+    }
+}

@@ -1,0 +1,105 @@
+//! The trace subsystem's defining invariant: recording a workload and
+//! replaying the trace yields `SimStats` byte-identical to the live
+//! generator run with the same seed — for every Tiny-suite workload, at
+//! any worker count (the acceptance gate for the `.vtrace` format, the
+//! `System` record hook and the `trace:<path>` registry frontend).
+
+use std::path::PathBuf;
+use victima_bench::trace::{info_report, record};
+use victima_repro::sim::{RunSpec, SimEngine, SystemConfig};
+use victima_repro::workloads::{registry, replay::trace_name, Scale};
+
+const WARMUP: u64 = 2_000;
+const MEASURED: u64 = 20_000;
+
+/// A per-test scratch directory under the system temp dir, removed on
+/// drop so reruns start clean.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("vtrace-it-{}-{label}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Records every Tiny workload once, then checks replay against the live
+/// generator run at `--jobs 1` and `--jobs 4`.
+#[test]
+fn replay_is_byte_identical_for_all_tiny_workloads() {
+    let scratch = ScratchDir::new("suite");
+    let cfg = SystemConfig::radix();
+
+    let mut replay_specs = Vec::new();
+    for name in registry::WORKLOAD_NAMES {
+        let path = scratch.path(&format!("{name}.vtrace"));
+        let summary = record(name, &cfg, Scale::Tiny, cfg.seed, WARMUP, MEASURED, &path)
+            .unwrap_or_else(|e| panic!("{name}: record failed: {e}"));
+        assert!(summary.counts.records > 0, "{name}: empty trace");
+        assert!(summary.counts.instructions >= WARMUP + MEASURED, "{name}: trace covers the whole budget");
+        replay_specs.push(RunSpec::new(trace_name(&path), cfg.clone(), Scale::Tiny, WARMUP, MEASURED));
+    }
+
+    let live_specs: Vec<RunSpec> = registry::WORKLOAD_NAMES
+        .iter()
+        .map(|&name| RunSpec::new(name, cfg.clone(), Scale::Tiny, WARMUP, MEASURED))
+        .collect();
+    let live = SimEngine::with_jobs(1).run_batch(live_specs);
+    let replay_seq = SimEngine::with_jobs(1).run_batch(replay_specs.clone());
+    let replay_par = SimEngine::with_jobs(4).run_batch(replay_specs);
+
+    for ((l, s), p) in live.iter().zip(&replay_seq).zip(&replay_par) {
+        let name = &l.workload;
+        assert_eq!(l.stats, s.stats, "{name}: replay at --jobs 1 diverged from the live run");
+        assert_eq!(l.stats, p.stats, "{name}: replay at --jobs 4 diverged from the live run");
+    }
+}
+
+/// The reference stream is mechanism-independent: a trace recorded under
+/// the radix baseline replays byte-identically under Victima too.
+#[test]
+fn replay_is_portable_across_native_mechanisms() {
+    let scratch = ScratchDir::new("portable");
+    let radix = SystemConfig::radix();
+    let victima = SystemConfig::victima();
+    let path = scratch.path("rnd.vtrace");
+    record("RND", &radix, Scale::Tiny, radix.seed, WARMUP, MEASURED, &path).expect("record");
+
+    let live = SimEngine::with_jobs(1)
+        .run_batch(vec![RunSpec::new("RND", victima.clone(), Scale::Tiny, WARMUP, MEASURED)])
+        .remove(0);
+    let replayed = SimEngine::with_jobs(1)
+        .run_batch(vec![RunSpec::new(trace_name(&path), victima, Scale::Tiny, WARMUP, MEASURED)])
+        .remove(0);
+    assert!(replayed.stats.victima_hits > 0, "the replayed run exercises Victima");
+    assert_eq!(live.stats, replayed.stats, "radix-recorded trace must replay identically under Victima");
+}
+
+/// `trace info` renders a valid `report`-schema artifact whose counts
+/// match the writer's summary.
+#[test]
+fn trace_info_artifact_round_trips_through_the_report_schema() {
+    let scratch = ScratchDir::new("info");
+    let cfg = SystemConfig::radix();
+    let path = scratch.path("xs.vtrace");
+    let summary = record("XS", &cfg, Scale::Tiny, cfg.seed, WARMUP, MEASURED, &path).expect("record");
+
+    let r = info_report(&path).expect("info");
+    assert_eq!(r.id, "trace_info");
+    assert_eq!(r.metric("records").unwrap().value, summary.counts.records as f64);
+    assert_eq!(r.metric("instructions").unwrap().value, summary.counts.instructions as f64);
+    let json = victima_repro::report::json::to_json(&r);
+    let back = victima_repro::report::json::from_json(&json).expect("info artifact parses back");
+    assert_eq!(back, r);
+}
