@@ -15,7 +15,9 @@
 //! ```
 //!
 //! Budgets: `VICTIMA_INSTR` / `VICTIMA_WARMUP` env vars (defaults
-//! 2,000,000 / 200,000); `--quick` forces 600K/60K. `--check` and
+//! 2,000,000 / 200,000); `--quick` forces 600K/60K. `--scale` picks the
+//! workload footprint for the suite (default Full); combine with
+//! `--sampling U:D[:W]` for paper-scale exploration. `--check` and
 //! `--save-baselines` pin the Tiny-scale check profile (see DESIGN.md,
 //! "Results pipeline") so committed baselines are reproducible anywhere.
 //! Simulations fan out over `--jobs`/`VICTIMA_JOBS` workers (default: all
@@ -63,15 +65,21 @@ impl Format {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: experiments [--quick] [--jobs N] [--format text|json|csv|md] [--out DIR]");
-    eprintln!("                   [--exp IDS] <all|calibrate|fig04|...|table2> ...");
+    eprintln!("usage: experiments [--quick] [--jobs N] [--scale tiny|small|full|paper] [--sampling U:D[:W]]");
+    eprintln!(
+        "                   [--format text|json|csv|md] [--out DIR] [--exp IDS] <all|calibrate|...> ..."
+    );
     eprintln!("       experiments --check [ids...]          (pinned profile vs committed baselines)");
     eprintln!("       experiments --save-baselines [ids...] (regenerate committed baselines)");
     eprintln!("       experiments --list");
     eprintln!("       experiments trace record <WORKLOAD> --out FILE");
-    eprintln!("                   [--config NAME] [--scale tiny|full] [--seed N] [--warmup N] [--instr N]");
+    eprintln!("                   [--config NAME] [--scale tiny|small|full|paper] [--seed N] [--warmup N] [--instr N]");
     eprintln!("       experiments trace replay <FILE> [--config NAME] [--jobs N] [--format F] [--out DIR]");
     eprintln!("       experiments trace info <FILE> [--format F] [--out DIR]");
+    eprintln!("       experiments ckpt save <WORKLOAD> --out FILE");
+    eprintln!("                   [--config NAME] [--scale tiny|small|full|paper] [--seed N] [--warmup N]");
+    eprintln!("       experiments ckpt resume <FILE> [--instr N] [--format F] [--out DIR]");
+    eprintln!("       experiments ckpt info <FILE> [--format F] [--out DIR]");
     std::process::exit(2);
 }
 
@@ -101,6 +109,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("trace") {
         std::process::exit(trace_cli(args.split_off(1)));
     }
+    if args.first().map(String::as_str) == Some("ckpt") {
+        std::process::exit(ckpt_cli(args.split_off(1)));
+    }
     let quick = take_flag(&mut args, "--quick");
     let check = take_flag(&mut args, "--check");
     let save_baselines = take_flag(&mut args, "--save-baselines");
@@ -119,9 +130,24 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let sampling = flag_value(&mut args, "--sampling").map(|v| {
+        sim::SamplingConfig::parse(&v).unwrap_or_else(|e| {
+            eprintln!("--sampling: {e}");
+            std::process::exit(2);
+        })
+    });
+    let scale = parse_scale(&mut args);
     let out_dir = flag_value(&mut args, "--out").map(std::path::PathBuf::from);
     if (check || save_baselines) && (format_flag.is_some() || out_dir.is_some()) {
         eprintln!("--check/--save-baselines use the baseline JSON format; --format/--out don't apply");
+        std::process::exit(2);
+    }
+    if (check || save_baselines) && sampling.is_some() {
+        eprintln!("--sampling changes results; the pinned --check/--save-baselines profile is full-detail");
+        std::process::exit(2);
+    }
+    if (check || save_baselines) && scale.is_some() {
+        eprintln!("--scale changes results; --check/--save-baselines pin each baseline's own profile");
         std::process::exit(2);
     }
     let format = format_flag.unwrap_or(Format::Text);
@@ -173,12 +199,15 @@ fn main() {
     let mut ctx = if check || save_baselines {
         ExpCtx::check()
     } else if quick {
-        ExpCtx::quick()
+        ExpCtx::quick_at(scale.unwrap_or(workloads::Scale::Full))
     } else {
-        ExpCtx::new()
+        ExpCtx::at_scale(scale.unwrap_or(workloads::Scale::Full))
     };
     if let Some(n) = jobs {
         ctx = ctx.with_jobs(n);
+    }
+    if let Some(s) = sampling {
+        ctx = ctx.with_sampling(s);
     }
 
     let start = std::time::Instant::now();
@@ -310,6 +339,18 @@ fn run_check(reports: &[ExperimentReport]) -> i32 {
 const TRACE_WARMUP: u64 = 5_000;
 const TRACE_INSTR: u64 = 50_000;
 
+/// Resolves the `--scale` flag; `None` when absent so each surface
+/// applies its own default (Tiny for the trace/ckpt CLIs, Full for the
+/// experiment suite).
+fn parse_scale(args: &mut Vec<String>) -> Option<workloads::Scale> {
+    flag_value(args, "--scale").map(|v| {
+        workloads::Scale::parse(&v).unwrap_or_else(|| {
+            eprintln!("unknown scale {v:?} (pick tiny, small, full or paper)");
+            std::process::exit(2);
+        })
+    })
+}
+
 /// Resolves the `--config` name for the trace subcommands.
 fn config_by_name(name: &str) -> Option<sim::SystemConfig> {
     Some(match name {
@@ -368,14 +409,7 @@ fn trace_cli(mut args: Vec<String>) -> i32 {
             let seed = parse_u64(&mut args, "--seed", vm_types::DEFAULT_SEED);
             let warmup = parse_u64(&mut args, "--warmup", TRACE_WARMUP);
             let instr = parse_u64(&mut args, "--instr", TRACE_INSTR);
-            let scale = match flag_value(&mut args, "--scale").as_deref() {
-                None | Some("tiny") => workloads::Scale::Tiny,
-                Some("full") => workloads::Scale::Full,
-                Some(other) => {
-                    eprintln!("unknown scale {other:?} (pick tiny or full)");
-                    return 2;
-                }
-            };
+            let scale = parse_scale(&mut args).unwrap_or(workloads::Scale::Tiny);
             let Some(out) = out else {
                 eprintln!("trace record needs --out FILE");
                 return 2;
@@ -419,6 +453,108 @@ fn trace_cli(mut args: Vec<String>) -> i32 {
                 Ok(r) => emit(&[r], format, out.as_deref()),
                 Err(e) => {
                     eprintln!("trace {sub} failed: {e}");
+                    1
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// `experiments ckpt <save|resume|info> …` — see `usage()`.
+fn ckpt_cli(mut args: Vec<String>) -> i32 {
+    if args.is_empty() {
+        usage();
+    }
+    let sub = args.remove(0);
+    let format = flag_value(&mut args, "--format")
+        .map(|v| {
+            Format::parse(&v).unwrap_or_else(|| {
+                eprintln!("unknown format {v:?} (pick text, json, csv or md)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(Format::Text);
+    let out = flag_value(&mut args, "--out").map(std::path::PathBuf::from);
+
+    match sub.as_str() {
+        "save" => {
+            let cfg = flag_value(&mut args, "--config")
+                .map(|v| {
+                    config_by_name(&v).unwrap_or_else(|| {
+                        eprintln!("unknown config {v:?} (pick radix, victima, victima+stlb or pom)");
+                        std::process::exit(2);
+                    })
+                })
+                .unwrap_or_else(sim::SystemConfig::radix);
+            let scale = parse_scale(&mut args).unwrap_or(workloads::Scale::Tiny);
+            let seed = flag_value(&mut args, "--seed")
+                .map(|v| {
+                    v.parse().unwrap_or_else(|_| {
+                        eprintln!("--seed needs an unsigned integer");
+                        std::process::exit(2);
+                    })
+                })
+                .unwrap_or(vm_types::DEFAULT_SEED);
+            let warmup = flag_value(&mut args, "--warmup")
+                .map(|v| {
+                    v.parse().unwrap_or_else(|_| {
+                        eprintln!("--warmup needs an unsigned integer");
+                        std::process::exit(2);
+                    })
+                })
+                .unwrap_or(scale.default_budget().0);
+            let Some(out) = out else {
+                eprintln!("ckpt save needs --out FILE");
+                return 2;
+            };
+            let [workload] = args.as_slice() else {
+                eprintln!("ckpt save takes exactly one workload name");
+                return 2;
+            };
+            match victima_bench::ckpt::save(workload, &cfg, scale, seed, warmup, &out) {
+                Ok(ck) => {
+                    let words: usize = ck.sections().map(|(_, w)| w.len()).sum();
+                    println!(
+                        "saved {}: {} under {} @ {} scale, {} warm-up instructions, {} stream refs, {} sections / {} state words",
+                        out.display(),
+                        ck.meta.workload,
+                        ck.meta.config,
+                        ck.meta.scale.name(),
+                        ck.meta.warmup,
+                        ck.meta.refs_consumed,
+                        ck.sections().count(),
+                        words
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("ckpt save failed: {e}");
+                    1
+                }
+            }
+        }
+        "resume" | "info" => {
+            let instr: Option<u64> = flag_value(&mut args, "--instr").map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--instr needs an unsigned integer");
+                    std::process::exit(2);
+                })
+            });
+            let [file] = args.as_slice() else {
+                eprintln!("ckpt {sub} takes exactly one checkpoint file");
+                return 2;
+            };
+            let path = std::path::Path::new(file);
+            let report = if sub == "resume" {
+                victima_bench::ckpt::resume_report(path, instr)
+            } else {
+                victima_bench::ckpt::info_report(path)
+            };
+            match report {
+                Ok(r) => emit(&[r], format, out.as_deref()),
+                Err(e) => {
+                    eprintln!("ckpt {sub} failed: {e}");
                     1
                 }
             }

@@ -11,16 +11,38 @@ pub mod fig12_13_multicore;
 pub mod fig20_24_native;
 pub mod fig25_26_sensitivity;
 pub mod fig27_29_virt;
+pub mod sampled_small;
 pub mod table2_predictor;
 
 use crate::{ExpCtx, ExperimentReport};
 
 /// All experiment ids in paper order (sec10 is the Related-Work claim
 /// that a DUCATI-style full-memory STLB adds only ~0.8% over Victima).
-pub const ALL_IDS: [&str; 23] = [
-    "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "table2",
-    "fig16", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "fig29",
+pub const ALL_IDS: [&str; 24] = [
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "table2",
+    "fig16",
+    "fig20",
+    "fig21",
+    "fig22",
+    "fig23",
+    "fig24",
+    "fig25",
+    "fig26",
+    "fig27",
+    "fig28",
+    "fig29",
     "sec10",
+    "sampled_small",
 ];
 
 /// Every id the `--check` regression gate covers: the calibration probe
@@ -62,6 +84,10 @@ pub fn by_id(ctx: &ExpCtx, id: &str) -> Option<Vec<ExperimentReport>> {
         "fig27" => fig27_29_virt::fig27(ctx),
         "fig28" => fig27_29_virt::fig28(ctx),
         "fig29" => fig27_29_virt::fig29(ctx),
+        // Small-scale sampling experiments: the checked sampled baseline
+        // and the (unchecked, wall-clock) speedup demonstration.
+        "sampled_small" => sampled_small::run(ctx),
+        "sampling_speedup" => sampled_small::speedup(ctx),
         _ => return None,
     })
 }

@@ -8,12 +8,13 @@
 //! [`ExperimentReport`] (the `report` crate) that renders to text, JSON,
 //! CSV or markdown and feeds the `--check` regression gate.
 
+pub mod ckpt;
 pub mod experiments;
 pub mod perf;
 pub mod trace;
 
 use report::Provenance;
-use sim::{RunSpec, Runner, SimEngine, SimStats, SystemConfig};
+use sim::{RunSpec, Runner, SamplingConfig, SimEngine, SimStats, SystemConfig};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use workloads::{registry::WORKLOAD_NAMES, Scale};
@@ -25,6 +26,9 @@ pub use report::{Column, ExperimentReport, Metric, Unit, Value};
 pub struct ExpCtx {
     runner: Runner,
     engine: SimEngine,
+    /// When set, suite runs execute under SMARTS-style interval sampling
+    /// (the `--sampling` flag) instead of full detail.
+    sampling: Option<SamplingConfig>,
     cache: Arc<Mutex<HashMap<(String, &'static str), SimStats>>>,
 }
 
@@ -32,12 +36,23 @@ impl ExpCtx {
     /// Full-scale context (budgets from `VICTIMA_INSTR`/`VICTIMA_WARMUP`,
     /// workers from `VICTIMA_JOBS`).
     pub fn new() -> Self {
-        Self::with_runner(Runner::new(Scale::Full))
+        Self::at_scale(Scale::Full)
     }
 
     /// Quick context for CI / `cargo bench` smoke runs.
     pub fn quick() -> Self {
-        Self::with_runner(Runner::with_budget(Scale::Full, 60_000, 600_000))
+        Self::quick_at(Scale::Full)
+    }
+
+    /// Context at an explicit workload scale (the `--scale` flag);
+    /// budgets still come from `VICTIMA_INSTR`/`VICTIMA_WARMUP`.
+    pub fn at_scale(scale: Scale) -> Self {
+        Self::with_runner(Runner::new(scale))
+    }
+
+    /// [`ExpCtx::quick`] at an explicit workload scale.
+    pub fn quick_at(scale: Scale) -> Self {
+        Self::with_runner(Runner::with_budget(scale, 60_000, 600_000))
     }
 
     /// The pinned regression-check profile: Tiny scale, fixed budgets,
@@ -52,7 +67,12 @@ impl ExpCtx {
 
     /// A context with an explicit runner and worker count (tests).
     pub fn custom(runner: Runner, jobs: usize) -> Self {
-        Self { runner, engine: SimEngine::with_jobs(jobs), cache: Arc::new(Mutex::new(HashMap::new())) }
+        Self {
+            runner,
+            engine: SimEngine::with_jobs(jobs),
+            sampling: None,
+            cache: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 
     /// Overrides the worker count (the `--jobs` flag): takes precedence
@@ -64,8 +84,17 @@ impl ExpCtx {
         self
     }
 
+    /// Runs every suite simulation under SMARTS-style interval sampling
+    /// (the `--sampling U:D[:W]` flag). Statistics then estimate the
+    /// full-detail run — use for scaled-up exploration, never for the
+    /// pinned `--check` profile.
+    pub fn with_sampling(mut self, sampling: SamplingConfig) -> Self {
+        self.sampling = Some(sampling);
+        self
+    }
+
     fn with_runner(runner: Runner) -> Self {
-        Self { runner, engine: SimEngine::new(), cache: Arc::new(Mutex::new(HashMap::new())) }
+        Self { runner, engine: SimEngine::new(), sampling: None, cache: Arc::new(Mutex::new(HashMap::new())) }
     }
 
     /// The underlying runner (scale + budget defaults).
@@ -147,7 +176,16 @@ impl ExpCtx {
         if jobs.is_empty() {
             return;
         }
-        let specs: Vec<RunSpec> = jobs.iter().map(|(cfg, w)| self.runner.spec(w, cfg)).collect();
+        let specs: Vec<RunSpec> = jobs
+            .iter()
+            .map(|(cfg, w)| {
+                let spec = self.runner.spec(w, cfg);
+                match self.sampling {
+                    Some(s) => spec.with_sampling(s),
+                    None => spec,
+                }
+            })
+            .collect();
         let results = self.engine.run_batch(specs);
         let mut cache = self.cache.lock().expect("run cache poisoned");
         for ((cfg, w), r) in jobs.into_iter().zip(results) {

@@ -59,8 +59,13 @@ fn committed_baselines_are_canonical_artifacts() {
         let r = report::json::from_json(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
         assert_eq!(r.id, id, "{path}: id mismatch");
         assert_eq!(report::json::to_json(&r), text, "{path}: not canonical");
-        assert_eq!(r.provenance.scale, "Tiny", "{path}: baselines must use the check profile");
-        assert_eq!((r.provenance.warmup, r.provenance.instructions), (5_000, 50_000), "{path}");
+        // Every baseline runs at a pinned profile: the Tiny check
+        // profile, except sampled_small, which pins its own Small-scale
+        // sampling profile (see experiments::sampled_small).
+        let (scale, budget) =
+            if id == "sampled_small" { ("Small", (20_000, 100_000)) } else { ("Tiny", (5_000, 50_000)) };
+        assert_eq!(r.provenance.scale, scale, "{path}: baselines must use their pinned profile");
+        assert_eq!((r.provenance.warmup, r.provenance.instructions), budget, "{path}");
         assert_eq!(r.provenance.engine, sim::ENGINE_ID, "{path}");
         assert!(!r.metrics.is_empty(), "{path}: a baseline without metrics gates nothing");
         seen += 1;

@@ -481,6 +481,51 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    /// Number of checkpoint words [`Cache::save_state`] emits for this
+    /// geometry: one policy word plus the packed presence and LRU arrays.
+    pub fn state_words(&self) -> usize {
+        1 + self.words.len() + self.lru.len()
+    }
+
+    /// Serialises the cache's contents into checkpoint words: the
+    /// replacement policy's global tick (0 for the stateless SRRIP
+    /// family), the packed presence words, and the LRU stamp array (empty
+    /// for SRRIP caches — their RRPV state lives in the presence words).
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(match &self.policy {
+            Policy::Lru { tick } => *tick,
+            _ => 0,
+        });
+        out.extend_from_slice(&self.words);
+        out.extend_from_slice(&self.lru);
+    }
+
+    /// Restores state captured by [`Cache::save_state`] into a cache of
+    /// identical geometry and policy, recomputing the translation-block
+    /// count from the restored presence words.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the word count does not match this geometry.
+    pub fn restore_state(&mut self, words: &[u64]) -> Result<(), String> {
+        if words.len() != self.state_words() {
+            return Err(format!(
+                "{}: checkpoint section has {} words, geometry needs {}",
+                self.cfg.name,
+                words.len(),
+                self.state_words()
+            ));
+        }
+        if let Policy::Lru { tick } = &mut self.policy {
+            *tick = words[0];
+        }
+        let n = self.words.len();
+        self.words.copy_from_slice(&words[1..1 + n]);
+        self.lru.copy_from_slice(&words[1 + n..]);
+        self.translation_blocks = self.words.iter().filter(|&&w| word_is_translation(w)).count();
+        Ok(())
+    }
+
     /// Consistency check (tests): the translation-block counter must
     /// match the packed population.
     pub fn assert_packed_consistency(&self) {
@@ -655,6 +700,33 @@ mod tests {
         assert_eq!(b.asid, Asid::new(9));
         assert_eq!(b.page_size, PageSize::Size2M);
         assert!(b.matches(0x7, BlockKind::NestedTlb, Asid::new(9), PageSize::Size2M));
+    }
+
+    #[test]
+    fn save_restore_round_trips_contents_and_policy_state() {
+        let mut c = small_cache();
+        let ctx = ReplacementCtx::default();
+        for i in 0..12u64 {
+            c.fill_data(PhysAddr::new(i * 1024), i % 3 == 0, false, &ctx);
+        }
+        c.fill_translation(5, 0xaa, BlockKind::Tlb, Asid::new(3), PageSize::Size4K, &ctx);
+        c.access_data(PhysAddr::new(0), false, &ctx);
+        let mut words = Vec::new();
+        c.save_state(&mut words);
+        assert_eq!(words.len(), c.state_words());
+        let mut d = small_cache();
+        d.restore_state(&words).expect("same geometry");
+        d.assert_packed_consistency();
+        assert_eq!(d.translation_block_count(), 1);
+        assert!(d.contains_translation(5, 0xaa, BlockKind::Tlb, Asid::new(3), PageSize::Size4K));
+        // The two caches must make identical eviction decisions from here.
+        for i in 12..40u64 {
+            let pa = PhysAddr::new(i * 1024);
+            let ec = c.fill_data(pa, false, false, &ctx).map(|e| e.block.tag);
+            let ed = d.fill_data(pa, false, false, &ctx).map(|e| e.block.tag);
+            assert_eq!(ec, ed, "divergent victim at fill {i}");
+        }
+        assert!(d.restore_state(&words[1..]).is_err(), "short section must be rejected");
     }
 
     #[test]

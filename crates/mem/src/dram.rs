@@ -77,6 +77,40 @@ impl Dram {
         }
     }
 
+    /// Number of checkpoint words [`Dram::save_state`] emits (one open-row
+    /// word per bank).
+    pub fn state_words(&self) -> usize {
+        self.open_rows.len()
+    }
+
+    /// Serialises the per-bank open rows into checkpoint words
+    /// (`row << 1 | 1`, or 0 for a closed bank).
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.extend(self.open_rows.iter().map(|r| match r {
+            Some(row) => row << 1 | 1,
+            None => 0,
+        }));
+    }
+
+    /// Restores state captured by [`Dram::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the word count does not match the bank count.
+    pub fn restore_state(&mut self, words: &[u64]) -> Result<(), String> {
+        if words.len() != self.open_rows.len() {
+            return Err(format!(
+                "DRAM: checkpoint section has {} words, {} banks configured",
+                words.len(),
+                self.open_rows.len()
+            ));
+        }
+        for (r, &w) in self.open_rows.iter_mut().zip(words) {
+            *r = (w & 1 != 0).then_some(w >> 1);
+        }
+        Ok(())
+    }
+
     /// Row-buffer hit rate so far.
     pub fn row_hit_rate(&self) -> f64 {
         if self.stats.accesses == 0 {

@@ -405,6 +405,64 @@ impl Hierarchy {
         }
     }
 
+    /// Serialises the whole hierarchy's microarchitectural state — the
+    /// three private caches, the LLC and DRAM behind them, and both
+    /// prefetchers — into one flat checkpoint-word stream. Sub-component
+    /// boundaries are implied by each component's geometry
+    /// (`state_words`), so a stream only restores into an identically
+    /// configured hierarchy.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        self.l1i.save_state(out);
+        self.l1d.save_state(out);
+        self.l2.save_state(out);
+        let llc = self.llc.borrow();
+        llc.l3.save_state(out);
+        llc.dram.save_state(out);
+        self.ip_stride.save_state(out);
+        self.stream.save_state(out);
+    }
+
+    /// Restores state captured by [`Hierarchy::save_state`] into an
+    /// identically configured hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the stream's length does not match this
+    /// hierarchy's geometry, or any sub-section is malformed.
+    pub fn restore_state(&mut self, words: &[u64]) -> Result<(), String> {
+        let mut llc = self.llc.borrow_mut();
+        let sizes = [
+            self.l1i.state_words(),
+            self.l1d.state_words(),
+            self.l2.state_words(),
+            llc.l3.state_words(),
+            llc.dram.state_words(),
+            self.ip_stride.state_words(),
+            self.stream.state_words(),
+        ];
+        let total: usize = sizes.iter().sum();
+        if words.len() != total {
+            return Err(format!(
+                "hierarchy: checkpoint section has {} words, geometry needs {total}",
+                words.len()
+            ));
+        }
+        let mut pos = 0;
+        let mut next = |n: usize| {
+            let s = &words[pos..pos + n];
+            pos += n;
+            s
+        };
+        self.l1i.restore_state(next(sizes[0]))?;
+        self.l1d.restore_state(next(sizes[1]))?;
+        self.l2.restore_state(next(sizes[2]))?;
+        llc.l3.restore_state(next(sizes[3]))?;
+        llc.dram.restore_state(next(sizes[4]))?;
+        self.ip_stride.restore_state(next(sizes[5]))?;
+        self.stream.restore_state(next(sizes[6]))?;
+        Ok(())
+    }
+
     /// Clears statistics on every component (contents stay warm). Also
     /// resets the LLC — idempotent when the LLC is shared and each core's
     /// hierarchy resets in turn.
@@ -506,6 +564,33 @@ mod tests {
         h.access(pa, true, MemClass::Data, &ctx);
         // Dirty bit is tracked in L1D after the write hit.
         assert!(h.l1d().iter_valid().any(|b| b.dirty));
+    }
+
+    #[test]
+    fn save_restore_keeps_timing_in_lockstep() {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        let ctx = ReplacementCtx::default();
+        let mut rng = vm_types::SplitMix64::new(42);
+        for _ in 0..2_000 {
+            let pa = PhysAddr::new(rng.next_below(8 << 20) & !7);
+            h.access_pc(pa, rng.chance(0.2), MemClass::Data, 0x400000 + rng.next_below(64), &ctx);
+        }
+        let mut words = Vec::new();
+        h.save_state(&mut words);
+        let mut g = Hierarchy::new(HierarchyConfig::default());
+        g.restore_state(&words).expect("same geometry");
+        // Replay an identical access sequence on both: every latency and
+        // serving level must match, or warm state diverged somewhere.
+        let mut ra = vm_types::SplitMix64::new(7);
+        let mut rb = vm_types::SplitMix64::new(7);
+        for i in 0..2_000 {
+            let pa_a = PhysAddr::new(ra.next_below(8 << 20) & !7);
+            let pa_b = PhysAddr::new(rb.next_below(8 << 20) & !7);
+            let a = h.access_pc(pa_a, false, MemClass::Data, 0x400abc, &ctx);
+            let b = g.access_pc(pa_b, false, MemClass::Data, 0x400abc, &ctx);
+            assert_eq!((a.latency, a.served_by), (b.latency, b.served_by), "divergence at access {i}");
+        }
+        assert!(g.restore_state(&words[..100]).is_err(), "short stream must be rejected");
     }
 
     #[test]

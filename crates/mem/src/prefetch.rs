@@ -78,6 +78,43 @@ impl IpStridePrefetcher {
         }
         None
     }
+
+    /// Number of checkpoint words [`IpStridePrefetcher::save_state`] emits.
+    pub fn state_words(&self) -> usize {
+        1 + 4 * self.entries.len()
+    }
+
+    /// Serialises the training table and issue counter into checkpoint
+    /// words.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.issued);
+        for e in &self.entries {
+            out.push(e.pc_tag);
+            out.push(e.last_addr);
+            out.push(e.stride as u64);
+            out.push(e.confidence as u64);
+        }
+    }
+
+    /// Restores state captured by [`IpStridePrefetcher::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the word count does not match this table size.
+    pub fn restore_state(&mut self, words: &[u64]) -> Result<(), String> {
+        if words.len() != self.state_words() {
+            return Err(format!(
+                "IP-stride prefetcher: checkpoint section has {} words, expected {}",
+                words.len(),
+                self.state_words()
+            ));
+        }
+        self.issued = words[0];
+        for (e, w) in self.entries.iter_mut().zip(words[1..].chunks_exact(4)) {
+            *e = StrideEntry { pc_tag: w[0], last_addr: w[1], stride: w[2] as i64, confidence: w[3] as u8 };
+        }
+        Ok(())
+    }
 }
 
 impl Default for IpStridePrefetcher {
@@ -174,6 +211,45 @@ impl StreamPrefetcher {
         self.next_victim = (self.next_victim + 1) % self.last_block.len();
         self.last_block[victim] = block;
         self.meta[victim] = StreamMeta { direction: 1, confidence: 0 };
+    }
+
+    /// Number of checkpoint words [`StreamPrefetcher::save_state`] emits.
+    pub fn state_words(&self) -> usize {
+        2 + 2 * self.last_block.len()
+    }
+
+    /// Serialises the stream trackers, round-robin cursor, and issue
+    /// counter into checkpoint words.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.issued);
+        out.push(self.next_victim as u64);
+        for (b, m) in self.last_block.iter().zip(&self.meta) {
+            out.push(*b);
+            out.push(m.direction as u8 as u64 | (m.confidence as u64) << 8);
+        }
+    }
+
+    /// Restores state captured by [`StreamPrefetcher::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the word count does not match this tracker
+    /// count.
+    pub fn restore_state(&mut self, words: &[u64]) -> Result<(), String> {
+        if words.len() != self.state_words() {
+            return Err(format!(
+                "stream prefetcher: checkpoint section has {} words, expected {}",
+                words.len(),
+                self.state_words()
+            ));
+        }
+        self.issued = words[0];
+        self.next_victim = words[1] as usize % self.last_block.len();
+        for (i, w) in words[2..].chunks_exact(2).enumerate() {
+            self.last_block[i] = w[0];
+            self.meta[i] = StreamMeta { direction: w[1] as u8 as i8, confidence: (w[1] >> 8) as u8 };
+        }
+        Ok(())
     }
 }
 

@@ -64,6 +64,14 @@ impl FrameAllocator {
         self.capacity_frames.saturating_sub(self.next_frame)
     }
 
+    /// The skip RNG's internal state. Together with
+    /// [`FrameAllocator::frames_used`] this fingerprints the allocator's
+    /// exact position, letting a checkpoint verify that a rebuilt run
+    /// reproduced the same allocation sequence.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
     /// Enables allocation logging ([`FrameAllocator::drain_log`]); used by
     /// the nested-memory layer to host-map every guest-physical frame the
     /// guest page tables consume.

@@ -242,6 +242,61 @@ impl RadixPageTable {
         }
     }
 
+    /// Serialises the PTW-counter state as (global entry index, raw PTE)
+    /// pairs, one per leaf whose frequency/cost counters are nonzero. The
+    /// table topology and mappings are deterministic from workload
+    /// construction, so a warm-state checkpoint only needs the counters
+    /// that walks have bumped since.
+    pub fn save_counters(&self, out: &mut Vec<u64>) {
+        for (t, table) in self.tables.iter().enumerate() {
+            for (i, &entry) in table.entries.iter().enumerate() {
+                if is_present(entry) && is_leaf(entry) {
+                    let pte = decode_leaf(entry);
+                    if pte.ptw_freq() != 0 || pte.ptw_cost() != 0 {
+                        out.push((t * TABLE_ENTRIES + i) as u64);
+                        out.push(pte.raw());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restores counters captured by [`RadixPageTable::save_counters`]
+    /// into an identically constructed page table, verifying along the way
+    /// that every target is a leaf translating to the same frame — a
+    /// mismatch means the checkpoint was taken against a different
+    /// workload/seed construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on odd word counts, out-of-range indices,
+    /// non-leaf targets, or translation mismatches.
+    pub fn restore_counters(&mut self, words: &[u64]) -> Result<(), String> {
+        if !words.len().is_multiple_of(2) {
+            return Err("page table: counter section has an odd word count".into());
+        }
+        for pair in words.chunks_exact(2) {
+            let (idx, raw) = (pair[0] as usize, pair[1]);
+            let (t, i) = (idx / TABLE_ENTRIES, idx % TABLE_ENTRIES);
+            let entry = self
+                .tables
+                .get(t)
+                .map(|table| table.entries[i])
+                .ok_or_else(|| format!("page table: counter index {idx} is out of range"))?;
+            if !is_present(entry) || !is_leaf(entry) {
+                return Err(format!("page table: counter index {idx} is not a mapped leaf"));
+            }
+            let (old, new) = (decode_leaf(entry), Pte::from_raw(raw));
+            if old.frame() != new.frame() || old.page_size() != new.page_size() {
+                return Err(format!(
+                    "page table: counter index {idx} translates differently (checkpoint from another construction?)"
+                ));
+            }
+            self.tables[t].entries[i] = encode_leaf(new);
+        }
+        Ok(())
+    }
+
     /// Removes the mapping for `va` (TLB-shootdown scenarios). Returns the
     /// removed PTE if one existed.
     pub fn unmap(&mut self, va: VirtAddr) -> Option<Pte> {
@@ -356,6 +411,46 @@ mod tests {
         assert_eq!(walk.leaf_pte.ptw_freq(), 1);
         assert_eq!(walk.leaf_pte.ptw_cost(), 1);
         assert_eq!(walk.frame, frame, "counter updates must not corrupt the frame");
+    }
+
+    #[test]
+    fn counter_snapshot_round_trips_and_verifies() {
+        let build = || {
+            let mut alloc = FrameAllocator::new(1 << 30, 11);
+            let mut pt = RadixPageTable::new(&mut alloc);
+            for i in 0..100u64 {
+                let frame = alloc.alloc_4k();
+                pt.map(VirtAddr::new(0x1_0000_0000 + i * 4096), frame, PageSize::Size4K, &mut alloc);
+            }
+            pt
+        };
+        let mut pt = build();
+        for i in (0..100u64).step_by(7) {
+            pt.update_leaf(VirtAddr::new(0x1_0000_0000 + i * 4096), |p| {
+                p.bump_ptw_freq();
+                p.bump_ptw_cost();
+            });
+        }
+        let mut words = Vec::new();
+        pt.save_counters(&mut words);
+        assert_eq!(words.len(), 2 * 15, "only bumped leaves are recorded");
+        let mut fresh = build();
+        fresh.restore_counters(&words).expect("identical construction");
+        for i in 0..100u64 {
+            let va = VirtAddr::new(0x1_0000_0000 + i * 4096);
+            let (a, b) = (pt.walk(va).unwrap().leaf_pte, fresh.walk(va).unwrap().leaf_pte);
+            assert_eq!(a.raw(), b.raw(), "leaf {i} diverged after restore");
+        }
+        // A differently seeded construction translates differently and is
+        // rejected rather than silently corrupted.
+        let mut alloc = FrameAllocator::new(1 << 30, 999);
+        let mut other = RadixPageTable::new(&mut alloc);
+        for i in 0..100u64 {
+            let frame = alloc.alloc_4k();
+            other.map(VirtAddr::new(0x1_0000_0000 + i * 4096), frame, PageSize::Size4K, &mut alloc);
+        }
+        assert!(other.restore_counters(&words).is_err());
+        assert!(fresh.restore_counters(&words[..3]).is_err(), "odd word count rejected");
     }
 
     #[test]

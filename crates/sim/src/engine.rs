@@ -29,6 +29,7 @@
 //! ```
 
 use crate::config::SystemConfig;
+use crate::sampling::{run_sampled, SamplingConfig};
 use crate::stats::SimStats;
 use crate::system::System;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -77,6 +78,11 @@ pub struct RunSpec {
     /// Collect per-page Table 1 features during the measured window
     /// (slower; used by the Table 2 design study).
     pub collect_features: bool,
+    /// Interval-sampling schedule. `None` (the default) runs every
+    /// measured instruction in full detail; `Some` runs SMARTS-style
+    /// alternating detailed/functional intervals ([`crate::sampling`])
+    /// and stamps the result's [`SimStats::sampling`].
+    pub sampling: Option<SamplingConfig>,
 }
 
 impl RunSpec {
@@ -91,7 +97,16 @@ impl RunSpec {
         instructions: u64,
     ) -> Self {
         let seed = config.seed;
-        Self { workload: workload.into(), config, scale, warmup, instructions, seed, collect_features: false }
+        Self {
+            workload: workload.into(),
+            config,
+            scale,
+            warmup,
+            instructions,
+            seed,
+            collect_features: false,
+            sampling: None,
+        }
     }
 
     /// Overrides the run seed.
@@ -103,6 +118,13 @@ impl RunSpec {
     /// Enables per-page feature collection.
     pub fn with_features(mut self) -> Self {
         self.collect_features = true;
+        self
+    }
+
+    /// Runs the measured window under interval sampling instead of full
+    /// detail.
+    pub fn with_sampling(mut self, sampling: SamplingConfig) -> Self {
+        self.sampling = Some(sampling);
         self
     }
 
@@ -200,8 +222,13 @@ impl SimEngine {
         if spec.collect_features {
             sys.enable_feature_tracking();
         }
-        sys.run_with_warmup(spec.warmup, spec.instructions);
-        sys.finalize_stats();
+        match &spec.sampling {
+            Some(sampling) => run_sampled(&mut sys, spec.warmup, spec.instructions, sampling),
+            None => {
+                sys.run_with_warmup(spec.warmup, spec.instructions);
+                sys.finalize_stats();
+            }
+        }
         scratch.prefetch = sys.hier.take_prefetch_scratch();
         RunResult {
             index,

@@ -34,11 +34,13 @@
 
 #![deny(missing_docs)]
 
+pub mod ckpt;
 pub mod config;
 pub mod engine;
 pub mod epochs;
 pub mod multicore;
 pub mod runner;
+pub mod sampling;
 pub mod scheduler;
 pub mod stats;
 pub mod system;
@@ -49,6 +51,7 @@ pub use engine::{suite_specs, RunResult, RunScratch, RunSpec, SimEngine, ENGINE_
 pub use epochs::EpochTracker;
 pub use multicore::{slot_seed, MultiCoreStats, MultiCoreSystem, ProcSummary};
 pub use runner::Runner;
+pub use sampling::SamplingConfig;
 pub use scheduler::{CtxSwitchPolicy, SchedConfig, SchedMode, Scheduler};
-pub use stats::{weighted_speedup, SimStats};
+pub use stats::{weighted_speedup, SamplingMeta, SimStats};
 pub use system::{ProcessCtx, System};

@@ -2,6 +2,30 @@
 
 use vm_types::{Histogram, ReuseHistogram};
 
+/// How a sampled run's statistics were put together (SMARTS-style
+/// interval sampling; see `sim::sampling`). Attached to [`SimStats`]
+/// so artifacts record that the numbers are estimates, with how much of
+/// the run was measured in detail and how tight the estimate is.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SamplingMeta {
+    /// Detailed measurement windows taken.
+    pub periods: u64,
+    /// Instructions simulated in detail (sum of the windows; equals
+    /// `SimStats::instructions` of the aggregate).
+    pub measured_instructions: u64,
+    /// Instructions advanced functionally (fast-forward, no timing).
+    pub skipped_instructions: u64,
+    /// Instructions run in detailed warm-up before each window
+    /// (timing discarded; repairs microarchitectural state after each
+    /// functional interval).
+    pub warm_instructions: u64,
+    /// Mean per-window IPC.
+    pub ipc_mean: f64,
+    /// Half-width of the 95% confidence interval on the window IPC
+    /// (`1.96·s/√n`); zero when fewer than two windows were taken.
+    pub ipc_ci95: f64,
+}
+
 /// Aggregate statistics of one simulation run.
 ///
 /// `PartialEq` compares every counter and distribution exactly — the
@@ -81,6 +105,11 @@ pub struct SimStats {
     pub reach_mean_bytes: f64,
     /// Peak reach sample.
     pub reach_max_bytes: u64,
+
+    /// Present when these stats were aggregated from sampled detailed
+    /// windows rather than one contiguous measured run (`None` for
+    /// full-detail runs, so existing baselines compare unchanged).
+    pub sampling: Option<SamplingMeta>,
 }
 
 impl Default for SimStats {
@@ -118,6 +147,7 @@ impl Default for SimStats {
             l2_tlb_block_reuse: ReuseHistogram::new(),
             reach_mean_bytes: 0.0,
             reach_max_bytes: 0,
+            sampling: None,
         }
     }
 }
@@ -198,6 +228,60 @@ impl SimStats {
 
     fn normalized(&self, count: u64) -> f64 {
         count as f64 / self.instructions.max(1) as f64
+    }
+
+    /// Folds one finalized detailed-window's stats into this aggregate
+    /// (the `sim::sampling` accumulator). Counters and distributions
+    /// sum/merge; derived means (`ptw_latency_mean`, `ptw_dram_fraction`,
+    /// `reach_mean_bytes`) combine weighted by their window's population
+    /// so the aggregate equals what one long run over the same windows
+    /// would report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms' geometries differ (they never do: every
+    /// window uses the default [`SimStats`] geometry).
+    pub fn absorb_window(&mut self, w: &SimStats) {
+        // Weighted means first — they need the pre-absorption counts.
+        let ptws = (self.ptws + w.ptws).max(1) as f64;
+        self.ptw_latency_mean =
+            (self.ptw_latency_mean * self.ptws as f64 + w.ptw_latency_mean * w.ptws as f64) / ptws;
+        self.ptw_dram_fraction =
+            (self.ptw_dram_fraction * self.ptws as f64 + w.ptw_dram_fraction * w.ptws as f64) / ptws;
+        let instrs = (self.instructions + w.instructions).max(1) as f64;
+        self.reach_mean_bytes = (self.reach_mean_bytes * self.instructions as f64
+            + w.reach_mean_bytes * w.instructions as f64)
+            / instrs;
+        self.reach_max_bytes = self.reach_max_bytes.max(w.reach_max_bytes);
+
+        self.instructions += w.instructions;
+        self.mem_refs += w.mem_refs;
+        self.cycles_f += w.cycles_f;
+        self.translation_cycles += w.translation_cycles;
+        self.data_cycles += w.data_cycles;
+        self.l1_tlb_hits += w.l1_tlb_hits;
+        self.l1_tlb_misses += w.l1_tlb_misses;
+        self.l2_tlb_hits += w.l2_tlb_hits;
+        self.l2_tlb_misses += w.l2_tlb_misses;
+        self.l3_tlb_hits += w.l3_tlb_hits;
+        self.ptws += w.ptws;
+        self.host_ptws += w.host_ptws;
+        self.host_translations += w.host_translations;
+        self.nested_tlb_hits += w.nested_tlb_hits;
+        self.nested_block_hits += w.nested_block_hits;
+        self.l2_miss_latency_sum += w.l2_miss_latency_sum;
+        self.l2_miss_pom_component += w.l2_miss_pom_component;
+        self.l2_miss_cache_component += w.l2_miss_cache_component;
+        self.l2_miss_walk_component += w.l2_miss_walk_component;
+        self.l2_miss_host_component += w.l2_miss_host_component;
+        self.pom_hits += w.pom_hits;
+        self.pom_misses += w.pom_misses;
+        self.victima_hits += w.victima_hits;
+        self.victima_background_walks += w.victima_background_walks;
+        self.victima_inserts += w.victima_inserts;
+        self.ptw_latency_hist.merge(&w.ptw_latency_hist);
+        self.l2_data_reuse.merge(&w.l2_data_reuse);
+        self.l2_tlb_block_reuse.merge(&w.l2_tlb_block_reuse);
     }
 }
 

@@ -169,6 +169,11 @@ pub struct System {
     /// sees every [`MemRef`] exactly as [`System::step`] consumes it,
     /// warm-up included, so a recorded trace replays the whole run.
     record_hook: Option<Box<dyn FnMut(MemRef)>>,
+    /// Memory references consumed from the stream over the system's
+    /// whole lifetime (detailed *and* fast-forwarded; never reset).
+    /// This is the stream position a checkpoint records so a resumed
+    /// run can drain the generator back to the same point.
+    refs_consumed: u64,
 }
 
 impl std::fmt::Debug for System {
@@ -308,6 +313,7 @@ impl System {
             stats: SimStats::default(),
             tracker: None,
             record_hook: None,
+            refs_consumed: 0,
             hier,
             cfg,
         }
@@ -344,21 +350,115 @@ impl System {
     }
 
     /// Runs for `instructions` instructions (memory + gap instructions).
+    ///
+    /// The budget is counted locally, not off `stats.instructions`, so
+    /// callers that clear statistics mid-run (warm-up resets, sampling
+    /// windows) always advance by exactly the requested amount.
     pub fn run(&mut self, instructions: u64) {
-        let target = self.stats.instructions + instructions;
-        while self.stats.instructions < target {
+        let mut advanced = 0u64;
+        while advanced < instructions {
             let r = self.proc.stream.next_ref();
+            advanced += r.instructions();
             self.step(r);
         }
     }
 
     /// Runs `warmup` instructions, discards all statistics, then runs
-    /// `measured` instructions.
+    /// `measured` instructions. The record hook (when installed) sees
+    /// every reference of both phases, from the very first warm-up ref,
+    /// exactly once — statistics resets never skip or replay hook fires.
     pub fn run_with_warmup(&mut self, warmup: u64, measured: u64) {
         self.run(warmup);
         self.reset_stats();
         self.proc.reset_counters();
         self.run(measured);
+    }
+
+    /// Memory references consumed from the workload stream since
+    /// construction (never reset; fast-forwarded references included).
+    pub fn refs_consumed(&self) -> u64 {
+        self.refs_consumed
+    }
+
+    /// Advances the system *functionally* for `instructions`
+    /// instructions: the workload stream, the L2 TLB's content and the
+    /// page-table ground truth move forward, but no timing is accounted
+    /// — no cache or DRAM traffic, no prefetcher training, no Victima /
+    /// POM-TLB activity, and no PTE counter bumps. This is the
+    /// fast-forward phase of SMARTS-style interval sampling
+    /// ([`crate::sampling`]): orders of magnitude faster than
+    /// [`System::run`], with the smaller structures (L1 TLBs, caches,
+    /// PWCs) repaired by the detailed warm-up that precedes each
+    /// measurement window. The record hook still sees every reference,
+    /// so recording stays exact under sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics in virtualised mode (sampling is native-only).
+    pub fn fast_forward(&mut self, instructions: u64) {
+        assert_eq!(self.cfg.mode, ExecMode::Native, "fast_forward supports native mode only");
+        let asid = self.proc.asid;
+        // Page-level short-circuit: consecutive references to the same
+        // 4KB-aligned page skip even the L2 TLB probe.
+        let mut last_vpn4k = u64::MAX;
+        let mut advanced = 0u64;
+        while advanced < instructions {
+            let r = self.proc.stream.next_ref();
+            if let Some(hook) = self.record_hook.as_mut() {
+                hook(r);
+            }
+            self.refs_consumed += 1;
+            advanced += r.instructions();
+            let vpn4k = r.vaddr.vpn(PageSize::Size4K);
+            if vpn4k == last_vpn4k {
+                continue;
+            }
+            last_vpn4k = vpn4k;
+            // Walk the page table first (functionally it is a handful of
+            // array reads — cheaper than a TLB probe), then fill
+            // unconditionally: `fill` refreshes in place when the
+            // translation is already resident, so one set scan replaces
+            // the probe-then-fill pair. PTE counters are frozen in
+            // functional mode, so a refresh writes back an identical
+            // payload and only touches the LRU stamp — exactly what a
+            // probe hit would do. Fill/eviction statistics are clobbered,
+            // but every measurement window starts with `reset_stats`.
+            let Memory::Native { aspace, .. } = &self.proc.memory else {
+                unreachable!("native flow");
+            };
+            let walk = aspace
+                .page_table
+                .walk(r.vaddr)
+                .unwrap_or_else(|| panic!("page fault at {}: workload touched an unmapped page", r.vaddr));
+            let entry = soft_walk_entry(r.vaddr, asid, &walk);
+            // Raw fill: the eviction-side hooks (Victima background
+            // walks, POM spills) are timing/traffic mechanisms and stay
+            // off in functional mode.
+            self.l2_tlb.fill(entry);
+        }
+    }
+
+    /// Advances the workload stream for `instructions` instructions
+    /// without simulating anything at all — not even the functional L2
+    /// TLB warming of [`System::fast_forward`]. The record hook still
+    /// sees every reference and `refs_consumed` advances, so recording
+    /// and checkpoint stream positions stay exact.
+    ///
+    /// Sound because workloads never page-fault after construction: the
+    /// page-table ground truth cannot change while instructions are
+    /// skipped, so the only state a skip loses is TLB recency — which
+    /// [`crate::sampling`] repairs with a bounded functional-warming
+    /// tail before each measurement window.
+    pub fn skip(&mut self, instructions: u64) {
+        let mut advanced = 0u64;
+        while advanced < instructions {
+            let r = self.proc.stream.next_ref();
+            if let Some(hook) = self.record_hook.as_mut() {
+                hook(r);
+            }
+            self.refs_consumed += 1;
+            advanced += r.instructions();
+        }
     }
 
     /// Runs the *resident process* for up to `instructions` more retired
@@ -370,6 +470,18 @@ impl System {
             let r = self.proc.stream.next_ref();
             self.step(r);
         }
+    }
+
+    /// Consumes `refs` references from the workload stream without
+    /// simulating them or firing the record hook (checkpoint resume:
+    /// generators are deterministic, so draining the stream back to a
+    /// recorded position reproduces exactly the stream the saved run
+    /// would have continued with).
+    pub(crate) fn drain_stream_refs(&mut self, refs: u64) {
+        for _ in 0..refs {
+            let _ = self.proc.stream.next_ref();
+        }
+        self.refs_consumed += refs;
     }
 
     /// The resident process.
@@ -416,6 +528,7 @@ impl System {
         if let Some(hook) = self.record_hook.as_mut() {
             hook(r);
         }
+        self.refs_consumed += 1;
         let instrs = r.instructions();
         self.stats.instructions += instrs;
         self.stats.mem_refs += 1;

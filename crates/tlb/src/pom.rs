@@ -192,6 +192,47 @@ impl PomTlb {
         false
     }
 
+    /// Serialises the directory contents and LRU clock into checkpoint
+    /// words (geometry and backing-store base are rebuilt from the
+    /// config, statistics are zero at the checkpoint boundary).
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.tick);
+        for e in &self.entries {
+            out.push(e.valid as u64 | (e.size.is_huge() as u64) << 1 | (e.asid.raw() as u64) << 4);
+            out.push(e.vpn);
+            out.push(e.frame);
+            out.push(e.lru);
+        }
+    }
+
+    /// Restores state captured by [`PomTlb::save_state`] into a POM-TLB
+    /// of identical geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the word count does not match this geometry.
+    pub fn restore_state(&mut self, words: &[u64]) -> Result<(), String> {
+        let expect = 1 + 4 * self.cfg.entries;
+        if words.len() != expect {
+            return Err(format!(
+                "POM-TLB: checkpoint section has {} words, geometry needs {expect}",
+                words.len()
+            ));
+        }
+        self.tick = words[0];
+        for (e, w) in self.entries.iter_mut().zip(words[1..].chunks_exact(4)) {
+            *e = PomEntry {
+                valid: w[0] & 1 != 0,
+                size: if w[0] & 1 << 1 != 0 { PageSize::Size2M } else { PageSize::Size4K },
+                asid: Asid::new((w[0] >> 4) as u16),
+                vpn: w[1],
+                frame: w[2],
+                lru: w[3],
+            };
+        }
+        Ok(())
+    }
+
     /// POM-TLB hit ratio so far.
     pub fn hit_ratio(&self) -> f64 {
         let t = self.stats.hits + self.stats.misses;
@@ -275,6 +316,25 @@ mod tests {
         assert!(p.invalidate(9, a, PageSize::Size4K));
         assert!(p.lookup(9, a, PageSize::Size4K).frame.is_none());
         assert!(!p.invalidate(9, a, PageSize::Size4K));
+    }
+
+    #[test]
+    fn save_restore_round_trips_directory() {
+        let mut p = pom();
+        let a = Asid::new(6);
+        for vpn in 0..200u64 {
+            p.insert(vpn, a, PageSize::Size4K, vpn + 1000);
+        }
+        p.insert(7, a, PageSize::Size2M, 4096);
+        let mut words = Vec::new();
+        p.save_state(&mut words);
+        let mut q = pom();
+        q.restore_state(&words).expect("same geometry");
+        for vpn in 0..200u64 {
+            assert_eq!(q.lookup(vpn, a, PageSize::Size4K).frame, p.lookup(vpn, a, PageSize::Size4K).frame);
+        }
+        assert_eq!(q.lookup(7, a, PageSize::Size2M).frame, Some(4096));
+        assert!(q.restore_state(&words[..10]).is_err());
     }
 
     #[test]

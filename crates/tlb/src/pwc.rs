@@ -70,7 +70,27 @@ impl SplitPwc {
     fn flush(&mut self) {
         self.entries = [PwcEntry::default(); PWC_ENTRIES];
     }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.tick);
+        for e in &self.entries {
+            out.push(e.valid as u64 | (e.asid.raw() as u64) << 1);
+            out.push(e.tag);
+            out.push(e.lru);
+        }
+    }
+
+    fn restore_state(&mut self, words: &[u64]) {
+        self.tick = words[0];
+        for (e, w) in self.entries.iter_mut().zip(words[1..].chunks_exact(3)) {
+            *e = PwcEntry { valid: w[0] & 1 != 0, asid: Asid::new((w[0] >> 1) as u16), tag: w[1], lru: w[2] };
+        }
+    }
 }
+
+/// Checkpoint words per split PWC: the LRU clock plus three words per
+/// entry.
+const SPLIT_STATE_WORDS: usize = 1 + 3 * PWC_ENTRIES;
 
 /// The three split page-walk caches.
 ///
@@ -148,6 +168,34 @@ impl PageWalkCaches {
             l.flush();
         }
     }
+
+    /// Serialises all three PWC levels plus the lifetime hit/miss
+    /// counters (which survive stats resets) into checkpoint words.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.hits);
+        out.push(self.misses);
+        for l in &self.levels {
+            l.save_state(out);
+        }
+    }
+
+    /// Restores state captured by [`PageWalkCaches::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the word count is wrong.
+    pub fn restore_state(&mut self, words: &[u64]) -> Result<(), String> {
+        let expect = 2 + 3 * SPLIT_STATE_WORDS;
+        if words.len() != expect {
+            return Err(format!("PWC: checkpoint section has {} words, expected {expect}", words.len()));
+        }
+        self.hits = words[0];
+        self.misses = words[1];
+        for (l, w) in self.levels.iter_mut().zip(words[2..].chunks_exact(SPLIT_STATE_WORDS)) {
+            l.restore_state(w);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +250,26 @@ mod tests {
         let va = VirtAddr::new(0x7000_1234_5678);
         p.fill_all(va, Asid::new(1), 0);
         assert_eq!(p.deepest_hit(va, Asid::new(2), 0), None);
+    }
+
+    #[test]
+    fn save_restore_round_trips_all_levels() {
+        let mut p = PageWalkCaches::new();
+        let a = Asid::new(3);
+        for i in 0..20u64 {
+            p.fill_all(VirtAddr::new(0x7000_0000_0000 + i * (2 << 20)), a, 0);
+        }
+        p.deepest_hit(VirtAddr::new(0x7000_0000_0000), a, 0);
+        let mut words = Vec::new();
+        p.save_state(&mut words);
+        let mut q = PageWalkCaches::new();
+        q.restore_state(&words).expect("fixed geometry");
+        assert_eq!((q.hits, q.misses), (p.hits, p.misses));
+        for i in 0..20u64 {
+            let va = VirtAddr::new(0x7000_0000_0000 + i * (2 << 20));
+            assert_eq!(q.deepest_hit(va, a, 0), p.deepest_hit(va, a, 0), "divergence at region {i}");
+        }
+        assert!(q.restore_state(&words[1..]).is_err(), "short section must be rejected");
     }
 
     #[test]

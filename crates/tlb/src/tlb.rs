@@ -47,37 +47,46 @@ pub struct TlbEntry {
     pub ptw_freq: u8,
     /// PTW cost counter snapshot (4-bit).
     pub ptw_cost: u8,
-    /// LRU stamp (monotonic tick of the owning TLB); lives in the payload
-    /// so a probe hit touches exactly the scanned key line plus this one.
-    lru_stamp: u64,
 }
 
 impl TlbEntry {
     /// Creates a valid entry with zeroed counters.
     pub fn new(vpn: u64, asid: Asid, size: PageSize, frame: u64) -> Self {
-        Self { valid: true, vpn, asid, size, frame, ptw_freq: 0, ptw_cost: 0, lru_stamp: 0 }
+        Self { valid: true, vpn, asid, size, frame, ptw_freq: 0, ptw_cost: 0 }
     }
 
     /// Creates a valid entry carrying counter snapshots.
     pub fn with_counters(vpn: u64, asid: Asid, size: PageSize, frame: u64, freq: u8, cost: u8) -> Self {
-        Self { valid: true, vpn, asid, size, frame, ptw_freq: freq, ptw_cost: cost, lru_stamp: 0 }
+        Self { valid: true, vpn, asid, size, frame, ptw_freq: freq, ptw_cost: cost }
     }
-
-    const INVALID: TlbEntry = TlbEntry {
-        valid: false,
-        vpn: 0,
-        asid: Asid::KERNEL,
-        size: PageSize::Size4K,
-        frame: 0,
-        ptw_freq: 0,
-        ptw_cost: 0,
-        lru_stamp: 0,
-    };
 
     /// The packed key word of this entry's identity.
     #[inline]
     fn key(&self) -> u64 {
         pack_key(self.vpn, self.asid, self.size)
+    }
+
+    /// The packed payload word: `frame | freq<<56 | cost<<60` (40-bit
+    /// frames leave bits 56+ free). Everything else about an entry is
+    /// recoverable from its key word.
+    #[inline]
+    fn payload(&self) -> u64 {
+        self.frame | (self.ptw_freq as u64) << 56 | (self.ptw_cost as u64) << 60
+    }
+
+    /// Reconstructs an entry from its packed key and payload words.
+    #[inline]
+    fn unpack(key: u64, payload: u64) -> TlbEntry {
+        debug_assert!(key_is_valid(key), "unpacking an invalid way");
+        TlbEntry {
+            valid: true,
+            vpn: key >> 16,
+            asid: key_asid(key),
+            size: if key & (1 << 3) != 0 { PageSize::Size2M } else { PageSize::Size4K },
+            frame: payload & ((1 << 56) - 1),
+            ptw_freq: (payload >> 56 & 0x7) as u8,
+            ptw_cost: (payload >> 60 & 0xf) as u8,
+        }
     }
 }
 
@@ -176,9 +185,15 @@ pub struct SetAssocTlb {
     set_mask: u64,
     /// Packed identity keys, one per way (the scanned hot array).
     keys: Vec<u64>,
-    /// Fat payloads (translation + counters + LRU stamp), touched only on
-    /// hit/fill.
-    entries: Vec<TlbEntry>,
+    /// LRU stamps, one per way, packed separately so the fill-time victim
+    /// scan reads one or two cache lines per set instead of walking a
+    /// payload array.
+    stamps: Vec<u64>,
+    /// Packed payload words (`frame | freq<<56 | cost<<60`), one per way.
+    /// Together the three word arrays keep even the paper's 1536-entry
+    /// L2 TLB in ~36KB of dense state — [`TlbEntry`] values exist only at
+    /// the API boundary.
+    payloads: Vec<u64>,
     tick: u64,
     /// Statistics.
     pub stats: TlbStats,
@@ -199,10 +214,12 @@ impl SetAssocTlb {
     /// Creates a TLB.
     pub fn new(cfg: TlbConfig) -> Self {
         let sets = cfg.num_sets();
+        assert!(cfg.ways <= 256, "{}: victim packing carries the way index in 8 bits", cfg.name);
         Self {
             set_mask: sets as u64 - 1,
             keys: vec![INVALID_KEY; cfg.entries],
-            entries: vec![TlbEntry::INVALID; cfg.entries],
+            stamps: vec![0; cfg.entries],
+            payloads: vec![0; cfg.entries],
             cfg,
             tick: 0,
             stats: TlbStats::default(),
@@ -235,11 +252,12 @@ impl SetAssocTlb {
     pub fn probe(&mut self, vpn: u64, asid: Asid, size: PageSize) -> Option<TlbEntry> {
         self.tick += 1;
         let start = self.set_start(vpn);
-        match self.find(start, pack_key(vpn, asid, size)) {
+        let key = pack_key(vpn, asid, size);
+        match self.find(start, key) {
             Some(i) => {
-                self.entries[i].lru_stamp = self.tick;
+                self.stamps[i] = self.tick;
                 self.stats.hits += 1;
-                Some(self.entries[i])
+                Some(TlbEntry::unpack(key, self.payloads[i]))
             }
             None => {
                 self.stats.misses += 1;
@@ -259,35 +277,44 @@ impl SetAssocTlb {
         self.stats.fills += 1;
         self.tick += 1;
         entry.valid = true;
-        entry.lru_stamp = self.tick;
         let key = entry.key();
         let start = self.set_start(entry.vpn);
+        // One scan resolves both outcomes. Each way is packed as
+        // `valid<<63 | stamp<<8 | way` and the minimum folded as the scan
+        // goes, so if the translation is absent the fold has already
+        // picked the victim — an invalid way (lowest index first) always
+        // beats a valid one, and ties on stamp resolve to the lowest way:
+        // the classic "first free way, else first-LRU" policy as a
+        // branchless cmp+cmov fold. A present translation exits early
+        // into the refresh path.
+        let set_keys = &self.keys[start..start + self.cfg.ways];
+        let set_stamps = &self.stamps[start..start + self.cfg.ways];
+        let mut best = u64::MAX;
+        let mut present = usize::MAX;
+        for w in 0..self.cfg.ways {
+            let k = set_keys[w];
+            if k == key {
+                present = w;
+                break;
+            }
+            best = best.min((k & 1) << 63 | set_stamps[w] << 8 | w as u64);
+        }
         // Refresh in place if present.
-        if let Some(i) = self.find(start, key) {
-            self.entries[i] = entry;
+        if present != usize::MAX {
+            let i = start + present;
+            self.payloads[i] = entry.payload();
+            self.stamps[i] = self.tick;
             return None;
         }
-        // Otherwise pick an invalid way or the LRU victim.
-        let set_keys = &self.keys[start..start + self.cfg.ways];
-        let victim = match set_keys.iter().position(|&k| !key_is_valid(k)) {
-            Some(w) => start + w,
-            None => {
-                let set = &self.entries[start..start + self.cfg.ways];
-                let mut best = 0;
-                for (w, e) in set.iter().enumerate() {
-                    if e.lru_stamp < set[best].lru_stamp {
-                        best = w;
-                    }
-                }
-                start + best
-            }
-        };
-        let displaced = key_is_valid(self.keys[victim]).then(|| self.entries[victim]);
+        let victim = start + (best & 0xff) as usize;
+        let displaced = key_is_valid(self.keys[victim])
+            .then(|| TlbEntry::unpack(self.keys[victim], self.payloads[victim]));
         if displaced.is_some() {
             self.stats.evictions += 1;
         }
         self.keys[victim] = key;
-        self.entries[victim] = entry;
+        self.payloads[victim] = entry.payload();
+        self.stamps[victim] = self.tick;
         displaced
     }
 
@@ -296,7 +323,7 @@ impl SetAssocTlb {
         match self.find(self.set_start(vpn), pack_key(vpn, asid, size)) {
             Some(i) => {
                 self.keys[i] = INVALID_KEY;
-                self.entries[i].valid = false;
+                self.stamps[i] = 0;
                 self.stats.invalidations += 1;
                 true
             }
@@ -307,10 +334,10 @@ impl SetAssocTlb {
     /// Invalidates every entry of an address space; returns the count.
     pub fn invalidate_asid(&mut self, asid: Asid) -> u64 {
         let mut n = 0;
-        for (k, e) in self.keys.iter_mut().zip(self.entries.iter_mut()) {
+        for (k, s) in self.keys.iter_mut().zip(self.stamps.iter_mut()) {
             if key_is_valid(*k) && key_asid(*k) == asid {
                 *k = INVALID_KEY;
-                e.valid = false;
+                *s = 0;
                 n += 1;
             }
         }
@@ -321,10 +348,10 @@ impl SetAssocTlb {
     /// Invalidates everything; returns the count.
     pub fn invalidate_all(&mut self) -> u64 {
         let mut n = 0;
-        for (k, e) in self.keys.iter_mut().zip(self.entries.iter_mut()) {
+        for (k, s) in self.keys.iter_mut().zip(self.stamps.iter_mut()) {
             if key_is_valid(*k) {
                 *k = INVALID_KEY;
-                e.valid = false;
+                *s = 0;
                 n += 1;
             }
         }
@@ -340,6 +367,45 @@ impl SetAssocTlb {
     /// Clears statistics (contents stay warm).
     pub fn reset_stats(&mut self) {
         self.stats = TlbStats::default();
+    }
+
+    /// Serialises the TLB's microarchitectural state (LRU clock, packed
+    /// keys, payloads) into checkpoint words. Statistics are not included
+    /// — checkpoints are taken at a boundary where they are zero. Per way
+    /// the payload packs `frame | freq<<56 | cost<<60` (40-bit frames
+    /// leave bits 56+ free), followed by the LRU stamp; everything else
+    /// about an entry is recoverable from its key word.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.tick);
+        for ((k, p), s) in self.keys.iter().zip(&self.payloads).zip(&self.stamps) {
+            out.push(*k);
+            out.push(*p);
+            out.push(*s);
+        }
+    }
+
+    /// Restores state captured by [`SetAssocTlb::save_state`] into a TLB
+    /// of identical geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the word count does not match this geometry.
+    pub fn restore_state(&mut self, words: &[u64]) -> Result<(), String> {
+        let expect = 1 + 3 * self.cfg.entries;
+        if words.len() != expect {
+            return Err(format!(
+                "{}: checkpoint section has {} words, geometry needs {expect}",
+                self.cfg.name,
+                words.len()
+            ));
+        }
+        self.tick = words[0];
+        for (i, way) in words[1..].chunks_exact(3).enumerate() {
+            self.keys[i] = way[0];
+            self.payloads[i] = way[1];
+            self.stamps[i] = way[2];
+        }
+        Ok(())
     }
 }
 
@@ -439,6 +505,44 @@ mod tests {
     }
 
     #[test]
+    fn save_restore_round_trips_contents_and_lru() {
+        let mut t = tlb(16, 4);
+        let a = Asid::new(5);
+        for vpn in 0..10u64 {
+            t.fill(TlbEntry::with_counters(vpn, a, PageSize::Size4K, vpn * 7, 3, 9));
+        }
+        t.fill(TlbEntry::new(99, a, PageSize::Size2M, 512));
+        t.probe(4, a, PageSize::Size4K);
+        let mut words = Vec::new();
+        t.save_state(&mut words);
+        let mut u = tlb(16, 4);
+        u.restore_state(&words).expect("same geometry");
+        assert_eq!(u.valid_entries(), t.valid_entries());
+        let e = u.probe(4, a, PageSize::Size4K).expect("restored entry");
+        assert_eq!((e.frame, e.ptw_freq, e.ptw_cost), (28, 3, 9));
+        assert_eq!(u.probe(99, a, PageSize::Size2M).unwrap().frame, 512);
+        // Mirror the verification probes so both LRU clocks stay in sync.
+        t.probe(4, a, PageSize::Size4K);
+        t.probe(99, a, PageSize::Size2M);
+        // After identical post-restore operations the two TLBs stay in
+        // lockstep: same victim choices (LRU state survived).
+        for vpn in 100..120u64 {
+            let dt = t.fill(TlbEntry::new(vpn, a, PageSize::Size4K, vpn));
+            let du = u.fill(TlbEntry::new(vpn, a, PageSize::Size4K, vpn));
+            assert_eq!(dt, du, "divergent eviction after restore at vpn {vpn}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_geometry() {
+        let t = tlb(16, 4);
+        let mut words = Vec::new();
+        t.save_state(&mut words);
+        let mut u = tlb(32, 4);
+        assert!(u.restore_state(&words).is_err());
+    }
+
+    #[test]
     fn keys_stay_consistent_with_payloads() {
         let mut t = tlb(16, 4);
         let mut rng = vm_types::SplitMix64::new(77);
@@ -459,8 +563,9 @@ mod tests {
         }
         for i in 0..t.keys.len() {
             if key_is_valid(t.keys[i]) {
-                assert!(t.entries[i].valid);
-                assert_eq!(t.keys[i], t.entries[i].key(), "key {i} diverged from payload");
+                let e = TlbEntry::unpack(t.keys[i], t.payloads[i]);
+                assert!(e.valid);
+                assert_eq!(t.keys[i], e.key(), "key {i} diverged from payload");
             }
         }
     }

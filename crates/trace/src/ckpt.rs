@@ -1,0 +1,416 @@
+//! The `.vckpt` warm-state checkpoint container.
+//!
+//! A checkpoint snapshots the microarchitectural warm state of a
+//! simulation at the post-warm-up boundary — TLB and cache tag arrays,
+//! page-walk caches, replacement/prefetcher state, and the page-table
+//! access counters — so a later process can rebuild the system, restore
+//! the sections, and continue the measured phase with byte-identical
+//! statistics. The format deliberately knows nothing about *what* the
+//! sections contain: each is a named, length-prefixed list of `u64`
+//! words produced by a component's `save_state`. That keeps the
+//! container stable while component layouts evolve (a layout change is
+//! a word-count change, which restore rejects with a typed error).
+//!
+//! Layout (all integers LEB128 varints from [`vm_types::codec`] unless
+//! noted):
+//!
+//! ```text
+//! magic      4 bytes          b"VCKP"
+//! version    uvarint          CKPT_VERSION (currently 1)
+//! meta:
+//!   engine        string      engine id of the producer
+//!   config        string      system-configuration name
+//!   workload      string      workload name
+//!   scale         uvarint     TraceScale wire code
+//!   seed          u64 LE      8 fixed bytes
+//!   warmup        uvarint     warm-up instructions already executed
+//!   refs_consumed uvarint     memory references drained from the stream
+//! sections (repeated):
+//!   name        string        non-empty section name
+//!   word_count  uvarint
+//!   words       word_count × uvarint
+//! end marker:   empty string
+//! ```
+//!
+//! Strings are a uvarint byte length followed by UTF-8 bytes. Like the
+//! `.vtrace` reader, every decode failure — truncation anywhere, a bad
+//! magic, an unsupported version, an oversized field — surfaces as a
+//! [`TraceError::Format`].
+
+use std::fs;
+use std::path::Path;
+
+use vm_types::codec::{put_uvarint, take_uvarint};
+
+use crate::format::TraceScale;
+use crate::TraceError;
+
+/// Magic bytes opening every `.vckpt` file.
+pub const CKPT_MAGIC: [u8; 4] = *b"VCKP";
+
+/// Current checkpoint format version.
+pub const CKPT_VERSION: u64 = 1;
+
+/// Longest accepted string field or section, guarding against
+/// allocating pathological sizes from a corrupt length prefix.
+const MAX_FIELD: u64 = 1 << 20;
+const MAX_SECTION_WORDS: u64 = 1 << 28;
+
+/// Identity of the run a checkpoint was captured from. Restore refuses
+/// a checkpoint whose meta does not match the rebuilt system exactly —
+/// warm state from a different configuration or seed would silently
+/// corrupt the measured phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Engine id of the producing simulator (e.g. `victima-sim-engine/1`).
+    pub engine: String,
+    /// System-configuration name (e.g. `victima`).
+    pub config: String,
+    /// Workload name the run was executing.
+    pub workload: String,
+    /// Footprint scale of the run.
+    pub scale: TraceScale,
+    /// Base seed (drives region placement and frame allocation).
+    pub seed: u64,
+    /// Warm-up instructions executed before the snapshot.
+    pub warmup: u64,
+    /// Memory references consumed from the workload stream; resume
+    /// drains exactly this many before restoring state.
+    pub refs_consumed: u64,
+}
+
+/// An in-memory checkpoint: identifying metadata plus named sections of
+/// raw `u64` state words.
+///
+/// # Examples
+///
+/// ```
+/// use victima_trace::{Checkpoint, CheckpointMeta, TraceScale};
+/// let meta = CheckpointMeta {
+///     engine: "demo/1".into(),
+///     config: "radix".into(),
+///     workload: "rnd".into(),
+///     scale: TraceScale::Tiny,
+///     seed: 7,
+///     warmup: 1000,
+///     refs_consumed: 321,
+/// };
+/// let mut ck = Checkpoint::new(meta);
+/// ck.add_section("dtlb", vec![1, 2, 3]);
+/// let bytes = ck.encode();
+/// let back = Checkpoint::decode(&bytes).unwrap();
+/// assert_eq!(back.section("dtlb"), Some(&[1u64, 2, 3][..]));
+/// assert_eq!(back.meta.seed, 7);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Identity of the producing run.
+    pub meta: CheckpointMeta,
+    sections: Vec<(String, Vec<u64>)>,
+}
+
+impl Checkpoint {
+    /// Creates an empty checkpoint for the given run identity.
+    pub fn new(meta: CheckpointMeta) -> Self {
+        Self { meta, sections: Vec::new() }
+    }
+
+    /// Appends a named section of state words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty name (reserved as the end marker) or a
+    /// duplicate — both indicate a producer bug, not bad input.
+    pub fn add_section(&mut self, name: &str, words: Vec<u64>) {
+        assert!(!name.is_empty(), "section name must be non-empty");
+        assert!(self.section(name).is_none(), "duplicate section {name:?}");
+        self.sections.push((name.to_string(), words));
+    }
+
+    /// Looks up a section's words by name.
+    pub fn section(&self, name: &str) -> Option<&[u64]> {
+        self.sections.iter().find(|(n, _)| n == name).map(|(_, w)| w.as_slice())
+    }
+
+    /// Iterates over `(name, words)` pairs in insertion order.
+    pub fn sections(&self) -> impl Iterator<Item = (&str, &[u64])> {
+        self.sections.iter().map(|(n, w)| (n.as_str(), w.as_slice()))
+    }
+
+    /// Serializes the checkpoint to `.vckpt` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CKPT_MAGIC);
+        put_uvarint(&mut out, CKPT_VERSION);
+        put_str(&mut out, &self.meta.engine);
+        put_str(&mut out, &self.meta.config);
+        put_str(&mut out, &self.meta.workload);
+        put_uvarint(&mut out, self.meta.scale.code());
+        out.extend_from_slice(&self.meta.seed.to_le_bytes());
+        put_uvarint(&mut out, self.meta.warmup);
+        put_uvarint(&mut out, self.meta.refs_consumed);
+        for (name, words) in &self.sections {
+            put_str(&mut out, name);
+            put_uvarint(&mut out, words.len() as u64);
+            for &w in words {
+                put_uvarint(&mut out, w);
+            }
+        }
+        put_str(&mut out, "");
+        out
+    }
+
+    /// Parses `.vckpt` bytes back into a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] on truncation, a bad magic, an
+    /// unsupported version, or any malformed field.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TraceError> {
+        let mut pos = 0usize;
+        if bytes.len() < CKPT_MAGIC.len() {
+            return Err(format_err("truncated checkpoint (no magic)"));
+        }
+        let magic = &bytes[..CKPT_MAGIC.len()];
+        if magic != CKPT_MAGIC {
+            return Err(format_err(format!(
+                "bad magic {magic:02x?} (expected {CKPT_MAGIC:02x?} — not a .vckpt file?)"
+            )));
+        }
+        pos += CKPT_MAGIC.len();
+        let version = take(bytes, &mut pos, "version")?;
+        if version != CKPT_VERSION {
+            return Err(format_err(format!(
+                "unsupported checkpoint version {version} (this build reads {CKPT_VERSION})"
+            )));
+        }
+        let engine = read_str(bytes, &mut pos, "engine id")?;
+        let config = read_str(bytes, &mut pos, "config name")?;
+        let workload = read_str(bytes, &mut pos, "workload name")?;
+        let scale_code = take(bytes, &mut pos, "scale")?;
+        let scale = TraceScale::from_code(scale_code)
+            .ok_or_else(|| format_err(format!("unknown scale code {scale_code}")))?;
+        if bytes.len() - pos < 8 {
+            return Err(format_err("truncated checkpoint (seed)"));
+        }
+        let seed = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        pos += 8;
+        let warmup = take(bytes, &mut pos, "warmup")?;
+        let refs_consumed = take(bytes, &mut pos, "refs_consumed")?;
+        let meta = CheckpointMeta { engine, config, workload, scale, seed, warmup, refs_consumed };
+        let mut ck = Checkpoint::new(meta);
+        loop {
+            let name = read_str(bytes, &mut pos, "section name")?;
+            if name.is_empty() {
+                break;
+            }
+            if ck.section(&name).is_some() {
+                return Err(format_err(format!("duplicate section {name:?}")));
+            }
+            let count = take(bytes, &mut pos, "section word count")?;
+            if count > MAX_SECTION_WORDS {
+                return Err(format_err(format!("section {name:?} implausibly large ({count} words)")));
+            }
+            let mut words = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                words.push(take(bytes, &mut pos, "section word")?);
+            }
+            ck.sections.push((name, words));
+        }
+        Ok(ck)
+    }
+
+    /// Writes the checkpoint to a file, creating any missing parent
+    /// directories (matching `TraceWriter::create`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem failure.
+    pub fn write_path<P: AsRef<Path>>(&self, path: P) -> Result<(), TraceError> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent).map_err(TraceError::Io)?;
+            }
+        }
+        fs::write(path, self.encode()).map_err(TraceError::Io)
+    }
+
+    /// Reads and parses a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem failure and
+    /// [`TraceError::Format`] on malformed contents.
+    pub fn read_path<P: AsRef<Path>>(path: P) -> Result<Self, TraceError> {
+        let bytes = fs::read(path).map_err(TraceError::Io)?;
+        Self::decode(&bytes)
+    }
+}
+
+fn format_err(msg: impl Into<String>) -> TraceError {
+    TraceError::Format(msg.into())
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_uvarint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take(bytes: &[u8], pos: &mut usize, what: &str) -> Result<u64, TraceError> {
+    take_uvarint(bytes, pos).ok_or_else(|| format_err(format!("truncated checkpoint ({what})")))
+}
+
+fn read_str(bytes: &[u8], pos: &mut usize, what: &str) -> Result<String, TraceError> {
+    let len = take(bytes, pos, what)?;
+    if len > MAX_FIELD {
+        return Err(format_err(format!("{what} implausibly long ({len} bytes)")));
+    }
+    let len = len as usize;
+    if bytes.len() - *pos < len {
+        return Err(format_err(format!("truncated checkpoint ({what})")));
+    }
+    let s = std::str::from_utf8(&bytes[*pos..*pos + len])
+        .map_err(|_| format_err(format!("{what} is not valid UTF-8")))?
+        .to_string();
+    *pos += len;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let meta = CheckpointMeta {
+            engine: "victima-sim-engine/1".into(),
+            config: "victima".into(),
+            workload: "gups".into(),
+            scale: TraceScale::Small,
+            seed: 0xDEAD_BEEF,
+            warmup: 100_000,
+            refs_consumed: 123_456,
+        };
+        let mut ck = Checkpoint::new(meta);
+        ck.add_section("dtlb4k", vec![0, 1, u64::MAX, 1 << 63]);
+        ck.add_section("hier", (0..300).map(|i| i * 977).collect());
+        ck.add_section("empty", Vec::new());
+        ck
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let ck = sample();
+        let back = Checkpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(back, ck);
+        assert_eq!(back.section("empty"), Some(&[][..]));
+        assert_eq!(back.section("missing"), None);
+        let names: Vec<&str> = back.sections().map(|(n, _)| n).collect();
+        assert_eq!(names, ["dtlb4k", "hier", "empty"]);
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_format_error() {
+        let bytes = sample().encode();
+        for cut in (0..bytes.len()).step_by(7) {
+            match Checkpoint::decode(&bytes[..cut]) {
+                Err(TraceError::Format(_)) => {}
+                other => panic!("cut at {cut}: expected Format error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        let err = Checkpoint::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[4] = (CKPT_VERSION + 1) as u8;
+        let err = Checkpoint::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("unsupported checkpoint version"), "{err}");
+    }
+
+    #[test]
+    fn unknown_scale_code_is_rejected() {
+        let ck = sample();
+        let mut bytes = ck.encode();
+        // The scale byte follows magic, version, and three short strings.
+        let mut probe = Vec::new();
+        probe.extend_from_slice(&CKPT_MAGIC);
+        put_uvarint(&mut probe, CKPT_VERSION);
+        put_str(&mut probe, &ck.meta.engine);
+        put_str(&mut probe, &ck.meta.config);
+        put_str(&mut probe, &ck.meta.workload);
+        let at = probe.len();
+        bytes[at] = 0x7f;
+        let err = Checkpoint::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("unknown scale code"), "{err}");
+    }
+
+    #[test]
+    fn oversized_section_length_is_rejected() {
+        let meta = sample().meta;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&CKPT_MAGIC);
+        put_uvarint(&mut bytes, CKPT_VERSION);
+        put_str(&mut bytes, &meta.engine);
+        put_str(&mut bytes, &meta.config);
+        put_str(&mut bytes, &meta.workload);
+        put_uvarint(&mut bytes, meta.scale.code());
+        bytes.extend_from_slice(&meta.seed.to_le_bytes());
+        put_uvarint(&mut bytes, meta.warmup);
+        put_uvarint(&mut bytes, meta.refs_consumed);
+        put_str(&mut bytes, "huge");
+        put_uvarint(&mut bytes, u64::MAX);
+        let err = Checkpoint::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("implausibly large"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_section_is_rejected_on_decode() {
+        let meta = sample().meta;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&CKPT_MAGIC);
+        put_uvarint(&mut bytes, CKPT_VERSION);
+        put_str(&mut bytes, &meta.engine);
+        put_str(&mut bytes, &meta.config);
+        put_str(&mut bytes, &meta.workload);
+        put_uvarint(&mut bytes, meta.scale.code());
+        bytes.extend_from_slice(&meta.seed.to_le_bytes());
+        put_uvarint(&mut bytes, meta.warmup);
+        put_uvarint(&mut bytes, meta.refs_consumed);
+        for _ in 0..2 {
+            put_str(&mut bytes, "twice");
+            put_uvarint(&mut bytes, 0);
+        }
+        put_str(&mut bytes, "");
+        let err = Checkpoint::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("duplicate section"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate section")]
+    fn duplicate_add_section_panics() {
+        let mut ck = sample();
+        ck.add_section("dtlb4k", vec![]);
+    }
+
+    #[test]
+    fn file_round_trip_and_io_error() {
+        let dir = std::env::temp_dir().join(format!("vckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.vckpt");
+        let ck = sample();
+        ck.write_path(&path).unwrap();
+        assert_eq!(Checkpoint::read_path(&path).unwrap(), ck);
+        let missing = dir.join("nope.vckpt");
+        assert!(matches!(Checkpoint::read_path(&missing), Err(TraceError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -50,14 +50,21 @@ pub enum TraceScale {
     Tiny,
     /// The evaluation scale (hundreds of MB to GBs).
     Full,
+    /// Intermediate footprints (hundreds of MB) — the sampling profile.
+    Small,
+    /// Paper-scale footprints (GBs), reached via sampling/checkpoints.
+    Paper,
 }
 
 impl TraceScale {
-    /// Stable wire code.
+    /// Stable wire code. Small and Paper were added in a later revision,
+    /// so their codes follow Full's rather than the footprint order.
     pub fn code(self) -> u64 {
         match self {
             TraceScale::Tiny => 0,
             TraceScale::Full => 1,
+            TraceScale::Small => 2,
+            TraceScale::Paper => 3,
         }
     }
 
@@ -66,6 +73,8 @@ impl TraceScale {
         match code {
             0 => Some(TraceScale::Tiny),
             1 => Some(TraceScale::Full),
+            2 => Some(TraceScale::Small),
+            3 => Some(TraceScale::Paper),
             _ => None,
         }
     }
@@ -75,6 +84,8 @@ impl TraceScale {
         match self {
             TraceScale::Tiny => "Tiny",
             TraceScale::Full => "Full",
+            TraceScale::Small => "Small",
+            TraceScale::Paper => "Paper",
         }
     }
 }

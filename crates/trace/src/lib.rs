@@ -45,10 +45,12 @@
 
 #![deny(missing_docs)]
 
+mod ckpt;
 mod format;
 mod reader;
 mod writer;
 
+pub use ckpt::{Checkpoint, CheckpointMeta, CKPT_MAGIC, CKPT_VERSION};
 pub use format::{TraceHeader, TraceRegion, TraceScale, FORMAT_VERSION, MAGIC, MAX_CHUNK_RECORDS};
 pub use reader::{Records, TraceReader};
 pub use writer::{TraceCounts, TraceSummary, TraceWriter, DEFAULT_CHUNK_RECORDS};

@@ -1,0 +1,125 @@
+//! Round-trip and error-path tests for the `.vckpt` checkpoint
+//! container, mirroring `tests/format.rs` for the trace format. Random
+//! section contents come from the workspace's deterministic SplitMix64.
+
+use victima_trace::{Checkpoint, CheckpointMeta, TraceError, TraceScale, CKPT_VERSION};
+use vm_types::SplitMix64;
+
+fn sample_meta() -> CheckpointMeta {
+    CheckpointMeta {
+        engine: "victima-trace/it".into(),
+        config: "victima".into(),
+        workload: "RND".into(),
+        scale: TraceScale::Small,
+        seed: 0xfeed_beef,
+        warmup: 250_000,
+        refs_consumed: 61_803,
+    }
+}
+
+fn random_checkpoint(seed: u64, sections: usize, words_per: usize) -> Checkpoint {
+    let mut rng = SplitMix64::new(seed);
+    let mut ck = Checkpoint::new(sample_meta());
+    for i in 0..sections {
+        let words: Vec<u64> = (0..words_per).map(|_| rng.next_u64()).collect();
+        ck.add_section(&format!("section-{i}"), words);
+    }
+    ck
+}
+
+#[test]
+fn meta_round_trips_bit_exact() {
+    let ck = Checkpoint::new(sample_meta());
+    let back = Checkpoint::decode(&ck.encode()).unwrap();
+    assert_eq!(back.meta, sample_meta());
+    assert_eq!(back.sections().count(), 0);
+}
+
+#[test]
+fn random_sections_round_trip_across_sizes() {
+    for (sections, words) in [(1usize, 0usize), (3, 17), (12, 1_000), (40, 3)] {
+        let ck = random_checkpoint(0x5eed ^ (sections as u64) << 16 ^ words as u64, sections, words);
+        let bytes = ck.encode();
+        let back = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(back, ck, "{sections} sections × {words} words");
+        // Order is part of the contract: restore applies sections to
+        // components positionally-named, and diffing depends on it.
+        let names: Vec<&str> = back.sections().map(|(n, _)| n).collect();
+        let expect: Vec<String> = (0..sections).map(|i| format!("section-{i}")).collect();
+        assert_eq!(names, expect);
+    }
+}
+
+#[test]
+fn extreme_word_values_survive_the_varint_codec() {
+    let mut ck = Checkpoint::new(sample_meta());
+    let edges: Vec<u64> = (0..=64u32).map(|b| (1u64 << (b % 64)).wrapping_sub((b == 64) as u64)).collect();
+    ck.add_section("edges", edges.clone());
+    ck.add_section("max", vec![u64::MAX, 0, u64::MAX - 1]);
+    let back = Checkpoint::decode(&ck.encode()).unwrap();
+    assert_eq!(back.section("edges"), Some(&edges[..]));
+    assert_eq!(back.section("max"), Some(&[u64::MAX, 0, u64::MAX - 1][..]));
+}
+
+#[test]
+fn encoding_is_deterministic() {
+    let a = random_checkpoint(42, 5, 100).encode();
+    let b = random_checkpoint(42, 5, 100).encode();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn truncation_anywhere_is_detected() {
+    let bytes = random_checkpoint(7, 4, 50).encode();
+    for cut in 0..bytes.len() {
+        match Checkpoint::decode(&bytes[..cut]) {
+            Err(TraceError::Format(_)) => {}
+            other => panic!("cut at {cut}: expected a format error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_after_end_marker_is_ignored() {
+    // The end marker closes the stream; bytes after it belong to no one
+    // and must not corrupt the decode (a container embedded in a larger
+    // file still parses).
+    let ck = random_checkpoint(9, 2, 8);
+    let mut bytes = ck.encode();
+    bytes.extend_from_slice(b"tail");
+    assert_eq!(Checkpoint::decode(&bytes).unwrap(), ck);
+}
+
+#[test]
+fn bad_magic_and_future_version_are_rejected() {
+    let good = random_checkpoint(1, 1, 4).encode();
+
+    let mut bad = good.clone();
+    bad[0] ^= 0xff;
+    match Checkpoint::decode(&bad) {
+        Err(TraceError::Format(msg)) => assert!(msg.contains("magic"), "{msg}"),
+        other => panic!("expected a format error, got {other:?}"),
+    }
+
+    let mut future = good;
+    // The version varint sits right after the 4-byte magic; v1 encodes
+    // as a single byte.
+    assert_eq!(future[4] as u64, CKPT_VERSION);
+    future[4] = CKPT_VERSION as u8 + 1;
+    match Checkpoint::decode(&future) {
+        Err(TraceError::Format(msg)) => assert!(msg.contains("version"), "{msg}"),
+        other => panic!("expected a format error, got {other:?}"),
+    }
+}
+
+#[test]
+fn file_round_trip_preserves_everything() {
+    let dir = std::env::temp_dir().join(format!("vckpt-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("state.vckpt");
+    let ck = random_checkpoint(0xabcd, 6, 200);
+    ck.write_path(&path).unwrap();
+    assert_eq!(Checkpoint::read_path(&path).unwrap(), ck);
+    assert!(matches!(Checkpoint::read_path(dir.join("missing.vckpt")), Err(TraceError::Io(_))));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -27,6 +27,21 @@ impl SplitMix64 {
         Self { state: seed }
     }
 
+    /// The raw internal state (for serialising a generator mid-stream;
+    /// restore with [`SplitMix64::from_state`]).
+    #[inline]
+    pub const fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator from a previously captured [`SplitMix64::state`].
+    /// Identical to [`SplitMix64::new`] — SplitMix64's whole state is its
+    /// counter — but named so intent survives at call sites.
+    #[inline]
+    pub const fn from_state(state: u64) -> Self {
+        Self { state }
+    }
+
     /// Next 64 uniformly distributed bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

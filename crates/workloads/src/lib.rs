@@ -64,8 +64,15 @@ pub struct RegionSpec {
 pub enum Scale {
     /// Tiny footprints (tens of MB) for unit tests.
     Tiny,
+    /// Intermediate footprints (hundreds of MB): large enough that the
+    /// working set dwarfs TLB reach, small enough that a sampled run
+    /// finishes in CI (the sampling-accuracy and perf-gate profile).
+    Small,
     /// The evaluation scale (hundreds of MB; see DESIGN.md).
     Full,
+    /// Paper-scale footprints (GBs), approached via interval sampling
+    /// and warm-state checkpoints rather than full-detail simulation.
+    Paper,
 }
 
 impl Scale {
@@ -75,10 +82,41 @@ impl Scale {
     /// the *leaf page table* vs. the cache hierarchy: the paper's 8-33GB
     /// datasets imply 16-66MB of leaf PTEs, far beyond the 2MB L2; our
     /// 1.5-4GB footprints keep that inequality (3-8MB of leaf PTEs).
+    /// Paper doubles Full again (3-12GB footprints) — the fragmentation
+    /// skips of the frame allocator consume ~2.5 frames per 4KB page, so
+    /// larger factors need `phys_mem_bytes` raised in step.
     pub fn factor(self) -> u64 {
         match self {
             Scale::Tiny => 1,
+            Scale::Small => 8,
             Scale::Full => 64,
+            Scale::Paper => 128,
+        }
+    }
+
+    /// Default `(warm-up, measured)` instruction budgets for a
+    /// full-detail run at this scale. Tiny matches the pinned baseline
+    /// profile; larger scales grow the budget so the measured window
+    /// actually covers the bigger footprint. Sampled runs
+    /// (`sim::sampling`) spread the same measured budget over detailed
+    /// windows instead of running it contiguously.
+    pub fn default_budget(self) -> (u64, u64) {
+        match self {
+            Scale::Tiny => (5_000, 50_000),
+            Scale::Small => (100_000, 1_000_000),
+            Scale::Full => (200_000, 2_000_000),
+            Scale::Paper => (500_000, 10_000_000),
+        }
+    }
+
+    /// Parses the CLI spelling (`tiny`, `small`, `full`, `paper`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            "paper" => Some(Scale::Paper),
+            _ => None,
         }
     }
 }
@@ -200,6 +238,28 @@ mod tests {
     #[test]
     fn scale_factors() {
         assert_eq!(Scale::Tiny.factor(), 1);
-        assert!(Scale::Full.factor() > Scale::Tiny.factor());
+        assert!(Scale::Small.factor() > Scale::Tiny.factor());
+        assert!(Scale::Full.factor() > Scale::Small.factor());
+        assert!(Scale::Paper.factor() > Scale::Full.factor());
+    }
+
+    #[test]
+    fn scale_parse_round_trips() {
+        for (name, scale) in
+            [("tiny", Scale::Tiny), ("small", Scale::Small), ("full", Scale::Full), ("paper", Scale::Paper)]
+        {
+            assert_eq!(Scale::parse(name), Some(scale));
+        }
+        assert_eq!(Scale::parse("medium"), None);
+    }
+
+    #[test]
+    fn budgets_grow_with_scale() {
+        let scales = [Scale::Tiny, Scale::Small, Scale::Full, Scale::Paper];
+        for pair in scales.windows(2) {
+            let (w0, m0) = pair[0].default_budget();
+            let (w1, m1) = pair[1].default_budget();
+            assert!(w1 >= w0 && m1 > m0, "{:?} budget must exceed {:?}", pair[1], pair[0]);
+        }
     }
 }

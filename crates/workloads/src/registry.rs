@@ -42,19 +42,22 @@ pub fn builder(name: &str) -> Option<WorkloadBuilder> {
 /// base seed.
 ///
 /// Beyond the 11 generator abbreviations, `trace:<path>` replays a
-/// recorded `.vtrace` file ([`crate::replay::TraceWorkload`]): the name
-/// stays a plain `Send` string, so batch-engine workers each open their
-/// own reader and the byte-identical-at-any-worker-count contract holds.
+/// recorded `.vtrace` file ([`crate::replay::TraceWorkload`]), and
+/// `trace:<path>?skip=N` replays it with the first `N` chunks skipped
+/// (warm-up skip). The name stays a plain `Send` string, so
+/// batch-engine workers each open their own reader and the
+/// byte-identical-at-any-worker-count contract holds.
 ///
 /// # Panics
 ///
-/// Panics if a `trace:<path>` file is unreadable, malformed, or was
-/// recorded at a different scale/seed than requested (a mismatched
-/// mapping would silently corrupt the replay; see
-/// [`crate::replay::TraceWorkload::open`]).
+/// Panics if a `trace:<path>` file is unreadable, malformed, shorter
+/// than the requested skip, or was recorded at a different scale/seed
+/// than requested (a mismatched mapping would silently corrupt the
+/// replay; see [`crate::replay::TraceWorkload::open`]).
 pub fn by_name_seeded(name: &str, scale: Scale, seed: u64) -> Option<Box<dyn Workload>> {
-    if let Some(path) = name.strip_prefix(crate::replay::TRACE_PREFIX) {
-        let w = crate::replay::TraceWorkload::open(std::path::Path::new(path), scale, seed)
+    if let Some(spec) = name.strip_prefix(crate::replay::TRACE_PREFIX) {
+        let (path, skip) = crate::replay::parse_spec(spec).unwrap_or_else(|e| panic!("{e}"));
+        let w = crate::replay::TraceWorkload::open_with_skip(std::path::Path::new(path), scale, seed, skip)
             .unwrap_or_else(|e| panic!("{e}"));
         return Some(Box::new(w));
     }

@@ -47,7 +47,9 @@ impl From<TraceScale> for Scale {
     fn from(s: TraceScale) -> Self {
         match s {
             TraceScale::Tiny => Scale::Tiny,
+            TraceScale::Small => Scale::Small,
             TraceScale::Full => Scale::Full,
+            TraceScale::Paper => Scale::Paper,
         }
     }
 }
@@ -56,9 +58,29 @@ impl From<Scale> for TraceScale {
     fn from(s: Scale) -> Self {
         match s {
             Scale::Tiny => TraceScale::Tiny,
+            Scale::Small => TraceScale::Small,
             Scale::Full => TraceScale::Full,
+            Scale::Paper => TraceScale::Paper,
         }
     }
+}
+
+/// Splits a `trace:` spec body into its path and skip count: the
+/// registry syntax `trace:<path>?skip=N` replays `<path>` with its
+/// first `N` chunks skipped (a coarse warm-up skip — chunk headers are
+/// parsed but payloads are never decoded). A spec without the suffix
+/// skips nothing.
+pub fn parse_spec(spec: &str) -> Result<(&str, u64), String> {
+    let Some((path, arg)) = spec.rsplit_once('?') else {
+        return Ok((spec, 0));
+    };
+    let Some(n) = arg.strip_prefix("skip=") else {
+        return Err(format!("trace replay: unknown option {arg:?} (expected skip=N)"));
+    };
+    let skip = n
+        .parse::<u64>()
+        .map_err(|_| format!("trace replay: bad skip count {n:?} (expected a chunk count)"))?;
+    Ok((path, skip))
 }
 
 /// A workload that replays a `.vtrace` file.
@@ -94,7 +116,16 @@ impl TraceWorkload {
     /// pages. Errors are rendered as actionable strings — the registry
     /// front door panics with them.
     pub fn open(path: &Path, scale: Scale, seed: u64) -> Result<Self, String> {
-        let reader = TraceReader::open_path(path)
+        Self::open_with_skip(path, scale, seed, 0)
+    }
+
+    /// [`TraceWorkload::open`] with the first `skip_chunks` chunks
+    /// skipped (the `trace:<path>?skip=N` registry syntax): the skipped
+    /// records never reach the simulator, so replay starts mid-trace.
+    /// Skipping past the end of the trace is an error — the remaining
+    /// stream would be empty and the first `fill` would panic.
+    pub fn open_with_skip(path: &Path, scale: Scale, seed: u64, skip_chunks: u64) -> Result<Self, String> {
+        let mut reader = TraceReader::open_path(path)
             .map_err(|e| format!("trace replay: cannot read {}: {e}", path.display()))?;
         let h = reader.header();
         if Scale::from(h.scale) != scale {
@@ -120,6 +151,18 @@ impl TraceWorkload {
             .iter()
             .map(|r| RegionSpec { name: intern(&r.name), bytes: r.bytes, huge_fraction: r.huge_fraction() })
             .collect();
+        for i in 0..skip_chunks {
+            match reader.skip_chunk() {
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    return Err(format!(
+                        "trace replay: {} has only {i} chunks; cannot skip {skip_chunks}",
+                        path.display()
+                    ));
+                }
+                Err(e) => return Err(format!("trace replay: {}: {e}", path.display())),
+            }
+        }
         Ok(Self { reader, path: path.to_owned(), name, specs, delivered: 0 })
     }
 
@@ -239,5 +282,66 @@ mod tests {
         let a = intern("BFS-like");
         let b = intern("BFS-like");
         assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn parse_spec_handles_skip_suffix() {
+        assert_eq!(parse_spec("/a/b.vtrace"), Ok(("/a/b.vtrace", 0)));
+        assert_eq!(parse_spec("/a/b.vtrace?skip=3"), Ok(("/a/b.vtrace", 3)));
+        assert!(parse_spec("/a/b.vtrace?chunk=3").unwrap_err().contains("unknown option"));
+        assert!(parse_spec("/a/b.vtrace?skip=lots").unwrap_err().contains("bad skip count"));
+    }
+
+    fn write_chunked_trace(path: &Path, refs: &[MemRef], chunk_records: u64) {
+        let mut h = TraceHeader::new("RND", TraceScale::Tiny, 7, 100, 1_000);
+        h.regions.push(TraceRegion::new("table", 1 << 20, 0.25));
+        let mut w = TraceWriter::create(path, &h).unwrap().with_chunk_records(chunk_records);
+        for &r in refs {
+            w.push(r);
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn skip_then_replay_equals_full_replay_minus_prefix() {
+        let path = tmp("skip.vtrace");
+        let refs: Vec<MemRef> =
+            (0..1000).map(|i| MemRef::load(VirtAddr::new(0x10_0000 + i * 64), 0x40_0000, 1)).collect();
+        write_chunked_trace(&path, &refs, 100); // 10 chunks of 100 records
+        for skip in [1u64, 4, 9] {
+            let mut w = TraceWorkload::open_with_skip(&path, Scale::Tiny, 7, skip).unwrap();
+            w.init(&[VirtAddr::new(0x10_0000)]);
+            let remaining = refs.len() - (skip as usize) * 100;
+            let mut stream = WorkloadStream::new(Box::new(w));
+            let got: Vec<MemRef> = (0..remaining).map(|_| stream.next_ref()).collect();
+            assert_eq!(got, refs[(skip as usize) * 100..], "skip={skip}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn registry_skip_syntax_replays_suffix() {
+        let path = tmp("skip-registry.vtrace");
+        let refs: Vec<MemRef> =
+            (0..300).map(|i| MemRef::load(VirtAddr::new(0x20_0000 + i * 64), 0x40_0000, 1)).collect();
+        write_chunked_trace(&path, &refs, 100);
+        let spec = format!("{}?skip=2", crate::replay::trace_name(&path));
+        let mut w = crate::registry::by_name_seeded(&spec, Scale::Tiny, 7).unwrap();
+        w.init(&[VirtAddr::new(0x20_0000)]);
+        let mut stream = WorkloadStream::new(w);
+        let got: Vec<MemRef> = (0..100).map(|_| stream.next_ref()).collect();
+        assert_eq!(got, refs[200..]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn skipping_past_the_end_is_refused() {
+        let path = tmp("skip-too-far.vtrace");
+        let refs: Vec<MemRef> =
+            (0..200).map(|i| MemRef::load(VirtAddr::new(0x30_0000 + i * 64), 0x40_0000, 1)).collect();
+        write_chunked_trace(&path, &refs, 100);
+        let err = TraceWorkload::open_with_skip(&path, Scale::Tiny, 7, 5).unwrap_err();
+        assert!(err.contains("only 2 chunks"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 }

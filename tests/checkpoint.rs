@@ -1,0 +1,168 @@
+//! The checkpoint subsystem's defining invariant: `ckpt save` followed
+//! by `ckpt resume` — through an actual `.vckpt` file — yields
+//! `SimStats` byte-identical to the uninterrupted
+//! `System::run_with_warmup` run, for every native configuration the
+//! CLI can resolve. Also pins the file-level error paths (corruption,
+//! tampering, missing files) and the report-schema artifacts.
+
+use std::path::PathBuf;
+use victima_bench::ckpt::{config_named, info_report, resume, resume_report, save};
+use victima_repro::sim::{System, SystemConfig};
+use victima_repro::trace::{Checkpoint, TraceError};
+use victima_repro::workloads::{registry, Scale};
+
+const WARMUP: u64 = 2_000;
+const MEASURED: u64 = 10_000;
+
+/// A per-test scratch directory under the system temp dir, removed on
+/// drop so reruns start clean.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("vckpt-it-{}-{label}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn reference_stats(workload: &str, cfg: &SystemConfig) -> victima_repro::sim::SimStats {
+    let w = registry::by_name_seeded(workload, Scale::Tiny, cfg.seed).unwrap();
+    let mut sys = System::new(cfg.clone(), w);
+    sys.run_with_warmup(WARMUP, MEASURED);
+    sys.finalize_stats();
+    sys.stats
+}
+
+/// Save → resume through a file is byte-identical to the uninterrupted
+/// run, for every configuration `config_named` can rebuild (the full
+/// set the CLI accepts).
+#[test]
+fn file_round_trip_resumes_byte_identically_for_every_config() {
+    let scratch = ScratchDir::new("configs");
+    for cfg in [
+        SystemConfig::radix(),
+        SystemConfig::victima(),
+        SystemConfig::victima_plus_stlb(),
+        SystemConfig::pom_tlb(),
+    ] {
+        assert_eq!(
+            config_named(&cfg.name).map(|c| c.name),
+            Some(cfg.name.clone()),
+            "resume must be able to rebuild {}",
+            cfg.name
+        );
+        let path = scratch.path(&format!("{}.vckpt", cfg.name));
+        save("RND", &cfg, Scale::Tiny, cfg.seed, WARMUP, &path).unwrap();
+        let (ck, ran, stats) = resume(&path, Some(MEASURED)).unwrap();
+        assert_eq!(ran, MEASURED);
+        assert_eq!(ck.meta.warmup, WARMUP);
+        assert_eq!(
+            stats,
+            reference_stats("RND", &cfg),
+            "{}: resumed stats differ from the uninterrupted run",
+            cfg.name
+        );
+    }
+}
+
+/// Saving the same run twice produces byte-identical files — the
+/// capture itself is deterministic, so checkpoints can be diffed and
+/// content-addressed.
+#[test]
+fn capture_is_deterministic_on_disk() {
+    let scratch = ScratchDir::new("determinism");
+    let cfg = SystemConfig::victima();
+    let (a, b) = (scratch.path("a.vckpt"), scratch.path("b.vckpt"));
+    save("XS", &cfg, Scale::Tiny, cfg.seed, WARMUP, &a).unwrap();
+    save("XS", &cfg, Scale::Tiny, cfg.seed, WARMUP, &b).unwrap();
+    assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+}
+
+/// File-level failures surface as the right typed error: a missing file
+/// is `Io`, corruption and tampering are `Format` — never a panic or a
+/// silent wrong resume.
+#[test]
+fn file_errors_are_typed() {
+    let scratch = ScratchDir::new("errors");
+
+    // Missing file.
+    assert!(matches!(resume(&scratch.path("absent.vckpt"), None), Err(TraceError::Io(_))));
+
+    let cfg = SystemConfig::radix();
+    let path = scratch.path("good.vckpt");
+    save("RND", &cfg, Scale::Tiny, cfg.seed, WARMUP, &path).unwrap();
+
+    // Truncation anywhere in the file.
+    let bytes = std::fs::read(&path).unwrap();
+    let cut = scratch.path("cut.vckpt");
+    std::fs::write(&cut, &bytes[..bytes.len() / 2]).unwrap();
+    match resume(&cut, None) {
+        Err(TraceError::Format(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+        other => panic!("expected a format error, got {other:?}"),
+    }
+
+    // A checkpoint naming a config this build cannot rebuild.
+    let mut ck = Checkpoint::read_path(&path).unwrap();
+    ck.meta.config = "warp-drive".into();
+    let alien = scratch.path("alien.vckpt");
+    ck.write_path(&alien).unwrap();
+    match resume(&alien, None) {
+        Err(TraceError::Format(msg)) => assert!(msg.contains("not resolvable"), "{msg}"),
+        other => panic!("expected a format error, got {other:?}"),
+    }
+
+    // A tampered seed: the file decodes, but restore refuses to splice
+    // warm state into a system built differently.
+    let mut ck = Checkpoint::read_path(&path).unwrap();
+    ck.meta.seed ^= 1;
+    let reseeded = scratch.path("reseeded.vckpt");
+    ck.write_path(&reseeded).unwrap();
+    match resume(&reseeded, None) {
+        // The rebuild takes its seed *from the checkpoint*, so identity
+        // checks pass — construction divergence is what trips: the
+        // reseeded page table has a different layout (counter restore
+        // fails) or, failing that, the frame-allocator fingerprint.
+        Err(TraceError::Format(msg)) => {
+            assert!(msg.contains("pt_counters") || msg.contains("fingerprint mismatch"), "{msg}")
+        }
+        other => panic!("expected a format error, got {other:?}"),
+    }
+}
+
+/// The `ckpt resume` and `ckpt info` artifacts carry the checkpoint's
+/// provenance and survive the report-schema JSON round trip.
+#[test]
+fn reports_round_trip_through_the_schema() {
+    let scratch = ScratchDir::new("reports");
+    let cfg = SystemConfig::victima();
+    let path = scratch.path("xs.vckpt");
+    save("XS", &cfg, Scale::Tiny, cfg.seed, WARMUP, &path).unwrap();
+
+    let r = resume_report(&path, Some(MEASURED)).unwrap();
+    assert_eq!(r.id, "ckpt_resume");
+    assert_eq!(r.provenance.warmup, WARMUP);
+    assert_eq!(r.provenance.workloads, ["XS"]);
+    assert!(r.metric("ipc").unwrap().value > 0.0);
+    assert_eq!(report::json::from_json(&report::json::to_json(&r)).unwrap(), r);
+
+    let i = info_report(&path).unwrap();
+    assert_eq!(i.id, "ckpt_info");
+    assert!(i.rows.iter().any(|row| row.label == "l2_tlb"));
+    assert_eq!(
+        i.metric("file_bytes").unwrap().value as u64,
+        std::fs::metadata(&path).unwrap().len(),
+        "info must report the actual file size"
+    );
+    assert_eq!(report::json::from_json(&report::json::to_json(&i)).unwrap(), i);
+}
