@@ -1,0 +1,105 @@
+//! Sweep-service throughput macro-benchmark (harness = false): measures
+//! the daemon's end-to-end job rate — accept, cache lookup, stream,
+//! journal — for warm (all-cached) and cold (all-simulated) sweeps
+//! against a real daemon driving real worker processes.
+//!
+//! ```text
+//! cargo bench --bench service_throughput
+//! ```
+//!
+//! Warm jobs/sec isolates pure service overhead (protocol + cache + TCP
+//! round trip; zero simulation), which is the number that matters for
+//! interactive sweep iteration. Results are written to
+//! `BENCH_service.json` (override with `VICTIMA_SVC_BENCH_OUT`) in the
+//! `report` crate's JSON schema. Wall-clock is machine-dependent, so
+//! this benchmark records and never gates.
+
+use report::{Column, ExperimentReport, Metric, Provenance, Unit, Value};
+use std::path::PathBuf;
+use std::time::Instant;
+use svc::{DaemonConfig, SweepRequest, WorkerBackend};
+use workloads::Scale;
+
+const WARMUP: u64 = 1_000;
+const INSTRUCTIONS: u64 = 10_000;
+const WARM_ROUNDS: u32 = 50;
+
+fn request() -> SweepRequest {
+    SweepRequest {
+        configs: vec!["radix".into(), "victima".into()],
+        workloads: vec!["RND".into(), "XS".into()],
+        scale: Scale::Tiny,
+        warmup: WARMUP,
+        instructions: INSTRUCTIONS,
+        seed: vm_types::DEFAULT_SEED,
+        sampling: None,
+    }
+}
+
+fn submit_once(dir: &std::path::Path, req: &SweepRequest) -> svc::SweepSummary {
+    let stream = svc::connect(dir).expect("daemon reachable");
+    svc::submit(stream, req, |_, _| {}).expect("sweep completes")
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("victima-svc-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let exe = PathBuf::from(env!("CARGO_BIN_EXE_experiments"));
+    let handle = svc::start(DaemonConfig {
+        dir: dir.clone(),
+        backend: WorkerBackend::Process(exe),
+        workers: 1,
+        port: 0,
+    })
+    .expect("daemon starts");
+    let req = request();
+    let specs = req.specs().expect("request expands").len() as u64;
+    println!("service_throughput: {specs}-spec Tiny sweep against a 1-worker daemon at {}", handle.addr());
+
+    // Cold pass: every spec simulates in a worker process.
+    let t = Instant::now();
+    let cold = submit_once(&dir, &req);
+    let cold_wall = t.elapsed().as_secs_f64();
+    assert_eq!(cold.results, specs, "cold sweep must complete every spec");
+    assert_eq!(cold.cached, 0, "cold sweep must start from an empty cache");
+    let cold_specs_s = specs as f64 / cold_wall;
+    println!("  cold: {cold_wall:.3}s ({cold_specs_s:.1} specs/s, all simulated)");
+
+    // Warm passes: pure service overhead, zero simulation.
+    let t = Instant::now();
+    for _ in 0..WARM_ROUNDS {
+        let warm = submit_once(&dir, &req);
+        assert_eq!(warm.cached, specs, "warm sweep must answer entirely from the cache");
+    }
+    let warm_wall = t.elapsed().as_secs_f64();
+    let warm_jobs_s = f64::from(WARM_ROUNDS) / warm_wall;
+    let warm_specs_s = f64::from(WARM_ROUNDS) * specs as f64 / warm_wall;
+    println!("  warm: {WARM_ROUNDS} sweeps in {warm_wall:.3}s ({warm_jobs_s:.1} jobs/s, {warm_specs_s:.1} specs/s)");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut report = ExperimentReport::new("bench_service", "Sweep service throughput (jobs/s)")
+        .with_label_name("pass")
+        .with_columns([Column::new("jobs/s", Unit::Raw), Column::new("specs/s", Unit::Raw)])
+        .with_provenance(Provenance {
+            scale: format!("{:?}", Scale::Tiny),
+            warmup: WARMUP,
+            instructions: INSTRUCTIONS,
+            seed: vm_types::DEFAULT_SEED,
+            engine: sim::ENGINE_ID.to_owned(),
+            configs: req.configs.clone(),
+            workloads: req.workloads.clone(),
+        });
+    report
+        .note(format!("1-worker daemon, {specs}-spec sweep; warm = {WARM_ROUNDS} all-cached resubmissions"));
+    report.push_row("cold", [Value::from(1.0 / cold_wall), Value::from(cold_specs_s)]);
+    report.push_row("warm", [Value::from(warm_jobs_s), Value::from(warm_specs_s)]);
+    report.push_metric(Metric::new("svc_jobs_per_s/warm", warm_jobs_s, Unit::Raw));
+    report.push_metric(Metric::new("svc_specs_per_s/warm", warm_specs_s, Unit::Raw));
+    report.push_metric(Metric::new("svc_specs_per_s/cold", cold_specs_s, Unit::Raw));
+
+    let out = std::env::var("VICTIMA_SVC_BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".to_owned());
+    std::fs::write(&out, report::json::to_json(&report)).expect("artifact written");
+    println!("  artifact: {out}");
+}

@@ -12,6 +12,9 @@
 //! experiments trace record RND --out rnd.vtrace      # capture a reference stream
 //! experiments trace replay rnd.vtrace [--config victima]
 //! experiments trace info rnd.vtrace [--format json --out DIR]
+//! experiments serve                                  # resident sweep daemon (localhost TCP)
+//! experiments submit --configs radix,victima --workloads RND,XS
+//! experiments status [--shutdown]
 //! ```
 //!
 //! Budgets: `VICTIMA_INSTR` / `VICTIMA_WARMUP` env vars (defaults
@@ -30,6 +33,7 @@ use victima_bench::{experiments, ExpCtx, ExperimentReport};
 enum Format {
     Text,
     Json,
+    Jsonl,
     Csv,
     Md,
 }
@@ -39,6 +43,7 @@ impl Format {
         Some(match s {
             "text" => Format::Text,
             "json" => Format::Json,
+            "jsonl" => Format::Jsonl,
             "csv" => Format::Csv,
             "md" => Format::Md,
             _ => return None,
@@ -49,6 +54,7 @@ impl Format {
         match self {
             Format::Text => "txt",
             Format::Json => "json",
+            Format::Jsonl => "jsonl",
             Format::Csv => "csv",
             Format::Md => "md",
         }
@@ -58,6 +64,7 @@ impl Format {
         match self {
             Format::Text => report::text::render(r),
             Format::Json => report::json::to_json(r),
+            Format::Jsonl => report::jsonl::render(r),
             Format::Csv => report::csv::to_csv(r),
             Format::Md => report::markdown::render(r),
         }
@@ -67,7 +74,7 @@ impl Format {
 fn usage() -> ! {
     eprintln!("usage: experiments [--quick] [--jobs N] [--scale tiny|small|full|paper] [--sampling U:D[:W]]");
     eprintln!(
-        "                   [--format text|json|csv|md] [--out DIR] [--exp IDS] <all|calibrate|...> ..."
+        "                   [--format text|json|jsonl|csv|md] [--out DIR] [--exp IDS] <all|calibrate|...> ..."
     );
     eprintln!("       experiments --check [ids...]          (pinned profile vs committed baselines)");
     eprintln!("       experiments --save-baselines [ids...] (regenerate committed baselines)");
@@ -80,6 +87,10 @@ fn usage() -> ! {
     eprintln!("                   [--config NAME] [--scale tiny|small|full|paper] [--seed N] [--warmup N]");
     eprintln!("       experiments ckpt resume <FILE> [--instr N] [--format F] [--out DIR]");
     eprintln!("       experiments ckpt info <FILE> [--format F] [--out DIR]");
+    eprintln!("       experiments serve [--dir DIR] [--port N] [--workers N]");
+    eprintln!("       experiments submit [--dir DIR] [--local] [--configs a,b] [--workloads X,Y|all]");
+    eprintln!("                   [--scale S] [--warmup N] [--instr N] [--seed N] [--sampling U:D[:W]] [--out FILE]");
+    eprintln!("       experiments status [--dir DIR] [--shutdown]");
     std::process::exit(2);
 }
 
@@ -106,11 +117,25 @@ const BASELINE_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines");
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden worker mode: `serve` re-execs this binary with this argument
+    // so each sweep spec simulates in its own process (crash isolation).
+    if args.first().map(String::as_str) == Some(svc::WORKER_ARG) {
+        std::process::exit(svc::worker_main());
+    }
     if args.first().map(String::as_str) == Some("trace") {
         std::process::exit(trace_cli(args.split_off(1)));
     }
     if args.first().map(String::as_str) == Some("ckpt") {
         std::process::exit(ckpt_cli(args.split_off(1)));
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        std::process::exit(victima_bench::service::serve_cli(args.split_off(1)));
+    }
+    if args.first().map(String::as_str) == Some("submit") {
+        std::process::exit(victima_bench::service::submit_cli(args.split_off(1)));
+    }
+    if args.first().map(String::as_str) == Some("status") {
+        std::process::exit(victima_bench::service::status_cli(args.split_off(1)));
     }
     let quick = take_flag(&mut args, "--quick");
     let check = take_flag(&mut args, "--check");
@@ -126,7 +151,7 @@ fn main() {
     });
     let format_flag = flag_value(&mut args, "--format").map(|v| {
         Format::parse(&v).unwrap_or_else(|| {
-            eprintln!("unknown format {v:?} (pick text, json, csv or md)");
+            eprintln!("unknown format {v:?} (pick text, json, jsonl, csv or md)");
             std::process::exit(2);
         })
     });
@@ -351,15 +376,10 @@ fn parse_scale(args: &mut Vec<String>) -> Option<workloads::Scale> {
     })
 }
 
-/// Resolves the `--config` name for the trace subcommands.
+/// Resolves the `--config` name for the trace subcommands (the same
+/// registry the sweep service validates against).
 fn config_by_name(name: &str) -> Option<sim::SystemConfig> {
-    Some(match name {
-        "radix" => sim::SystemConfig::radix(),
-        "victima" => sim::SystemConfig::victima(),
-        "victima+stlb" => sim::SystemConfig::victima_plus_stlb(),
-        "pom" => sim::SystemConfig::pom_tlb(),
-        _ => return None,
-    })
+    sim::SystemConfig::by_name(name)
 }
 
 /// `experiments trace <record|replay|info> …` — see `usage()`.
@@ -379,7 +399,7 @@ fn trace_cli(mut args: Vec<String>) -> i32 {
     let format = flag_value(&mut args, "--format")
         .map(|v| {
             Format::parse(&v).unwrap_or_else(|| {
-                eprintln!("unknown format {v:?} (pick text, json, csv or md)");
+                eprintln!("unknown format {v:?} (pick text, json, jsonl, csv or md)");
                 std::process::exit(2);
             })
         })
@@ -470,7 +490,7 @@ fn ckpt_cli(mut args: Vec<String>) -> i32 {
     let format = flag_value(&mut args, "--format")
         .map(|v| {
             Format::parse(&v).unwrap_or_else(|| {
-                eprintln!("unknown format {v:?} (pick text, json, csv or md)");
+                eprintln!("unknown format {v:?} (pick text, json, jsonl, csv or md)");
                 std::process::exit(2);
             })
         })

@@ -11,6 +11,7 @@
 pub mod ckpt;
 pub mod experiments;
 pub mod perf;
+pub mod service;
 pub mod trace;
 
 use report::Provenance;

@@ -1,0 +1,203 @@
+//! CLI glue for the sweep service: `experiments serve`, `submit` and
+//! `status` (argument parsing, human-facing progress on stderr, machine
+//! stream on stdout). All actual service machinery lives in the `svc`
+//! crate; this module only translates flags into [`svc`] calls.
+
+use std::io::Write;
+use std::path::PathBuf;
+use svc::{DaemonConfig, StreamLine, SweepRequest, WorkerBackend};
+
+/// Default service directory, relative to the working directory.
+pub const DEFAULT_DIR: &str = ".victima-svc";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        fail(&format!("{flag} needs a value"));
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let had = args.iter().any(|a| a == flag);
+    args.retain(|a| a != flag);
+    had
+}
+
+fn parse_u64(args: &mut Vec<String>, flag: &str) -> Option<u64> {
+    flag_value(args, flag).map(|v| match v.parse() {
+        Ok(n) => n,
+        Err(_) => fail(&format!("{flag} needs an unsigned integer")),
+    })
+}
+
+fn service_dir(args: &mut Vec<String>) -> PathBuf {
+    flag_value(args, "--dir").map_or_else(|| PathBuf::from(DEFAULT_DIR), PathBuf::from)
+}
+
+fn reject_leftovers(args: &[String], what: &str) {
+    if let Some(extra) = args.first() {
+        fail(&format!("{what}: unexpected argument {extra:?}"));
+    }
+}
+
+/// `experiments serve [--dir DIR] [--port N] [--workers N]` — run the
+/// daemon in the foreground until a client sends the shutdown op.
+pub fn serve_cli(mut args: Vec<String>) -> i32 {
+    let dir = service_dir(&mut args);
+    let port = parse_u64(&mut args, "--port").map_or(0u16, |p| match u16::try_from(p) {
+        Ok(p) => p,
+        Err(_) => fail("--port needs a value in 0..65536"),
+    });
+    let workers = parse_u64(&mut args, "--workers").map_or_else(default_workers, |n| n.max(1) as usize);
+    reject_leftovers(&args, "serve");
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("serve: cannot locate the experiments binary for worker re-exec: {e}");
+            return 1;
+        }
+    };
+    eprintln!("svc: serving {} with {workers} worker process(es)", dir.display());
+    match svc::run(DaemonConfig { dir, backend: WorkerBackend::Process(exe), workers, port }) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            1
+        }
+    }
+}
+
+/// Worker-count default: `VICTIMA_JOBS`, else available parallelism —
+/// the same policy as the batch engine.
+fn default_workers() -> usize {
+    sim::SimEngine::new().jobs()
+}
+
+/// Builds the [`SweepRequest`] shared by `submit` and `submit --local`
+/// from the CLI flags.
+fn parse_request(args: &mut Vec<String>) -> SweepRequest {
+    let configs: Vec<String> = flag_value(args, "--configs")
+        .unwrap_or_else(|| "radix,victima".to_owned())
+        .split(',')
+        .map(str::to_owned)
+        .collect();
+    let workloads: Vec<String> = match flag_value(args, "--workloads").as_deref() {
+        None | Some("all") => workloads::registry::WORKLOAD_NAMES.iter().map(|&w| w.to_owned()).collect(),
+        Some(list) => list.split(',').map(str::to_owned).collect(),
+    };
+    let scale = flag_value(args, "--scale").map_or(workloads::Scale::Tiny, |v| {
+        workloads::Scale::parse(&v)
+            .unwrap_or_else(|| fail(&format!("unknown scale {v:?} (pick tiny, small, full or paper)")))
+    });
+    let (default_warmup, default_instr) = scale.default_budget();
+    let warmup = parse_u64(args, "--warmup").unwrap_or(default_warmup);
+    let instructions = parse_u64(args, "--instr").unwrap_or(default_instr);
+    let seed = parse_u64(args, "--seed").unwrap_or(vm_types::DEFAULT_SEED);
+    let sampling = flag_value(args, "--sampling").map(|v| match sim::SamplingConfig::parse(&v) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("--sampling: {e}")),
+    });
+    SweepRequest { configs, workloads, scale, warmup, instructions, seed, sampling }
+}
+
+/// `experiments submit [--dir DIR] [--configs a,b] [--workloads X,Y|all]
+/// [--scale S] [--warmup N] [--instr N] [--seed N] [--sampling U:D[:W]]
+/// [--out FILE] [--local]` — submit a sweep and stream its results.
+///
+/// Every per-spec line goes to stdout as it arrives; `--out` appends the
+/// same lines to a file (results and errors only — no control lines, so
+/// two outputs of the same sweep diff clean). `--local` skips the daemon
+/// and runs the identical sweep in-process, emitting identical bytes.
+/// Exit status: 0 when every spec produced a result, 1 otherwise.
+pub fn submit_cli(mut args: Vec<String>) -> i32 {
+    let dir = service_dir(&mut args);
+    let local = take_flag(&mut args, "--local");
+    let out_path = flag_value(&mut args, "--out").map(PathBuf::from);
+    let req = parse_request(&mut args);
+    reject_leftovers(&args, "submit");
+    let mut out_file = out_path.as_ref().map(|p| match std::fs::File::create(p) {
+        Ok(f) => f,
+        Err(e) => fail(&format!("cannot create {}: {e}", p.display())),
+    });
+    let mut emit = |line: &str| {
+        println!("{line}");
+        if let Some(f) = out_file.as_mut() {
+            if let Err(e) = writeln!(f, "{line}") {
+                eprintln!("submit: write to --out failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let summary = if local {
+        svc::run_local(&req, &mut emit)
+    } else {
+        match svc::connect(&dir) {
+            Ok(stream) => svc::submit(stream, &req, |line, _: &StreamLine| emit(line)),
+            Err(e) => Err(e.to_string()),
+        }
+    };
+    match summary {
+        Ok(s) => {
+            eprintln!(
+                "[{}: {} spec(s) — {} result(s), {} cached, {} error(s)]",
+                s.job, s.specs, s.results, s.cached, s.errors
+            );
+            i32::from(s.errors > 0)
+        }
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            1
+        }
+    }
+}
+
+/// `experiments status [--dir DIR] [--shutdown]` — print the daemon's
+/// status line (stdout, machine-readable) plus a human summary (stderr);
+/// `--shutdown` asks the daemon to exit instead.
+pub fn status_cli(mut args: Vec<String>) -> i32 {
+    let dir = service_dir(&mut args);
+    let stop = take_flag(&mut args, "--shutdown");
+    reject_leftovers(&args, "status");
+    if stop {
+        return match svc::shutdown(&dir) {
+            Ok(()) => {
+                eprintln!("[daemon at {} shut down]", dir.display());
+                0
+            }
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                1
+            }
+        };
+    }
+    match svc::status(&dir) {
+        Ok(info) => {
+            println!("{}", info.to_line());
+            eprintln!(
+                "[{} worker(s), jobs {}/{} done, specs {} done ({} simulated, {} cached, {} failed), {} cache entries]",
+                info.workers,
+                info.jobs_completed,
+                info.jobs_accepted,
+                info.specs_completed,
+                info.specs_simulated,
+                info.specs_cached,
+                info.specs_failed,
+                info.cache_entries
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("status failed: {e}");
+            1
+        }
+    }
+}

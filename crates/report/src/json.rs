@@ -192,6 +192,48 @@ pub fn write_json(v: &JsonValue) -> String {
     out
 }
 
+fn write_value_compact(out: &mut String, v: &JsonValue) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Int(i) => out.push_str(&i.to_string()),
+        JsonValue::Num(n) => push_f64(out, *n),
+        JsonValue::Str(s) => escape_into(out, s),
+        JsonValue::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value_compact(out, item);
+            }
+            out.push(']');
+        }
+        JsonValue::Obj(members) => {
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_value_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Prints a [`JsonValue`] as one compact line (no whitespace, no trailing
+/// newline) — the JSON Lines building block: every document fits one
+/// `\n`-terminated line, so streams can be produced and consumed
+/// incrementally. Output reparses to the same value via [`parse_json`].
+pub fn write_json_compact(v: &JsonValue) -> String {
+    let mut out = String::new();
+    write_value_compact(&mut out, v);
+    out
+}
+
 // ---------------------------------------------------------------- parsing
 
 /// A JSON parse error with byte offset and message.
@@ -671,6 +713,18 @@ mod tests {
         let doc = parse_json(r#"{"s": "x\"y", "n": [1, 2.5, null, false], "e": {}, "u": "naïve"}"#).unwrap();
         let text = write_json(&doc);
         assert_eq!(parse_json(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn compact_writer_is_single_line_and_reparses() {
+        let doc = parse_json(r#"{"s": "x\"y", "n": [1, 2.5, null, false], "e": {}, "i": 2}"#).unwrap();
+        let line = write_json_compact(&doc);
+        assert!(!line.contains('\n'));
+        assert!(!line.contains(": "), "compact output carries no decorative whitespace");
+        assert_eq!(parse_json(&line).unwrap(), doc);
+        // Int/float distinction survives the compact path too.
+        assert_eq!(write_json_compact(&JsonValue::Num(2.0)), "2.0");
+        assert_eq!(write_json_compact(&JsonValue::Int(2)), "2");
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Streaming JSON Lines rendering of [`ExperimentReport`]s.
+//!
+//! Where [`crate::json`] produces one pretty-printed document per report
+//! (the committed-baseline format), this module spells each report as a
+//! *single compact line* — the natural shape for streams: a sweep
+//! service can emit results incrementally as they complete, a consumer
+//! can process them with nothing fancier than `lines()`, and a multi-
+//! report artifact is just the concatenation of its lines.
+//!
+//! The line payload is the exact [`crate::json::SCHEMA_ID`] document the
+//! pretty renderer writes, minus whitespace, so [`from_line`] is
+//! interchangeable with [`crate::json::from_json`] and every line
+//! round-trips losslessly.
+//!
+//! # Examples
+//!
+//! ```
+//! use report::{Column, ExperimentReport, Unit, Value};
+//!
+//! let mut r = ExperimentReport::new("fig20", "Speedup").with_columns([Column::new("V", Unit::Factor)]);
+//! r.push_row("BFS", [Value::from(1.074)]);
+//! let line = report::jsonl::to_line(&r);
+//! assert!(!line.contains('\n'));
+//! assert_eq!(report::jsonl::from_line(&line).unwrap(), r);
+//! ```
+
+use crate::json::{self, ParseError};
+use crate::schema::ExperimentReport;
+
+/// Renders a report as one compact JSON line (no trailing newline).
+pub fn to_line(r: &ExperimentReport) -> String {
+    json::write_json_compact(&json::report_to_value(r))
+}
+
+/// Renders a report as one `\n`-terminated JSON line.
+pub fn render(r: &ExperimentReport) -> String {
+    let mut line = to_line(r);
+    line.push('\n');
+    line
+}
+
+/// Renders several reports as a JSON Lines stream, one report per line.
+pub fn render_all(reports: &[ExperimentReport]) -> String {
+    reports.iter().map(render).collect()
+}
+
+/// Parses one JSON line back into a report. The parser is whitespace-
+/// agnostic, so pretty-printed documents parse too; the function exists
+/// to make stream-consumer code read naturally.
+pub fn from_line(line: &str) -> Result<ExperimentReport, ParseError> {
+    json::from_json(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Metric, Unit, Value};
+
+    fn sample(id: &str) -> ExperimentReport {
+        let mut r = ExperimentReport::new(id, "title with \"quotes\"")
+            .with_columns([Column::new("ipc", Unit::Ipc), Column::new("n", Unit::Count)]);
+        r.push_row("RND", [Value::from(0.5), Value::from(42u64)]);
+        r.push_row("XS", [Value::Empty, Value::from(7u64)]);
+        r.push_metric(Metric::new("ipc/RND", 0.5, Unit::Ipc));
+        r.note("a note\nwith a newline");
+        r
+    }
+
+    #[test]
+    fn lines_round_trip_and_stay_single_line() {
+        let r = sample("fig01");
+        let line = to_line(&r);
+        assert!(!line.contains('\n'), "newlines in content must be escaped");
+        assert_eq!(from_line(&line).unwrap(), r);
+        // Identical to the pretty JSON modulo whitespace: both parse to
+        // the same report.
+        assert_eq!(json::from_json(&json::to_json(&r)).unwrap(), from_line(&line).unwrap());
+    }
+
+    #[test]
+    fn render_all_is_one_line_per_report() {
+        let stream = render_all(&[sample("a"), sample("b")]);
+        let lines: Vec<&str> = stream.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(from_line(lines[0]).unwrap().id, "a");
+        assert_eq!(from_line(lines[1]).unwrap().id, "b");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(to_line(&sample("x")), to_line(&sample("x")));
+    }
+}

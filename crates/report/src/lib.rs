@@ -8,6 +8,8 @@
 //!
 //! - [`json::to_json`] / [`json::from_json`] — a hand-rolled, dependency-free
 //!   JSON round trip (the `--check` baseline format);
+//! - [`jsonl::render`] / [`jsonl::render_all`] — one compact JSON line per
+//!   report, the streaming shape the sweep service emits incrementally;
 //! - [`csv::to_csv`] — raw full-precision values for plotting pipelines;
 //! - [`text::render`] — the aligned plain-text tables the CLI prints;
 //! - [`markdown::render`] / [`markdown::render_combined`] — per-figure
@@ -44,6 +46,7 @@
 pub mod check;
 pub mod csv;
 pub mod json;
+pub mod jsonl;
 pub mod markdown;
 pub mod schema;
 pub mod text;

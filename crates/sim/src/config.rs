@@ -90,7 +90,23 @@ pub struct SystemConfig {
     pub seed: u64,
 }
 
+/// CLI keys accepted by [`SystemConfig::by_name`], in display order.
+pub const CONFIG_KEYS: [&str; 4] = ["radix", "victima", "victima+stlb", "pom"];
+
 impl SystemConfig {
+    /// Resolves a CLI config key ([`CONFIG_KEYS`]) to its configuration —
+    /// the shared registry behind `--config` flags and the sweep
+    /// service's job requests, so every surface accepts the same names.
+    pub fn by_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "radix" => Self::radix(),
+            "victima" => Self::victima(),
+            "victima+stlb" => Self::victima_plus_stlb(),
+            "pom" => Self::pom_tlb(),
+            _ => return None,
+        })
+    }
+
     fn base(name: &str, mechanism: TranslationMechanism, mode: ExecMode) -> Self {
         Self {
             name: name.to_owned(),
@@ -202,6 +218,16 @@ impl SystemConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn config_keys_all_resolve() {
+        for key in CONFIG_KEYS {
+            assert!(SystemConfig::by_name(key).is_some(), "{key} must resolve");
+        }
+        assert_eq!(SystemConfig::by_name("radix").unwrap().name, "Radix");
+        assert_eq!(SystemConfig::by_name("pom").unwrap().name, "POM-TLB");
+        assert!(SystemConfig::by_name("Radix").is_none(), "keys are lowercase CLI spellings");
+    }
 
     #[test]
     fn named_configs_have_expected_shapes() {

@@ -132,6 +132,64 @@ impl RunSpec {
     pub fn label(&self) -> String {
         format!("{}/{}", self.config.name, self.workload)
     }
+
+    /// The canonical pre-image of [`RunSpec::fingerprint`]: a stable text
+    /// rendering of everything that determines this spec's results — the
+    /// engine identity, workload, scale, budgets, seed, sampling schedule,
+    /// feature collection, and the *fully resolved* system configuration
+    /// (so two configs sharing a display name but differing in any
+    /// parameter fingerprint differently).
+    pub fn fingerprint_text(&self) -> String {
+        let sampling = match &self.sampling {
+            Some(s) => s.spec(),
+            None => "none".to_owned(),
+        };
+        format!(
+            "{} workload={} scale={:?} warmup={} instr={} seed={:#x} sampling={} features={} config={:?}",
+            ENGINE_ID,
+            self.workload,
+            self.scale,
+            self.warmup,
+            self.instructions,
+            self.seed,
+            sampling,
+            self.collect_features,
+            self.config
+        )
+    }
+
+    /// Content-address of this spec's deterministic result: the 64-bit
+    /// FNV-1a hash of [`RunSpec::fingerprint_text`] as 16 lowercase hex
+    /// digits. Because every run is a pure function of its spec and the
+    /// engine version is folded in via [`ENGINE_ID`], two specs with the
+    /// same fingerprint produce byte-identical statistics — the sweep
+    /// service's result cache is keyed on exactly this value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sim::{RunSpec, SystemConfig};
+    /// use workloads::Scale;
+    ///
+    /// let a = RunSpec::new("RND", SystemConfig::radix(), Scale::Tiny, 1_000, 10_000);
+    /// let b = a.clone();
+    /// assert_eq!(a.fingerprint(), b.fingerprint());
+    /// assert_ne!(a.fingerprint(), a.clone().with_seed(7).fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> String {
+        format!("{:016x}", fnv1a64(self.fingerprint_text().as_bytes()))
+    }
+}
+
+/// 64-bit FNV-1a over a byte string (the spec-fingerprint hash; stable
+/// across platforms and builds by construction).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Reusable per-worker simulation scratch. Each pool worker owns one and
@@ -410,6 +468,38 @@ mod tests {
     fn unknown_workload_panics() {
         let spec = RunSpec::new("NOPE", SystemConfig::radix(), Scale::Tiny, 10, 10);
         SimEngine::with_jobs(1).run_batch(vec![spec]);
+    }
+
+    #[test]
+    fn fingerprints_separate_every_spec_dimension() {
+        let base = RunSpec::new("RND", SystemConfig::radix(), Scale::Tiny, 2_000, 20_000);
+        let same = RunSpec::new("RND", SystemConfig::radix(), Scale::Tiny, 2_000, 20_000);
+        assert_eq!(base.fingerprint(), same.fingerprint());
+        assert_eq!(base.fingerprint().len(), 16);
+        let variants = [
+            RunSpec::new("XS", SystemConfig::radix(), Scale::Tiny, 2_000, 20_000),
+            RunSpec::new("RND", SystemConfig::victima(), Scale::Tiny, 2_000, 20_000),
+            RunSpec::new("RND", SystemConfig::radix(), Scale::Small, 2_000, 20_000),
+            RunSpec::new("RND", SystemConfig::radix(), Scale::Tiny, 1_000, 20_000),
+            RunSpec::new("RND", SystemConfig::radix(), Scale::Tiny, 2_000, 30_000),
+            base.clone().with_seed(7),
+            base.clone().with_features(),
+            base.clone().with_sampling(SamplingConfig { fast: 10_000, detailed: 1_000, warm: 500 }),
+        ];
+        for v in &variants {
+            assert_ne!(base.fingerprint(), v.fingerprint(), "{} must differ", v.fingerprint_text());
+        }
+        // Config *parameters* count, not just the display name.
+        let mut tweaked = SystemConfig::radix();
+        tweaked.phys_mem_bytes += 1;
+        let c = RunSpec::new("RND", tweaked, Scale::Tiny, 2_000, 20_000);
+        assert_ne!(base.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_folds_in_the_engine_id() {
+        let spec = RunSpec::new("RND", SystemConfig::radix(), Scale::Tiny, 2_000, 20_000);
+        assert!(spec.fingerprint_text().starts_with(ENGINE_ID));
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub struct SamplingConfig {
 
 impl SamplingConfig {
     /// Parses the CLI spelling `U:D` or `U:D:W` (instruction counts;
-    /// `W` defaults to `D/2`).
+    /// `W` defaults to `D/2`) and validates the schedule up front
+    /// ([`SamplingConfig::validate`]), so malformed flags surface as a
+    /// friendly CLI error instead of a panic mid-run.
     ///
     /// # Examples
     ///
@@ -60,6 +62,7 @@ impl SamplingConfig {
     /// use sim::sampling::SamplingConfig;
     /// let c = SamplingConfig::parse("100000:5000").unwrap();
     /// assert_eq!((c.fast, c.detailed, c.warm), (100_000, 5_000, 2_500));
+    /// assert!(SamplingConfig::parse("1000:5000").is_err()); // U < D
     /// ```
     pub fn parse(s: &str) -> Result<Self, String> {
         let parts: Vec<&str> = s.split(':').collect();
@@ -75,10 +78,30 @@ impl SamplingConfig {
             Some(p) => num(p, "warm-up window")?,
             None => detailed / 2,
         };
-        if detailed == 0 {
-            return Err(format!("bad sampling spec {s:?}: detailed window must be positive"));
+        let cfg = Self { fast, detailed, warm };
+        cfg.validate().map_err(|e| format!("bad sampling spec {s:?}: {e}"))?;
+        Ok(cfg)
+    }
+
+    /// Checks the schedule is meaningful: the detailed window `D` must be
+    /// positive (a zero-width window would measure nothing and never make
+    /// progress) and the fast-forward interval `U` must be at least `D` —
+    /// a schedule that skips less than it measures is not sampling, and
+    /// the estimate contract (detail fraction `D/(U+D+W)` well under 1)
+    /// silently breaks. Direct struct construction stays unchecked so
+    /// tests can build degenerate schedules deliberately.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.detailed == 0 {
+            return Err("detailed window D must be positive".to_owned());
         }
-        Ok(Self { fast, detailed, warm })
+        if self.fast < self.detailed {
+            return Err(format!(
+                "fast-forward interval U ({}) must be at least the detailed window D ({}) — \
+                 a schedule measuring more than it skips is not sampling; run full detail instead",
+                self.fast, self.detailed
+            ));
+        }
+        Ok(())
     }
 
     /// The canonical `U:D:W` rendering.
@@ -168,6 +191,22 @@ mod tests {
         assert!(SamplingConfig::parse("a:b").is_err());
         assert!(SamplingConfig::parse("1:0").is_err());
         assert!(SamplingConfig::parse("1:2:3:4").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_degenerate_schedules_up_front() {
+        // Zero-width detailed window.
+        let err = SamplingConfig::parse("50000:0").unwrap_err();
+        assert!(err.contains("detailed window D must be positive"), "{err}");
+        // U < D: measures more than it skips.
+        let err = SamplingConfig::parse("1000:5000").unwrap_err();
+        assert!(err.contains("must be at least the detailed window"), "{err}");
+        // U == D is the boundary and is allowed.
+        assert!(SamplingConfig::parse("5000:5000").is_ok());
+        // Direct construction stays unchecked (tests build degenerate
+        // schedules deliberately), but validate flags them.
+        let c = SamplingConfig { fast: 1, detailed: 10, warm: 0 };
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Content-addressed result cache.
+//!
+//! One file per spec, named by the spec's [`sim::RunSpec::fingerprint`]
+//! (which folds in `sim::ENGINE_ID`, so bumping the engine version
+//! orphans stale entries instead of serving them). The payload is the
+//! exact `result` stream line the daemon emitted, stored byte-for-byte —
+//! a warm hit replays those bytes, which is what makes a resubmission's
+//! stream byte-identical to the cold run without re-rendering anything.
+//!
+//! Writes go through a unique temporary file and an atomic rename, so a
+//! daemon killed mid-store leaves either the complete entry or nothing —
+//! never a torn line for the resumed daemon to serve.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes concurrent writers' temporary files (two workers may
+/// finish specs at the same instant).
+static TMP_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+/// An on-disk cache of `result` stream lines keyed by spec fingerprint.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Where a fingerprint's entry lives.
+    pub fn entry_path(&self, fingerprint: &str) -> PathBuf {
+        self.dir.join(format!("{fingerprint}.jsonl"))
+    }
+
+    /// Looks a fingerprint up, returning the stored line verbatim.
+    pub fn lookup(&self, fingerprint: &str) -> Option<String> {
+        let text = fs::read_to_string(self.entry_path(fingerprint)).ok()?;
+        Some(text.trim_end_matches('\n').to_owned())
+    }
+
+    /// Stores a result line under its fingerprint (atomic via temp file +
+    /// rename; concurrent stores of the same fingerprint are benign
+    /// because both writers carry identical bytes by determinism).
+    pub fn store(&self, fingerprint: &str, line: &str) -> io::Result<()> {
+        let serial = TMP_SERIAL.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.dir.join(format!(".{fingerprint}.tmp.{}.{serial}", std::process::id()));
+        fs::write(&tmp, format!("{line}\n"))?;
+        fs::rename(&tmp, self.entry_path(fingerprint))
+    }
+
+    /// Number of entries currently on disk.
+    pub fn entries(&self) -> io::Result<u64> {
+        let mut n = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            if name.to_string_lossy().ends_with(".jsonl") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("victima-svc-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn stores_and_replays_lines_verbatim() {
+        let cache = ResultCache::open(tmp_dir("roundtrip")).unwrap();
+        assert_eq!(cache.lookup("aa"), None);
+        assert_eq!(cache.entries().unwrap(), 0);
+        let line = r#"{"svc":"victima-svc/1","type":"result","fingerprint":"aa","report":{}}"#;
+        cache.store("aa", line).unwrap();
+        assert_eq!(cache.lookup("aa").as_deref(), Some(line));
+        assert_eq!(cache.entries().unwrap(), 1);
+        // Overwrites are idempotent.
+        cache.store("aa", line).unwrap();
+        assert_eq!(cache.entries().unwrap(), 1);
+        fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn no_temp_files_survive_a_store() {
+        let cache = ResultCache::open(tmp_dir("tmpfiles")).unwrap();
+        cache.store("bb", "{}").unwrap();
+        let leftovers: Vec<_> = fs::read_dir(cache.dir())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        fs::remove_dir_all(cache.dir()).unwrap();
+    }
+}

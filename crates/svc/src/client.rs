@@ -1,0 +1,111 @@
+//! Client-side helpers: find a daemon through its service directory,
+//! submit sweeps, and run the identical sweep in-process (`--local`).
+
+use crate::daemon::ADDR_FILE;
+use crate::proto::{parse_stream_line, StatusInfo, StreamLine, SweepRequest};
+use crate::worker::run_spec;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+
+/// Connects to the daemon owning a service directory by reading its
+/// [`ADDR_FILE`].
+pub fn connect(dir: &Path) -> io::Result<TcpStream> {
+    let addr_path = dir.join(ADDR_FILE);
+    let addr = std::fs::read_to_string(&addr_path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!("no daemon address at {} (is `experiments serve` running?): {e}", addr_path.display()),
+        )
+    })?;
+    TcpStream::connect(addr.trim())
+}
+
+/// What a finished sweep streamed back.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Journal job id the daemon assigned.
+    pub job: String,
+    /// Specs the sweep expanded to.
+    pub specs: u64,
+    /// Result entries (cached + simulated).
+    pub results: u64,
+    /// How many results came from the cache.
+    pub cached: u64,
+    /// Typed error entries.
+    pub errors: u64,
+}
+
+/// Submits a sweep and streams the response. `on_line` sees every
+/// per-spec line (the raw bytes plus its parsed form) as it arrives —
+/// control lines (`accepted`/`done`) are folded into the returned
+/// summary instead.
+pub fn submit(
+    mut stream: TcpStream,
+    req: &SweepRequest,
+    mut on_line: impl FnMut(&str, &StreamLine),
+) -> Result<SweepSummary, String> {
+    writeln!(stream, "{}", req.to_line()).map_err(|e| format!("submit write failed: {e}"))?;
+    stream.flush().map_err(|e| format!("submit write failed: {e}"))?;
+    let reader = BufReader::new(stream);
+    let mut summary = SweepSummary::default();
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("stream read failed: {e}"))?;
+        match parse_stream_line(&line)? {
+            StreamLine::Accepted { job, specs } => {
+                summary.job = job;
+                summary.specs = specs;
+            }
+            StreamLine::Done { results, cached, errors, .. } => {
+                summary.results = results;
+                summary.cached = cached;
+                summary.errors = errors;
+                return Ok(summary);
+            }
+            StreamLine::Fault { error } => return Err(error),
+            parsed @ (StreamLine::Result { .. } | StreamLine::Error { .. }) => on_line(&line, &parsed),
+            other => return Err(format!("unexpected line in submit stream: {other:?}")),
+        }
+    }
+    Err("daemon closed the stream before sending done".into())
+}
+
+/// Asks a daemon for its status counters.
+pub fn status(dir: &Path) -> Result<StatusInfo, String> {
+    let mut stream = connect(dir).map_err(|e| e.to_string())?;
+    writeln!(stream, "{{\"op\":\"status\"}}").map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).map_err(|e| e.to_string())?;
+    match parse_stream_line(line.trim())? {
+        StreamLine::Status(info) => Ok(info),
+        other => Err(format!("expected a status line, got {other:?}")),
+    }
+}
+
+/// Asks a daemon to shut down.
+pub fn shutdown(dir: &Path) -> Result<(), String> {
+    let mut stream = connect(dir).map_err(|e| e.to_string())?;
+    writeln!(stream, "{{\"op\":\"shutdown\"}}").map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).map_err(|e| e.to_string())?;
+    match parse_stream_line(line.trim())? {
+        StreamLine::Ok => Ok(()),
+        other => Err(format!("expected an ok line, got {other:?}")),
+    }
+}
+
+/// Runs a sweep in-process with no daemon, emitting the same per-spec
+/// lines a daemon would stream (same single-spec execution path, so the
+/// bytes match — the CI smoke job diffs exactly this against the
+/// daemon's output). Specs run sequentially in sweep order.
+pub fn run_local(req: &SweepRequest, mut on_line: impl FnMut(&str)) -> Result<SweepSummary, String> {
+    let specs = req.specs()?;
+    let mut summary =
+        SweepSummary { job: "local".into(), specs: specs.len() as u64, ..SweepSummary::default() };
+    for desc in &specs {
+        let line = run_spec(desc)?;
+        on_line(&line);
+        summary.results += 1;
+    }
+    Ok(summary)
+}

@@ -1,0 +1,420 @@
+//! The resident sweep daemon: accept loop, job queue, dispatcher pool,
+//! and crash recovery.
+//!
+//! One daemon owns a service directory (`cache/`, `journal/`,
+//! `daemon.addr`, `daemon.pid`) and a localhost TCP listener. Each client
+//! connection carries one request line; `submit` connections then stream
+//! the sweep back incrementally. Specs fan out over a pool of dispatcher
+//! threads — each owning one worker (see [`crate::worker`]) — while an
+//! in-order release buffer on the handler side keeps the stream in sweep
+//! order no matter which worker finishes first.
+//!
+//! Crash story, both directions:
+//!
+//! - **Worker dies** (panic/abort/SIGKILL): its dispatcher reports a
+//!   typed `error` entry for the one spec in flight, respawns, and the
+//!   sweep completes.
+//! - **Daemon dies**: every accepted job is journaled before its first
+//!   spec runs, and every finished spec is already in the cache. The
+//!   restarted daemon resumes each unfinished journal entry in the
+//!   background, paying only for the specs that never finished.
+
+use crate::cache::ResultCache;
+use crate::journal::Journal;
+use crate::proto::{
+    accepted_line, done_line, error_line, fault_line, ok_line, parse_request, Request, SpecDesc, StatusInfo,
+    SweepRequest,
+};
+use crate::worker::{Executor, WorkerBackend};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// File (inside the service directory) holding the daemon's bound
+/// address, written on startup — how clients find a daemon whose port
+/// was ephemeral.
+pub const ADDR_FILE: &str = "daemon.addr";
+
+/// File holding the daemon's process id (the kill target for the
+/// crash-recovery tests and for operators).
+pub const PID_FILE: &str = "daemon.pid";
+
+/// Startup parameters for a daemon.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Service directory: cache, journal, addr/pid files.
+    pub dir: PathBuf,
+    /// How specs execute (worker processes vs. in-process).
+    pub backend: WorkerBackend,
+    /// Dispatcher threads (= concurrent workers), clamped to ≥ 1.
+    pub workers: usize,
+    /// TCP port to bind on 127.0.0.1; `0` picks an ephemeral port (the
+    /// bound address is always written to [`ADDR_FILE`]).
+    pub port: u16,
+}
+
+/// One queued spec plus its reply route.
+struct Task {
+    desc: SpecDesc,
+    fingerprint: String,
+    index: usize,
+    reply: mpsc::Sender<(usize, Outcome)>,
+}
+
+/// What a dispatcher hands back for a spec.
+enum Outcome {
+    /// The rendered `result` line (already stored in the cache).
+    Line(String),
+    /// The worker died; the message for the typed error entry.
+    Failed(String),
+}
+
+#[derive(Default)]
+struct Counters {
+    jobs_accepted: AtomicU64,
+    jobs_completed: AtomicU64,
+    specs_completed: AtomicU64,
+    specs_simulated: AtomicU64,
+    specs_cached: AtomicU64,
+    specs_failed: AtomicU64,
+}
+
+struct State {
+    dir: PathBuf,
+    addr: SocketAddr,
+    backend: WorkerBackend,
+    workers: usize,
+    cache: ResultCache,
+    journal: Journal,
+    next_job: AtomicU64,
+    queue: Mutex<VecDeque<Task>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+impl State {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the shutdown flag, drains the queue (dropping queued tasks'
+    /// senders so blocked handlers observe the disconnect), wakes the
+    /// dispatchers, and pokes the accept loop with a dummy connection.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.lock().expect("task queue poisoned").clear();
+        self.queue_cv.notify_all();
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn status(&self) -> StatusInfo {
+        StatusInfo {
+            engine: sim::ENGINE_ID.to_owned(),
+            workers: self.workers as u64,
+            jobs_accepted: self.counters.jobs_accepted.load(Ordering::Relaxed),
+            jobs_completed: self.counters.jobs_completed.load(Ordering::Relaxed),
+            specs_completed: self.counters.specs_completed.load(Ordering::Relaxed),
+            specs_simulated: self.counters.specs_simulated.load(Ordering::Relaxed),
+            specs_cached: self.counters.specs_cached.load(Ordering::Relaxed),
+            specs_failed: self.counters.specs_failed.load(Ordering::Relaxed),
+            cache_entries: self.cache.entries().unwrap_or(0),
+        }
+    }
+}
+
+/// A started daemon: its address plus the threads to join at shutdown.
+#[derive(Debug)]
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the daemon shuts down (a client sent the `shutdown`
+    /// op), then joins every service thread.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Requests shutdown over the wire and joins — the clean stop used by
+    /// tests and benches.
+    pub fn shutdown(self) {
+        if let Ok(mut stream) = TcpStream::connect(self.addr) {
+            let _ = writeln!(stream, "{{\"op\":\"shutdown\"}}");
+            let mut reply = String::new();
+            let _ = BufReader::new(&stream).read_line(&mut reply);
+        }
+        self.join();
+    }
+}
+
+/// Starts a daemon in the background, returning once the listener is
+/// bound and [`ADDR_FILE`] is written.
+pub fn start(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
+    std::fs::create_dir_all(&cfg.dir)?;
+    let cache = ResultCache::open(cfg.dir.join("cache"))?;
+    let journal = Journal::open(cfg.dir.join("journal"))?;
+    let next_job = journal.next_job_number()?;
+    let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+    let addr = listener.local_addr()?;
+    std::fs::write(cfg.dir.join(ADDR_FILE), format!("{addr}\n"))?;
+    std::fs::write(cfg.dir.join(PID_FILE), format!("{}\n", std::process::id()))?;
+    let workers = cfg.workers.max(1);
+    let state = Arc::new(State {
+        dir: cfg.dir,
+        addr,
+        backend: cfg.backend,
+        workers,
+        cache,
+        journal,
+        next_job: AtomicU64::new(next_job),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        counters: Counters::default(),
+    });
+    let mut threads = Vec::with_capacity(workers + 2);
+    for _ in 0..workers {
+        let st = Arc::clone(&state);
+        threads.push(std::thread::spawn(move || dispatcher(&st)));
+    }
+    let pending = state.journal.pending()?;
+    if !pending.is_empty() {
+        let st = Arc::clone(&state);
+        threads.push(std::thread::spawn(move || resume_pending(&st, pending)));
+    }
+    let st = Arc::clone(&state);
+    threads.push(std::thread::spawn(move || accept_loop(&st, listener)));
+    Ok(DaemonHandle { addr, threads })
+}
+
+/// Runs a daemon in the foreground until a client shuts it down — the
+/// `experiments serve` entry point.
+pub fn run(cfg: DaemonConfig) -> io::Result<()> {
+    let handle = start(cfg)?;
+    eprintln!("svc: listening on {} (send {{\"op\":\"shutdown\"}} to stop)", handle.addr());
+    handle.join();
+    Ok(())
+}
+
+fn accept_loop(state: &Arc<State>, listener: TcpListener) {
+    for conn in listener.incoming() {
+        if state.shutting_down() {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let st = Arc::clone(state);
+        std::thread::spawn(move || handle_conn(&st, stream));
+    }
+    // Best-effort tidy-up so stale files never point at a dead daemon.
+    let _ = std::fs::remove_file(state.dir.join(ADDR_FILE));
+    let _ = std::fs::remove_file(state.dir.join(PID_FILE));
+}
+
+fn dispatcher(state: &Arc<State>) {
+    let mut exec = Executor::new(state.backend.clone());
+    loop {
+        let task = {
+            let mut queue = state.queue.lock().expect("task queue poisoned");
+            loop {
+                if state.shutting_down() {
+                    return;
+                }
+                match queue.pop_front() {
+                    Some(task) => break task,
+                    None => queue = state.queue_cv.wait(queue).expect("task queue poisoned"),
+                }
+            }
+        };
+        let outcome = match exec.run(&task.desc) {
+            Ok(line) => {
+                state.counters.specs_simulated.fetch_add(1, Ordering::Relaxed);
+                if let Err(e) = state.cache.store(&task.fingerprint, &line) {
+                    eprintln!("svc: cache store failed for {}: {e}", task.fingerprint);
+                }
+                Outcome::Line(line)
+            }
+            Err(msg) => {
+                state.counters.specs_failed.fetch_add(1, Ordering::Relaxed);
+                Outcome::Failed(msg)
+            }
+        };
+        // A send error just means the job's handler gave up (shutdown);
+        // the result is in the cache either way.
+        let _ = task.reply.send((task.index, outcome));
+    }
+}
+
+fn resume_pending(state: &Arc<State>, pending: Vec<(String, String)>) {
+    for (job, line) in pending {
+        if state.shutting_down() {
+            return;
+        }
+        let req = match SweepRequest::from_line(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                eprintln!("svc: journal entry {job} is unreadable ({e}); marking done");
+                let _ = state.journal.complete(&job);
+                continue;
+            }
+        };
+        let specs = match req.specs() {
+            Ok(specs) => specs,
+            Err(e) => {
+                eprintln!("svc: journal entry {job} no longer expands ({e}); marking done");
+                let _ = state.journal.complete(&job);
+                continue;
+            }
+        };
+        eprintln!("svc: resuming journaled {job} ({} specs)", specs.len());
+        state.counters.jobs_accepted.fetch_add(1, Ordering::Relaxed);
+        let (_, _, errors) = run_job(state, specs, &mut None);
+        if state.shutting_down() && errors > 0 {
+            // Interrupted again before finishing: leave the journal entry
+            // pending for the next restart.
+            continue;
+        }
+        let _ = state.journal.complete(&job);
+        state.counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn handle_conn(state: &Arc<State>, mut stream: TcpStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut line = String::new();
+    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+        return;
+    }
+    let mut sink = Some(&mut stream);
+    match parse_request(line.trim()) {
+        Err(e) => send(&mut sink, &fault_line(&e)),
+        Ok(Request::Status) => send(&mut sink, &state.status().to_line()),
+        Ok(Request::Shutdown) => {
+            send(&mut sink, &ok_line());
+            state.begin_shutdown();
+        }
+        Ok(Request::Submit(req)) => handle_submit(state, &req, sink),
+    }
+}
+
+fn handle_submit(state: &Arc<State>, req: &SweepRequest, mut sink: Option<&mut TcpStream>) {
+    let specs = match req.specs() {
+        Ok(specs) => specs,
+        Err(e) => {
+            send(&mut sink, &fault_line(&e));
+            return;
+        }
+    };
+    let job = Journal::job_id(state.next_job.fetch_add(1, Ordering::SeqCst));
+    if let Err(e) = state.journal.record(&job, &req.to_line()) {
+        send(&mut sink, &fault_line(&format!("journal write failed: {e}")));
+        return;
+    }
+    state.counters.jobs_accepted.fetch_add(1, Ordering::Relaxed);
+    send(&mut sink, &accepted_line(&job, specs.len() as u64));
+    // The job runs to completion even if the client disconnects
+    // mid-stream — results land in the cache regardless.
+    let (results, cached, errors) = run_job(state, specs, &mut sink);
+    // Complete durably *before* the done line: a client that has seen
+    // `done` must observe the journal marker and the bumped counter.
+    if !state.shutting_down() {
+        let _ = state.journal.complete(&job);
+        state.counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+    send(&mut sink, &done_line(&job, results, cached, errors));
+}
+
+/// Runs one expanded sweep: cache hits answer immediately, misses fan out
+/// to the dispatchers, and entries are released to `sink` strictly in
+/// sweep order. Returns `(results, cached, errors)`.
+fn run_job(state: &Arc<State>, specs: Vec<SpecDesc>, sink: &mut Option<&mut TcpStream>) -> (u64, u64, u64) {
+    let total = specs.len();
+    let fingerprints: Vec<String> = specs
+        .iter()
+        .map(|d| d.to_run_spec().expect("specs were validated by SweepRequest::specs").fingerprint())
+        .collect();
+    let mut slots: Vec<Option<String>> = vec![None; total];
+    let mut cached = 0u64;
+    for (slot, fp) in slots.iter_mut().zip(&fingerprints) {
+        if let Some(line) = state.cache.lookup(fp) {
+            *slot = Some(line);
+            cached += 1;
+        }
+    }
+    state.counters.specs_cached.fetch_add(cached, Ordering::Relaxed);
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut queue = state.queue.lock().expect("task queue poisoned");
+        if !state.shutting_down() {
+            for (index, desc) in specs.iter().enumerate() {
+                if slots[index].is_none() {
+                    queue.push_back(Task {
+                        desc: desc.clone(),
+                        fingerprint: fingerprints[index].clone(),
+                        index,
+                        reply: tx.clone(),
+                    });
+                }
+            }
+        }
+    }
+    state.queue_cv.notify_all();
+    drop(tx);
+    let mut errors = 0u64;
+    let mut next = 0usize;
+    while next < total {
+        if let Some(line) = slots[next].take() {
+            send(sink, &line);
+            state.counters.specs_completed.fetch_add(1, Ordering::Relaxed);
+            next += 1;
+            continue;
+        }
+        match rx.recv() {
+            Ok((index, Outcome::Line(line))) => slots[index] = Some(line),
+            Ok((index, Outcome::Failed(msg))) => {
+                errors += 1;
+                slots[index] = Some(error_line(&fingerprints[index], &specs[index], &msg));
+            }
+            Err(_) => {
+                // Every sender is gone with slots still empty: the daemon
+                // is shutting down under us. Fail the remainder loudly.
+                for index in next..total {
+                    if slots[index].is_none() {
+                        errors += 1;
+                        slots[index] = Some(error_line(
+                            &fingerprints[index],
+                            &specs[index],
+                            "daemon shut down before this spec ran",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    (total as u64 - errors, cached, errors)
+}
+
+/// Writes one protocol line to the sink, closing it on the first client
+/// error (the job keeps running for the cache's benefit).
+fn send(sink: &mut Option<&mut TcpStream>, line: &str) {
+    if let Some(stream) = sink {
+        if writeln!(stream, "{line}").and_then(|()| stream.flush()).is_err() {
+            *sink = None;
+        }
+    }
+}

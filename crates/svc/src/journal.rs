@@ -1,0 +1,115 @@
+//! The accepted-jobs journal: crash recovery for the daemon.
+//!
+//! Every accepted sweep is persisted as `<job>.json` (the submit request
+//! line, verbatim) *before* its first spec runs; a `<job>.done` marker is
+//! dropped next to it when the sweep completes. A daemon that was killed
+//! mid-sweep therefore restarts with a precise work list: every `.json`
+//! without a `.done` sibling. Re-running a partially finished job is
+//! cheap by construction — its completed specs answer from the result
+//! cache and only the genuinely unfinished remainder simulates.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// On-disk journal of accepted sweep jobs.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+}
+
+impl Journal {
+    /// Opens (creating if needed) a journal directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Formats the canonical id for the `n`-th job.
+    pub fn job_id(n: u64) -> String {
+        format!("job-{n:06}")
+    }
+
+    /// Persists an accepted job (atomic temp + rename, same discipline as
+    /// the cache: a killed daemon never leaves a torn request to resume).
+    pub fn record(&self, job: &str, request_line: &str) -> io::Result<()> {
+        let tmp = self.dir.join(format!(".{job}.tmp"));
+        fs::write(&tmp, format!("{request_line}\n"))?;
+        fs::rename(&tmp, self.dir.join(format!("{job}.json")))
+    }
+
+    /// Marks a job as run to completion.
+    pub fn complete(&self, job: &str) -> io::Result<()> {
+        fs::write(self.dir.join(format!("{job}.done")), "")
+    }
+
+    /// Jobs recorded but never completed, as `(job id, request line)`
+    /// pairs in id order — the restart work list.
+    pub fn pending(&self) -> io::Result<Vec<(String, String)>> {
+        let mut jobs = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name().to_string_lossy().into_owned();
+            let Some(job) = name.strip_suffix(".json") else { continue };
+            if job.starts_with('.') || self.dir.join(format!("{job}.done")).exists() {
+                continue;
+            }
+            let line = fs::read_to_string(self.dir.join(&name))?;
+            jobs.push((job.to_owned(), line.trim_end_matches('\n').to_owned()));
+        }
+        jobs.sort();
+        Ok(jobs)
+    }
+
+    /// The next unused job number (one past the highest recorded), so a
+    /// restarted daemon never reuses a journaled id.
+    pub fn next_job_number(&self) -> io::Result<u64> {
+        let mut next = 1;
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name().to_string_lossy().into_owned();
+            if let Some(n) = name.strip_suffix(".json").and_then(|j| j.strip_prefix("job-")) {
+                if let Ok(n) = n.parse::<u64>() {
+                    next = next.max(n + 1);
+                }
+            }
+        }
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("victima-svc-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn pending_tracks_the_done_marker() {
+        let j = Journal::open(tmp_dir("pending")).unwrap();
+        assert_eq!(j.next_job_number().unwrap(), 1);
+        j.record(&Journal::job_id(1), "{\"op\":\"submit\"}").unwrap();
+        j.record(&Journal::job_id(2), "{\"op\":\"submit\",\"x\":2}").unwrap();
+        assert_eq!(j.next_job_number().unwrap(), 3);
+        let pending = j.pending().unwrap();
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0], ("job-000001".into(), "{\"op\":\"submit\"}".into()));
+        j.complete(&Journal::job_id(1)).unwrap();
+        let pending = j.pending().unwrap();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].0, "job-000002");
+        j.complete(&Journal::job_id(2)).unwrap();
+        assert!(j.pending().unwrap().is_empty());
+        // Completion never recycles ids.
+        assert_eq!(j.next_job_number().unwrap(), 3);
+        fs::remove_dir_all(j.dir()).unwrap();
+    }
+}

@@ -1,0 +1,250 @@
+//! Spec execution: the worker-process protocol and the daemon-side
+//! executor.
+//!
+//! The daemon never simulates in its own process. Each dispatcher thread
+//! owns one **worker process** — the `experiments` binary re-exec'd with
+//! the hidden [`WORKER_ARG`] subcommand — and feeds it one [`SpecDesc`]
+//! line on stdin per spec, reading one `result` line back on stdout. A
+//! spec that panics or aborts takes down only its worker: the dispatcher
+//! observes the EOF, reports a typed error entry for that spec, respawns
+//! a fresh worker, and the rest of the sweep completes untouched.
+//!
+//! Tests and benches that want the protocol without process overhead use
+//! [`WorkerBackend::InProcess`], which runs specs on the dispatcher
+//! thread behind `catch_unwind` — same typed-error surface, no fork.
+
+use crate::proto::{result_line, result_report, SpecDesc};
+use sim::SimEngine;
+use std::io::{self, BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+/// The hidden CLI subcommand that enters [`worker_main`].
+pub const WORKER_ARG: &str = "service-worker";
+
+/// Crash-injection knob for the isolation tests: a worker asked to run
+/// the named workload calls `abort()` (process backend) or panics
+/// (in-process backend) instead of simulating.
+pub const CRASH_ENV: &str = "VICTIMA_SVC_CRASH_WORKLOAD";
+
+fn crash_requested(workload: &str) -> bool {
+    std::env::var(CRASH_ENV).is_ok_and(|w| w == workload)
+}
+
+/// Runs one descriptor to completion, returning its `result` line. The
+/// single execution path shared by the worker process, the in-process
+/// backend, and `submit --local` — which is why all three produce
+/// byte-identical lines for the same spec.
+pub fn run_spec(desc: &SpecDesc) -> Result<String, String> {
+    let spec = desc.to_run_spec()?;
+    let fingerprint = spec.fingerprint();
+    let result = SimEngine::run_one(0, &spec);
+    Ok(result_line(&fingerprint, &result_report(desc, &spec, &result.stats)))
+}
+
+/// The worker-process main loop: one [`SpecDesc`] line in, one `result`
+/// line out, until stdin closes. Returns the process exit code.
+///
+/// Failure handling is deliberately blunt: a malformed descriptor or an
+/// I/O error exits non-zero, and a simulation panic unwinds out of the
+/// process entirely — the daemon treats any missing reply as this
+/// worker's death and isolates the damage to the one spec in flight.
+pub fn worker_main() -> i32 {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { return 1 };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let desc = match SpecDesc::from_line(line) {
+            Ok(desc) => desc,
+            Err(e) => {
+                eprintln!("service-worker: bad spec line: {e}");
+                return 1;
+            }
+        };
+        if crash_requested(&desc.workload) {
+            std::process::abort();
+        }
+        let reply = match run_spec(&desc) {
+            Ok(reply) => reply,
+            Err(e) => {
+                eprintln!("service-worker: {e}");
+                return 1;
+            }
+        };
+        if writeln!(out, "{reply}").and_then(|()| out.flush()).is_err() {
+            return 1;
+        }
+    }
+    0
+}
+
+/// How the daemon executes specs.
+#[derive(Clone, Debug)]
+pub enum WorkerBackend {
+    /// Spawn worker processes from the given `experiments` binary — the
+    /// production backend; panicking specs die in their own process.
+    Process(PathBuf),
+    /// Run specs on the dispatcher thread behind `catch_unwind` — the
+    /// test/bench backend; no isolation from aborts, but the same typed
+    /// error surface for panics.
+    InProcess,
+}
+
+/// One live worker process with its pipes.
+#[derive(Debug)]
+struct ProcessWorker {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl ProcessWorker {
+    fn spawn(exe: &PathBuf) -> io::Result<Self> {
+        let mut child =
+            Command::new(exe).arg(WORKER_ARG).stdin(Stdio::piped()).stdout(Stdio::piped()).spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Ok(Self { child, stdin, stdout })
+    }
+
+    /// Sends one spec line, reads one reply line. An empty read means the
+    /// worker died before answering.
+    fn run(&mut self, spec_line: &str) -> io::Result<String> {
+        writeln!(self.stdin, "{spec_line}")?;
+        self.stdin.flush()?;
+        let mut reply = String::new();
+        if self.stdout.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "worker closed its stdout"));
+        }
+        Ok(reply.trim_end_matches('\n').to_owned())
+    }
+
+    /// Reaps the (dead or dying) worker, reporting its exit status.
+    fn reap(mut self) -> String {
+        let _ = self.child.kill();
+        match self.child.wait() {
+            Ok(status) => format!("{status}"),
+            Err(_) => "unknown status".to_owned(),
+        }
+    }
+}
+
+/// A dispatcher thread's executor: lazily (re)spawns its worker process,
+/// or runs in-process per the backend.
+#[derive(Debug)]
+pub(crate) struct Executor {
+    backend: WorkerBackend,
+    worker: Option<ProcessWorker>,
+}
+
+impl Executor {
+    pub(crate) fn new(backend: WorkerBackend) -> Self {
+        Self { backend, worker: None }
+    }
+
+    /// Executes one spec, returning its `result` stream line, or an error
+    /// message describing the worker's death for the typed error entry.
+    pub(crate) fn run(&mut self, desc: &SpecDesc) -> Result<String, String> {
+        match &self.backend {
+            WorkerBackend::InProcess => {
+                if crash_requested(&desc.workload) {
+                    // Mirror the process backend's crash knob with a
+                    // catchable panic so isolation tests can run without
+                    // spawning binaries.
+                    return Err(format!("worker panicked simulating {} (injected crash)", desc.label()));
+                }
+                catch_unwind(AssertUnwindSafe(|| run_spec(desc))).unwrap_or_else(|p| {
+                    Err(format!("worker panicked simulating {}: {}", desc.label(), panic_text(&p)))
+                })
+            }
+            WorkerBackend::Process(exe) => {
+                if self.worker.is_none() {
+                    self.worker =
+                        Some(ProcessWorker::spawn(exe).map_err(|e| format!("failed to spawn worker: {e}"))?);
+                }
+                let worker = self.worker.as_mut().expect("worker just spawned");
+                match worker.run(&desc.to_line()) {
+                    Ok(line) => Ok(line),
+                    Err(e) => {
+                        // The worker died mid-spec. Reap it and report;
+                        // the next spec gets a fresh process.
+                        let status = self.worker.take().expect("worker present on error path").reap();
+                        Err(format!(
+                            "worker process exited unexpectedly ({status}) while simulating {}: {e}",
+                            desc.label()
+                        ))
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Scale;
+
+    fn tiny_desc(workload: &str) -> SpecDesc {
+        SpecDesc {
+            config: "radix".into(),
+            workload: workload.into(),
+            scale: Scale::Tiny,
+            warmup: 200,
+            instructions: 2_000,
+            seed: vm_types::DEFAULT_SEED,
+            sampling: None,
+        }
+    }
+
+    #[test]
+    fn in_process_executor_runs_a_spec() {
+        let mut exec = Executor::new(WorkerBackend::InProcess);
+        let line = exec.run(&tiny_desc("RND")).unwrap();
+        match crate::proto::parse_stream_line(&line).unwrap() {
+            crate::proto::StreamLine::Result { report, .. } => {
+                assert_eq!(report.provenance.workloads, ["RND"]);
+            }
+            other => panic!("expected a result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_process_executor_turns_panics_into_typed_errors() {
+        // An unresolvable config panics inside run_one's machinery only
+        // after validation; craft the panic via a bogus workload name,
+        // which `to_run_spec` passes through but the registry rejects at
+        // simulation time.
+        let mut exec = Executor::new(WorkerBackend::InProcess);
+        let err = exec.run(&tiny_desc("NOPE")).unwrap_err();
+        assert!(err.contains("panicked"), "{err}");
+        // The executor survives and runs the next spec normally.
+        assert!(exec.run(&tiny_desc("RND")).is_ok());
+    }
+
+    #[test]
+    fn identical_specs_yield_byte_identical_lines() {
+        let mut exec = Executor::new(WorkerBackend::InProcess);
+        let a = exec.run(&tiny_desc("XS")).unwrap();
+        let b = exec.run(&tiny_desc("XS")).unwrap();
+        assert_eq!(a, b);
+        // And the shared single-spec path agrees with the executor.
+        assert_eq!(run_spec(&tiny_desc("XS")).unwrap(), a);
+    }
+}

@@ -173,6 +173,14 @@ impl Checkpoint {
         }
         let magic = &bytes[..CKPT_MAGIC.len()];
         if magic != CKPT_MAGIC {
+            // A .vtrace handed to the checkpoint reader deserves a pointer
+            // to the right subcommand, not a bare bad-magic error.
+            if magic == crate::format::MAGIC {
+                return Err(format_err(
+                    "this is a .vtrace reference trace, not a .vckpt checkpoint — \
+                     try `experiments trace info` instead",
+                ));
+            }
             return Err(format_err(format!(
                 "bad magic {magic:02x?} (expected {CKPT_MAGIC:02x?} — not a .vckpt file?)"
             )));
@@ -326,6 +334,15 @@ mod tests {
         bytes[0] = b'X';
         let err = Checkpoint::decode(&bytes).unwrap_err();
         assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn trace_magic_points_at_the_trace_subcommand() {
+        let mut bytes = sample().encode();
+        bytes[..4].copy_from_slice(&crate::format::MAGIC);
+        let err = Checkpoint::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains(".vtrace"), "{err}");
+        assert!(err.to_string().contains("trace info"), "{err}");
     }
 
     #[test]

@@ -54,6 +54,12 @@ fn read_header<R: Read>(src: &mut R) -> Result<TraceHeader, TraceError> {
     let mut magic = [0u8; 4];
     src.read_exact(&mut magic)?;
     if magic != MAGIC {
+        // Recognise the sibling container so a mixed-up path gets pointed
+        // at the right subcommand instead of a bare bad-magic error.
+        if magic == crate::ckpt::CKPT_MAGIC {
+            return Err(bad("this is a .vckpt warm-state checkpoint, not a .vtrace trace — \
+                 try `experiments ckpt info` instead"));
+        }
         return Err(bad(format!("bad magic {magic:02x?} (expected {MAGIC:02x?} — not a .vtrace file?)")));
     }
     let version = read_uvarint(src)?;

@@ -112,6 +112,19 @@ fn bad_magic_is_rejected() {
 }
 
 #[test]
+fn checkpoint_magic_points_at_the_ckpt_subcommand() {
+    let mut bytes = write_trace(&random_refs(1, 10), 64);
+    bytes[..4].copy_from_slice(b"VCKP");
+    match TraceReader::new(&bytes[..]) {
+        Err(TraceError::Format(msg)) => {
+            assert!(msg.contains(".vckpt"), "{msg}");
+            assert!(msg.contains("ckpt info"), "{msg}");
+        }
+        other => panic!("expected a format error, got {other:?}"),
+    }
+}
+
+#[test]
 fn future_version_is_rejected() {
     let mut bytes = write_trace(&random_refs(2, 10), 64);
     // The version varint sits right after the 4-byte magic; v1 encodes as

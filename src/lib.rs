@@ -24,7 +24,10 @@
 //!   format: recorder, replay reader, chunked delta/varint codec;
 //! - [`report`] — the typed results pipeline: experiment reports with
 //!   units and provenance, JSON/CSV/text/markdown renderers, and the
-//!   baseline `--check` regression gate.
+//!   baseline `--check` regression gate;
+//! - [`svc`] (`victima-svc`) — the resident sweep service: NDJSON
+//!   protocol, content-addressed result cache, job journal, and
+//!   process-sharded workers behind `experiments serve`.
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@ pub use mem_sim as mem;
 pub use page_table as pt;
 pub use report;
 pub use sim;
+pub use svc;
 pub use tlb_sim as tlb;
 pub use victima;
 pub use victima_trace as trace;
