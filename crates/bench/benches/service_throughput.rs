@@ -9,20 +9,27 @@
 //!
 //! Warm jobs/sec isolates pure service overhead (protocol + cache + TCP
 //! round trip; zero simulation), which is the number that matters for
-//! interactive sweep iteration. Results are written to
-//! `BENCH_service.json` (override with `VICTIMA_SVC_BENCH_OUT`) in the
-//! `report` crate's JSON schema. Wall-clock is machine-dependent, so
-//! this benchmark records and never gates.
+//! interactive sweep iteration. A third, *faulty* pass reruns the cold
+//! sweep under injected worker deaths (`abort=*@0.25`: each attempt has
+//! a 25 % chance its worker aborts mid-spec) to price the recovery
+//! machinery — kill detection, respawn, backoff, re-dispatch. Results
+//! are written to `BENCH_service.json` (override with
+//! `VICTIMA_SVC_BENCH_OUT`) in the `report` crate's JSON schema.
+//! Wall-clock is machine-dependent, so this benchmark records and never
+//! gates.
 
 use report::{Column, ExperimentReport, Metric, Provenance, Unit, Value};
 use std::path::PathBuf;
 use std::time::Instant;
-use svc::{DaemonConfig, SweepRequest, WorkerBackend};
+use svc::{DaemonConfig, FaultPlan, SweepRequest, WorkerBackend};
 use workloads::Scale;
 
 const WARMUP: u64 = 1_000;
 const INSTRUCTIONS: u64 = 10_000;
 const WARM_ROUNDS: u32 = 50;
+
+/// The faulty pass's fault plan: 25 % of worker attempts die.
+const FAULTS: &str = "abort=*@0.25";
 
 fn request() -> SweepRequest {
     SweepRequest {
@@ -45,13 +52,8 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("victima-svc-bench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let exe = PathBuf::from(env!("CARGO_BIN_EXE_experiments"));
-    let handle = svc::start(DaemonConfig {
-        dir: dir.clone(),
-        backend: WorkerBackend::Process(exe),
-        workers: 1,
-        port: 0,
-    })
-    .expect("daemon starts");
+    let handle = svc::start(DaemonConfig::new(dir.clone(), WorkerBackend::Process(exe.clone())))
+        .expect("daemon starts");
     let req = request();
     let specs = req.specs().expect("request expands").len() as u64;
     println!("service_throughput: {specs}-spec Tiny sweep against a 1-worker daemon at {}", handle.addr());
@@ -79,6 +81,29 @@ fn main() {
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 
+    // Faulty pass: the same cold sweep with 25 % of worker attempts
+    // dying mid-spec — measures what recovery (kill, respawn, backoff,
+    // re-dispatch) costs relative to the clean cold number.
+    let faulty_dir = std::env::temp_dir().join(format!("victima-svc-bench-faulty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&faulty_dir);
+    let faulty_handle = svc::start(DaemonConfig {
+        faults: FaultPlan::parse(FAULTS).expect("bench fault plan parses"),
+        ..DaemonConfig::new(faulty_dir.clone(), WorkerBackend::Process(exe))
+    })
+    .expect("faulty daemon starts");
+    let t = Instant::now();
+    let faulty = submit_once(&faulty_dir, &req);
+    let faulty_wall = t.elapsed().as_secs_f64();
+    let retried = svc::status(&faulty_dir).expect("status answers").specs_retried;
+    assert_eq!(faulty.results + faulty.errors, specs, "the faulty sweep must terminate with a line per spec");
+    let faulty_specs_s = specs as f64 / faulty_wall;
+    println!(
+        "  faulty ({FAULTS}): {faulty_wall:.3}s ({faulty_specs_s:.1} specs/s, {retried} retries, {} error(s))",
+        faulty.errors
+    );
+    faulty_handle.shutdown();
+    let _ = std::fs::remove_dir_all(&faulty_dir);
+
     let mut report = ExperimentReport::new("bench_service", "Sweep service throughput (jobs/s)")
         .with_label_name("pass")
         .with_columns([Column::new("jobs/s", Unit::Raw), Column::new("specs/s", Unit::Raw)])
@@ -91,13 +116,19 @@ fn main() {
             configs: req.configs.clone(),
             workloads: req.workloads.clone(),
         });
-    report
-        .note(format!("1-worker daemon, {specs}-spec sweep; warm = {WARM_ROUNDS} all-cached resubmissions"));
+    report.note(format!(
+        "1-worker daemon, {specs}-spec sweep; warm = {WARM_ROUNDS} all-cached resubmissions; \
+         faulty = cold sweep under {FAULTS} ({retried} retries, {} error(s))",
+        faulty.errors
+    ));
     report.push_row("cold", [Value::from(1.0 / cold_wall), Value::from(cold_specs_s)]);
     report.push_row("warm", [Value::from(warm_jobs_s), Value::from(warm_specs_s)]);
+    report.push_row("faulty", [Value::from(1.0 / faulty_wall), Value::from(faulty_specs_s)]);
     report.push_metric(Metric::new("svc_jobs_per_s/warm", warm_jobs_s, Unit::Raw));
     report.push_metric(Metric::new("svc_specs_per_s/warm", warm_specs_s, Unit::Raw));
     report.push_metric(Metric::new("svc_specs_per_s/cold", cold_specs_s, Unit::Raw));
+    report.push_metric(Metric::new("svc_specs_per_s/faulty", faulty_specs_s, Unit::Raw));
+    report.push_metric(Metric::new("svc_retries/faulty", retried as f64, Unit::Raw));
 
     let out = std::env::var("VICTIMA_SVC_BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".to_owned());
     std::fs::write(&out, report::json::to_json(&report)).expect("artifact written");

@@ -87,9 +87,11 @@ fn usage() -> ! {
     eprintln!("                   [--config NAME] [--scale tiny|small|full|paper] [--seed N] [--warmup N]");
     eprintln!("       experiments ckpt resume <FILE> [--instr N] [--format F] [--out DIR]");
     eprintln!("       experiments ckpt info <FILE> [--format F] [--out DIR]");
-    eprintln!("       experiments serve [--dir DIR] [--port N] [--workers N]");
+    eprintln!("       experiments serve [--dir DIR] [--port N] [--workers N] [--deadline-ms N]");
+    eprintln!("                   [--retries N] [--cache-max-bytes N] [--faults PLAN]");
     eprintln!("       experiments submit [--dir DIR] [--local] [--configs a,b] [--workloads X,Y|all]");
-    eprintln!("                   [--scale S] [--warmup N] [--instr N] [--seed N] [--sampling U:D[:W]] [--out FILE]");
+    eprintln!("                   [--scale S] [--warmup N] [--instr N] [--seed N] [--sampling U:D[:W]]");
+    eprintln!("                   [--out FILE] [--attempts N]");
     eprintln!("       experiments status [--dir DIR] [--shutdown]");
     std::process::exit(2);
 }

@@ -5,7 +5,8 @@
 
 use std::io::Write;
 use std::path::PathBuf;
-use svc::{DaemonConfig, StreamLine, SweepRequest, WorkerBackend};
+use std::time::Duration;
+use svc::{ClientOptions, DaemonConfig, FaultPlan, StreamLine, SweepRequest, WorkerBackend};
 
 /// Default service directory, relative to the working directory.
 pub const DEFAULT_DIR: &str = ".victima-svc";
@@ -48,8 +49,11 @@ fn reject_leftovers(args: &[String], what: &str) {
     }
 }
 
-/// `experiments serve [--dir DIR] [--port N] [--workers N]` — run the
-/// daemon in the foreground until a client sends the shutdown op.
+/// `experiments serve [--dir DIR] [--port N] [--workers N]
+/// [--deadline-ms N] [--retries N] [--cache-max-bytes N] [--faults PLAN]`
+/// — run the daemon in the foreground until a client sends the shutdown
+/// op. `--faults` (or `VICTIMA_SVC_FAULTS`) turns on deterministic fault
+/// injection; see `svc::fault` for the grammar.
 pub fn serve_cli(mut args: Vec<String>) -> i32 {
     let dir = service_dir(&mut args);
     let port = parse_u64(&mut args, "--port").map_or(0u16, |p| match u16::try_from(p) {
@@ -57,6 +61,24 @@ pub fn serve_cli(mut args: Vec<String>) -> i32 {
         Err(_) => fail("--port needs a value in 0..65536"),
     });
     let workers = parse_u64(&mut args, "--workers").map_or_else(default_workers, |n| n.max(1) as usize);
+    let deadline = parse_u64(&mut args, "--deadline-ms")
+        .map_or(svc::daemon::DEFAULT_DEADLINE, |ms| Duration::from_millis(ms.max(1)));
+    let retries =
+        parse_u64(&mut args, "--retries").map_or(svc::daemon::DEFAULT_RETRIES, |n| match u32::try_from(n) {
+            Ok(n) => n,
+            Err(_) => fail("--retries needs a value in 0..2^32"),
+        });
+    let cache_max_bytes = parse_u64(&mut args, "--cache-max-bytes");
+    let faults = match flag_value(&mut args, "--faults") {
+        Some(spec) => match FaultPlan::parse(&spec) {
+            Ok(plan) => plan,
+            Err(e) => fail(&format!("--faults: {e}")),
+        },
+        None => match FaultPlan::from_env() {
+            Ok(plan) => plan,
+            Err(e) => fail(&format!("{}: {e}", svc::FAULTS_ENV)),
+        },
+    };
     reject_leftovers(&args, "serve");
     let exe = match std::env::current_exe() {
         Ok(exe) => exe,
@@ -66,7 +88,16 @@ pub fn serve_cli(mut args: Vec<String>) -> i32 {
         }
     };
     eprintln!("svc: serving {} with {workers} worker process(es)", dir.display());
-    match svc::run(DaemonConfig { dir, backend: WorkerBackend::Process(exe), workers, port }) {
+    let cfg = DaemonConfig {
+        workers,
+        port,
+        deadline,
+        retries,
+        cache_max_bytes,
+        faults,
+        ..DaemonConfig::new(dir, WorkerBackend::Process(exe))
+    };
+    match svc::run(cfg) {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("serve failed: {e}");
@@ -110,17 +141,26 @@ fn parse_request(args: &mut Vec<String>) -> SweepRequest {
 
 /// `experiments submit [--dir DIR] [--configs a,b] [--workloads X,Y|all]
 /// [--scale S] [--warmup N] [--instr N] [--seed N] [--sampling U:D[:W]]
-/// [--out FILE] [--local]` — submit a sweep and stream its results.
+/// [--out FILE] [--local] [--attempts N]` — submit a sweep and stream
+/// its results.
 ///
 /// Every per-spec line goes to stdout as it arrives; `--out` appends the
 /// same lines to a file (results and errors only — no control lines, so
 /// two outputs of the same sweep diff clean). `--local` skips the daemon
 /// and runs the identical sweep in-process, emitting identical bytes.
-/// Exit status: 0 when every spec produced a result, 1 otherwise.
+/// `--attempts N` (default 3) bounds total submit connections: if the
+/// stream drops mid-sweep the client reconnects, resubmits, and resumes
+/// where it left off — cached replay makes the reassembled stream
+/// byte-identical to an undropped one. Exit status: 0 when every spec
+/// produced a result, 1 otherwise.
 pub fn submit_cli(mut args: Vec<String>) -> i32 {
     let dir = service_dir(&mut args);
     let local = take_flag(&mut args, "--local");
     let out_path = flag_value(&mut args, "--out").map(PathBuf::from);
+    let attempts = parse_u64(&mut args, "--attempts").map_or(3u32, |n| match u32::try_from(n.max(1)) {
+        Ok(n) => n,
+        Err(_) => fail("--attempts needs a value in 1..2^32"),
+    });
     let req = parse_request(&mut args);
     reject_leftovers(&args, "submit");
     let mut out_file = out_path.as_ref().map(|p| match std::fs::File::create(p) {
@@ -140,15 +180,19 @@ pub fn submit_cli(mut args: Vec<String>) -> i32 {
     let summary = if local {
         svc::run_local(&req, &mut emit)
     } else {
-        match svc::connect(&dir) {
-            Ok(stream) => svc::submit(stream, &req, |line, _: &StreamLine| emit(line)),
-            Err(e) => Err(e.to_string()),
-        }
+        svc::client::submit_resumed(&dir, ClientOptions::default(), attempts, &req, |line, _: &StreamLine| {
+            emit(line)
+        })
     };
     match summary {
         Ok(s) => {
+            let reconnects = if s.connections > 1 {
+                format!(", {} reconnect(s)", s.connections - 1)
+            } else {
+                String::new()
+            };
             eprintln!(
-                "[{}: {} spec(s) — {} result(s), {} cached, {} error(s)]",
+                "[{}: {} spec(s) — {} result(s), {} cached, {} error(s){reconnects}]",
                 s.job, s.specs, s.results, s.cached, s.errors
             );
             i32::from(s.errors > 0)
@@ -183,7 +227,7 @@ pub fn status_cli(mut args: Vec<String>) -> i32 {
         Ok(info) => {
             println!("{}", info.to_line());
             eprintln!(
-                "[{} worker(s), jobs {}/{} done, specs {} done ({} simulated, {} cached, {} failed), {} cache entries]",
+                "[{} worker(s), jobs {}/{} done, specs {} done ({} simulated, {} cached, {} failed, {} timed out, {} retried), cache {} entries/{} B ({} quarantined, {} evicted), {} journal record(s) skipped]",
                 info.workers,
                 info.jobs_completed,
                 info.jobs_accepted,
@@ -191,7 +235,13 @@ pub fn status_cli(mut args: Vec<String>) -> i32 {
                 info.specs_simulated,
                 info.specs_cached,
                 info.specs_failed,
-                info.cache_entries
+                info.specs_timed_out,
+                info.specs_retried,
+                info.cache_entries,
+                info.cache_bytes,
+                info.cache_quarantined,
+                info.cache_evicted,
+                info.journal_skipped
             );
             0
         }

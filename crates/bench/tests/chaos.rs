@@ -1,0 +1,194 @@
+//! Chaos suite against the real `experiments` binary with real worker
+//! *processes*: injected hangs are killed by the wall-clock deadline,
+//! injected aborts kill actual workers, poisoned cache entries are
+//! quarantined on disk, and dropped connections are healed by the
+//! client's reconnect-and-resume — all through the public CLI, nothing
+//! mocked. (The in-process half of the fault matrix lives in the svc
+//! crate's chaos tests.)
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_experiments");
+
+const SWEEP: &[&str] =
+    &["--configs", "radix,victima", "--workloads", "RND,XS", "--warmup", "200", "--instr", "2000"];
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("victima-chaos-cli-{}-{label}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.0.kill().ok();
+        self.0.wait().ok();
+    }
+}
+
+/// Spawns `serve --workers 1` plus the given extra flags and waits for
+/// the address file.
+fn serve(dir: &Path, extra: &[&str]) -> Daemon {
+    let mut cmd = Command::new(BIN);
+    cmd.args(["serve", "--dir", dir.to_str().unwrap(), "--workers", "1"])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    let daemon = Daemon(cmd.spawn().expect("serve spawns"));
+    let addr = dir.join(svc::ADDR_FILE);
+    for _ in 0..600 {
+        if addr.is_file() {
+            return daemon;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("daemon did not write {} within 12s", addr.display());
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(BIN).args(args).output().expect("spawn binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn submit(dir: &Path, extra: &[&str]) -> (bool, String, String) {
+    let mut args = vec!["submit", "--dir", dir.to_str().unwrap()];
+    args.extend_from_slice(SWEEP);
+    args.extend_from_slice(extra);
+    run(&args)
+}
+
+#[test]
+fn hung_worker_is_killed_at_the_deadline_and_respawned() {
+    let dir = scratch("hang");
+    // A genuinely hung worker process (injected infinite sleep), a tight
+    // deadline so the test stays fast, one retry to prove the ladder.
+    let _daemon = serve(&dir, &["--faults", "hang=BC", "--deadline-ms", "500", "--retries", "1"]);
+
+    let args = [
+        "submit",
+        "--dir",
+        dir.to_str().unwrap(),
+        "--configs",
+        "radix",
+        "--workloads",
+        "RND,BC",
+        "--warmup",
+        "200",
+        "--instr",
+        "2000",
+    ];
+    let (ok, stdout, stderr) = run(&args);
+    assert!(!ok, "a sweep with timed-out specs must exit nonzero");
+    assert!(stderr.contains("1 error(s)"), "{stderr}");
+    let mut timeouts = 0;
+    for line in stdout.lines() {
+        match svc::parse_stream_line(line).expect("stream lines parse") {
+            svc::StreamLine::Result { report, .. } => assert_eq!(report.provenance.workloads, ["RND"]),
+            svc::StreamLine::Timeout { workload, error, .. } => {
+                timeouts += 1;
+                assert_eq!(workload, "BC");
+                assert!(error.contains("deadline"), "{error}");
+                assert!(error.contains("2 attempt(s)"), "the retry must be spent: {error}");
+            }
+            other => panic!("unexpected line {other:?}"),
+        }
+    }
+    assert_eq!(timeouts, 1, "{stdout}");
+
+    // The killed worker was respawned: a healthy sweep still completes.
+    let (ok, _, stderr) = submit(&dir, &[]);
+    assert!(ok, "post-timeout submit failed: {stderr}");
+    assert!(stderr.contains("0 error(s)"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["status", "--dir", dir.to_str().unwrap(), "--shutdown"]);
+    assert!(ok, "shutdown failed: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn poisoned_cache_is_quarantined_and_the_stream_stays_byte_identical() {
+    let dir = scratch("poison");
+    let _daemon = serve(&dir, &["--faults", "cache-corrupt"]);
+
+    let (ok, cold_stdout, stderr) = submit(&dir, &[]);
+    assert!(ok, "cold submit failed: {stderr}");
+
+    // Every warm lookup must detect the corrupt entry, quarantine it,
+    // and re-simulate: zero cache hits, identical bytes.
+    let (ok, warm_stdout, stderr) = submit(&dir, &[]);
+    assert!(ok, "warm submit failed: {stderr}");
+    assert!(stderr.contains("0 cached"), "poisoned entries must not serve: {stderr}");
+    assert_eq!(warm_stdout, cold_stdout, "corruption must never reach the stream");
+
+    let (ok, _, status_stderr) = run(&["status", "--dir", dir.to_str().unwrap()]);
+    assert!(ok, "status failed: {status_stderr}");
+    assert!(status_stderr.contains("4 quarantined"), "{status_stderr}");
+    let quarantined: Vec<_> =
+        std::fs::read_dir(dir.join("cache").join("quarantine")).expect("quarantine dir exists").collect();
+    assert_eq!(quarantined.len(), 4, "poisoned entries must be preserved for forensics");
+
+    let (ok, _, stderr) = run(&["status", "--dir", dir.to_str().unwrap(), "--shutdown"]);
+    assert!(ok, "shutdown failed: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dropped_submit_stream_reconnects_and_reassembles_the_clean_bytes() {
+    let dir = scratch("dropconn");
+
+    // Reference bytes from the daemon-free path (same bytes a clean
+    // daemon streams — the CI smoke job relies on exactly this identity).
+    let (ok, clean_stdout, stderr) = submit(&dir, &["--local"]);
+    assert!(ok, "local reference failed: {stderr}");
+
+    let _daemon = serve(&dir, &["--faults", "drop-conn=1"]);
+
+    // One connection's worth of drop budget: the stream dies mid-sweep,
+    // the client reconnects and resumes, and the output is whole.
+    let (ok, stdout, stderr) = submit(&dir, &["--attempts", "3"]);
+    assert!(ok, "resumed submit failed: {stderr}");
+    assert!(stderr.contains("reconnect"), "the drop must have forced a reconnect: {stderr}");
+    assert_eq!(stdout, clean_stdout, "resumed stream must equal a clean run");
+
+    // With the budget spent, the next submit streams uninterrupted.
+    let (ok, stdout, stderr) = submit(&dir, &[]);
+    assert!(ok, "post-budget submit failed: {stderr}");
+    assert!(!stderr.contains("reconnect"), "{stderr}");
+    assert_eq!(stdout, clean_stdout);
+
+    let (ok, _, stderr) = run(&["status", "--dir", dir.to_str().unwrap(), "--shutdown"]);
+    assert!(ok, "shutdown failed: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flaky_worker_deaths_are_healed_by_retries() {
+    let dir = scratch("flaky");
+    // Seed chosen so that with p=0.5 over 4 specs × 3 attempts the sweep
+    // completes with zero errors but at least one retry fires — the svc
+    // chaos suite scans seeds for the same property; 0x2 exhibits it
+    // here (deterministic: the draw only hashes seed/site/spec/attempt).
+    for seed in 1..32 {
+        let plan = format!("seed=0x{seed:x},abort=*@0.5");
+        std::fs::remove_dir_all(&dir).ok();
+        let daemon = serve(&dir, &["--faults", &plan]);
+        let (ok, _, stderr) = submit(&dir, &[]);
+        let (sok, _, status_stderr) = run(&["status", "--dir", dir.to_str().unwrap()]);
+        assert!(sok, "status failed: {status_stderr}");
+        drop(daemon);
+        if ok && !status_stderr.contains(" 0 retried") {
+            assert!(stderr.contains("0 error(s)"), "{stderr}");
+            std::fs::remove_dir_all(&dir).ok();
+            return;
+        }
+    }
+    panic!("no seed in 1..32 recovered via retry — retry path untested");
+}

@@ -1,4 +1,5 @@
-//! Content-addressed result cache.
+//! Content-addressed result cache with integrity framing and a size
+//! bound.
 //!
 //! One file per spec, named by the spec's [`sim::RunSpec::fingerprint`]
 //! (which folds in `sim::ENGINE_ID`, so bumping the engine version
@@ -7,10 +8,31 @@
 //! a warm hit replays those bytes, which is what makes a resubmission's
 //! stream byte-identical to the cold run without re-rendering anything.
 //!
+//! Entries are **framed**: the payload line is followed by a trailer
+//! carrying its byte length and FNV-1a 64 checksum,
+//!
+//! ```text
+//! entry   := payload '\n' trailer '\n'
+//! trailer := '#victima-cache/1 len=' DECIMAL ' fnv=' 16*HEXDIG
+//! ```
+//!
+//! so a torn write (disk full, kill mid-store), an on-disk bit flip, an
+//! empty file, or a pre-framing legacy entry is *detected* at lookup
+//! instead of being streamed to a client as a "result". Invalid entries
+//! are quarantined to `cache/quarantine/` (for the post-mortem) and
+//! reported as misses, which re-simulates the spec — the cache can serve
+//! wrong-shaped bytes to nobody. On top of the frame, a served payload
+//! must still parse as a `result` stream line whose fingerprint matches
+//! its file name; anything else is quarantined the same way.
+//!
 //! Writes go through a unique temporary file and an atomic rename, so a
-//! daemon killed mid-store leaves either the complete entry or nothing —
-//! never a torn line for the resumed daemon to serve.
+//! daemon killed mid-store leaves either the complete entry or nothing.
+//! An optional size bound (`--cache-max-bytes`) garbage-collects
+//! oldest-mtime entries after each store; entries are immutable once
+//! written, so mtime order is exactly write order.
 
+use crate::fault::{fnv1a64, CacheFault};
+use crate::proto::{parse_stream_line, StreamLine};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -20,18 +42,37 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// finish specs at the same instant).
 static TMP_SERIAL: AtomicU64 = AtomicU64::new(0);
 
+/// Frame identity prefixing every entry trailer. Bump when the framing
+/// grammar changes; old entries then quarantine as legacy instead of
+/// being misread.
+pub const CACHE_FRAME_ID: &str = "victima-cache/1";
+
+/// Subdirectory (inside the cache) where invalid entries are moved.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
 /// An on-disk cache of `result` stream lines keyed by spec fingerprint.
 #[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
+    /// Size bound for GC; `None` = unbounded.
+    max_bytes: Option<u64>,
+    quarantined: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) a cache directory.
+    /// Opens (creating if needed) an unbounded cache directory.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_bounded(dir, None)
+    }
+
+    /// Opens a cache with an optional size bound: after every store, the
+    /// oldest-mtime entries are evicted until the total payload size is
+    /// back under `max_bytes`.
+    pub fn open_bounded(dir: impl Into<PathBuf>, max_bytes: Option<u64>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        Ok(Self { dir, max_bytes, quarantined: AtomicU64::new(0), evicted: AtomicU64::new(0) })
     }
 
     /// The cache directory.
@@ -44,38 +85,173 @@ impl ResultCache {
         self.dir.join(format!("{fingerprint}.jsonl"))
     }
 
-    /// Looks a fingerprint up, returning the stored line verbatim.
+    /// Entries quarantined since this cache handle was opened.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the size bound since this handle was opened.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Renders the integrity trailer for a payload.
+    fn trailer(payload: &str) -> String {
+        format!("#{CACHE_FRAME_ID} len={} fnv={:016x}", payload.len(), fnv1a64(payload.as_bytes()))
+    }
+
+    /// Validates a raw entry file's content, returning the payload line.
+    fn validate(fingerprint: &str, raw: &str) -> Result<String, String> {
+        let body = raw.strip_suffix('\n').unwrap_or(raw);
+        let Some((payload, trailer)) = body.rsplit_once('\n') else {
+            return Err(if body.is_empty() { "empty entry".into() } else { "missing trailer".into() });
+        };
+        if Self::trailer(payload) != trailer {
+            return Err(format!("trailer mismatch (want {:?}, got {trailer:?})", Self::trailer(payload)));
+        }
+        // Frame intact — now the payload must actually be a result line
+        // for this fingerprint, or it must never reach a client.
+        match parse_stream_line(payload) {
+            Ok(StreamLine::Result { fingerprint: fp, .. }) if fp == fingerprint => Ok(payload.to_owned()),
+            Ok(StreamLine::Result { fingerprint: fp, .. }) => {
+                Err(format!("fingerprint mismatch (entry claims {fp})"))
+            }
+            Ok(other) => Err(format!("payload is not a result line ({other:?})")),
+            Err(e) => Err(format!("payload does not parse: {e}")),
+        }
+    }
+
+    /// Looks a fingerprint up, returning the stored payload line
+    /// verbatim. An entry that fails validation — torn, corrupt, empty,
+    /// legacy-unframed, or simply not a result line — is moved to the
+    /// quarantine directory and reported as a miss, so the caller
+    /// re-simulates instead of streaming garbage.
     pub fn lookup(&self, fingerprint: &str) -> Option<String> {
-        let text = fs::read_to_string(self.entry_path(fingerprint)).ok()?;
-        Some(text.trim_end_matches('\n').to_owned())
-    }
-
-    /// Stores a result line under its fingerprint (atomic via temp file +
-    /// rename; concurrent stores of the same fingerprint are benign
-    /// because both writers carry identical bytes by determinism).
-    pub fn store(&self, fingerprint: &str, line: &str) -> io::Result<()> {
-        let serial = TMP_SERIAL.fetch_add(1, Ordering::Relaxed);
-        let tmp = self.dir.join(format!(".{fingerprint}.tmp.{}.{serial}", std::process::id()));
-        fs::write(&tmp, format!("{line}\n"))?;
-        fs::rename(&tmp, self.entry_path(fingerprint))
-    }
-
-    /// Number of entries currently on disk.
-    pub fn entries(&self) -> io::Result<u64> {
-        let mut n = 0;
-        for entry in fs::read_dir(&self.dir)? {
-            let name = entry?.file_name();
-            if name.to_string_lossy().ends_with(".jsonl") {
-                n += 1;
+        let path = self.entry_path(fingerprint);
+        let raw = fs::read_to_string(&path).ok()?;
+        match Self::validate(fingerprint, &raw) {
+            Ok(payload) => Some(payload),
+            Err(why) => {
+                self.quarantine(&path, fingerprint, &why);
+                None
             }
         }
-        Ok(n)
     }
+
+    /// Moves an invalid entry aside (best effort — a failed rename falls
+    /// back to removal so the bad bytes can never be served again).
+    fn quarantine(&self, path: &Path, fingerprint: &str, why: &str) {
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        let _ = fs::create_dir_all(&qdir);
+        let dest = qdir.join(format!("{fingerprint}.jsonl"));
+        if fs::rename(path, &dest).is_err() {
+            let _ = fs::remove_file(path);
+        }
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        eprintln!("svc: quarantined cache entry {fingerprint} ({why}); will re-simulate");
+    }
+
+    /// Stores a result line under its fingerprint (framed; atomic via
+    /// temp file + rename; concurrent stores of the same fingerprint are
+    /// benign because both writers carry identical bytes by determinism).
+    pub fn store(&self, fingerprint: &str, line: &str) -> io::Result<()> {
+        self.store_injected(fingerprint, line, None)
+    }
+
+    /// [`ResultCache::store`] with an injected fault: `Torn` keeps only
+    /// the first half of the framed bytes, `Corrupt` flips a payload byte
+    /// under the clean trailer, `Empty` writes nothing. Used by the fault
+    /// plan to manufacture exactly the on-disk states `lookup` must
+    /// refuse to serve.
+    pub fn store_injected(&self, fingerprint: &str, line: &str, fault: Option<CacheFault>) -> io::Result<()> {
+        let framed = format!("{line}\n{}\n", Self::trailer(line));
+        let bytes = match fault {
+            None => framed.into_bytes(),
+            Some(CacheFault::Torn) => {
+                let mut b = framed.into_bytes();
+                b.truncate(b.len() / 2);
+                b
+            }
+            Some(CacheFault::Corrupt) => {
+                let mut b = framed.into_bytes();
+                let mid = line.len() / 2;
+                b[mid] ^= 0x20;
+                b
+            }
+            Some(CacheFault::Empty) => Vec::new(),
+        };
+        let serial = TMP_SERIAL.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.dir.join(format!(".{fingerprint}.tmp.{}.{serial}", std::process::id()));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, self.entry_path(fingerprint))?;
+        self.maybe_gc();
+        Ok(())
+    }
+
+    /// Number of entries currently on disk (quarantined entries excluded
+    /// — they live in a subdirectory).
+    pub fn entries(&self) -> io::Result<u64> {
+        Ok(self.scan()?.len() as u64)
+    }
+
+    /// Total bytes of live entries on disk.
+    pub fn bytes(&self) -> io::Result<u64> {
+        Ok(self.scan()?.iter().map(|e| e.len).sum())
+    }
+
+    /// Lists live entries with size and mtime.
+    fn scan(&self) -> io::Result<Vec<EntryMeta>> {
+        let mut entries = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.ends_with(".jsonl") || name.starts_with('.') {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            if !meta.is_file() {
+                continue;
+            }
+            let mtime = meta.modified().ok();
+            entries.push(EntryMeta { path: entry.path(), len: meta.len(), mtime });
+        }
+        Ok(entries)
+    }
+
+    /// Evicts oldest-mtime entries until the cache is back under its
+    /// size bound. Entries are write-once, so mtime order is write order;
+    /// ties (coarse filesystem clocks) break by name for determinism.
+    fn maybe_gc(&self) {
+        let Some(max) = self.max_bytes else { return };
+        let Ok(mut entries) = self.scan() else { return };
+        let mut total: u64 = entries.iter().map(|e| e.len).sum();
+        if total <= max {
+            return;
+        }
+        entries.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.path.cmp(&b.path)));
+        for e in &entries {
+            if total <= max {
+                break;
+            }
+            if fs::remove_file(&e.path).is_ok() {
+                total = total.saturating_sub(e.len);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+struct EntryMeta {
+    path: PathBuf,
+    len: u64,
+    mtime: Option<std::time::SystemTime>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::{result_line, result_report, SpecDesc};
+    use workloads::Scale;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("victima-svc-cache-{tag}-{}", std::process::id()));
@@ -83,31 +259,113 @@ mod tests {
         dir
     }
 
+    /// A genuine result line (lookup validates payload shape, so the
+    /// fixtures must be real).
+    fn sample_entry() -> (String, String) {
+        let desc = SpecDesc {
+            config: "radix".into(),
+            workload: "RND".into(),
+            scale: Scale::Tiny,
+            warmup: 100,
+            instructions: 1_000,
+            seed: vm_types::DEFAULT_SEED,
+            sampling: None,
+        };
+        let spec = desc.to_run_spec().unwrap();
+        let fp = spec.fingerprint();
+        let line = result_line(&fp, &result_report(&desc, &spec, &sim::SimStats::default()));
+        (fp, line)
+    }
+
     #[test]
     fn stores_and_replays_lines_verbatim() {
         let cache = ResultCache::open(tmp_dir("roundtrip")).unwrap();
-        assert_eq!(cache.lookup("aa"), None);
+        let (fp, line) = sample_entry();
+        assert_eq!(cache.lookup(&fp), None);
         assert_eq!(cache.entries().unwrap(), 0);
-        let line = r#"{"svc":"victima-svc/1","type":"result","fingerprint":"aa","report":{}}"#;
-        cache.store("aa", line).unwrap();
-        assert_eq!(cache.lookup("aa").as_deref(), Some(line));
+        cache.store(&fp, &line).unwrap();
+        assert_eq!(cache.lookup(&fp).as_deref(), Some(line.as_str()));
         assert_eq!(cache.entries().unwrap(), 1);
         // Overwrites are idempotent.
-        cache.store("aa", line).unwrap();
+        cache.store(&fp, &line).unwrap();
         assert_eq!(cache.entries().unwrap(), 1);
+        assert_eq!(cache.quarantined(), 0);
         fs::remove_dir_all(cache.dir()).unwrap();
     }
 
     #[test]
     fn no_temp_files_survive_a_store() {
         let cache = ResultCache::open(tmp_dir("tmpfiles")).unwrap();
-        cache.store("bb", "{}").unwrap();
+        let (fp, line) = sample_entry();
+        cache.store(&fp, &line).unwrap();
         let leftovers: Vec<_> = fs::read_dir(cache.dir())
             .unwrap()
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
             .filter(|n| n.contains(".tmp"))
             .collect();
         assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn invalid_entries_are_quarantined_not_served() {
+        let cache = ResultCache::open(tmp_dir("quarantine")).unwrap();
+        let (fp, line) = sample_entry();
+        for (i, fault) in [CacheFault::Torn, CacheFault::Corrupt, CacheFault::Empty].into_iter().enumerate() {
+            cache.store_injected(&fp, &line, Some(fault)).unwrap();
+            assert_eq!(cache.lookup(&fp), None, "{fault:?} entry must not be served");
+            assert_eq!(cache.quarantined(), i as u64 + 1);
+            assert!(!cache.entry_path(&fp).exists(), "{fault:?} entry must be moved aside");
+        }
+        // Legacy pre-framing entry: bare payload, no trailer.
+        fs::write(cache.entry_path(&fp), format!("{line}\n")).unwrap();
+        assert_eq!(cache.lookup(&fp), None, "unframed legacy entries must re-simulate");
+        // A frame-valid entry whose payload is not a result line.
+        let alien = r#"{"svc":"victima-svc/1","type":"ok"}"#;
+        fs::write(cache.entry_path(&fp), format!("{alien}\n{}\n", ResultCache::trailer(alien))).unwrap();
+        assert_eq!(cache.lookup(&fp), None, "non-result payloads must never be served");
+        // After all that abuse a clean store still round-trips.
+        cache.store(&fp, &line).unwrap();
+        assert_eq!(cache.lookup(&fp).as_deref(), Some(line.as_str()));
+        // Quarantined copies are preserved for the post-mortem.
+        assert!(cache.dir().join(QUARANTINE_DIR).join(format!("{fp}.jsonl")).exists());
+        fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_quarantined() {
+        let cache = ResultCache::open(tmp_dir("fpmismatch")).unwrap();
+        let (fp, line) = sample_entry();
+        // A valid entry filed under the wrong fingerprint (e.g. a buggy
+        // writer): framed and parseable, but it answers a different spec.
+        cache.store("0000000000000bad", &line).unwrap();
+        assert_eq!(cache.lookup("0000000000000bad"), None);
+        assert_eq!(cache.quarantined(), 1);
+        let _ = fp;
+        fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn size_bound_evicts_oldest_first() {
+        let (fp, line) = sample_entry();
+        let entry_bytes = (line.len() + ResultCache::trailer(&line).len() + 2) as u64;
+        // Room for two entries, not three.
+        let cache = ResultCache::open_bounded(tmp_dir("gc"), Some(entry_bytes * 2)).unwrap();
+        let names = ["aaaaaaaaaaaaaaa1", "aaaaaaaaaaaaaaa2", "aaaaaaaaaaaaaaa3"];
+        for (i, name) in names.iter().enumerate() {
+            cache.store(name, &line).unwrap();
+            // Coarse-mtime filesystems need distinct stamps for a
+            // deterministic eviction order.
+            if i + 1 < names.len() {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+        assert_eq!(cache.entries().unwrap(), 2);
+        assert_eq!(cache.evicted(), 1);
+        assert!(!cache.entry_path(names[0]).exists(), "oldest entry must go first");
+        assert!(cache.entry_path(names[2]).exists());
+        assert!(cache.bytes().unwrap() <= entry_bytes * 2);
+        let _ = fp;
         fs::remove_dir_all(cache.dir()).unwrap();
     }
 }

@@ -1,16 +1,50 @@
 //! Client-side helpers: find a daemon through its service directory,
 //! submit sweeps, and run the identical sweep in-process (`--local`).
+//!
+//! Every socket the client opens carries timeouts ([`ClientOptions`]):
+//! a dead or wedged daemon surfaces as a typed "daemon unresponsive"
+//! error naming the address file instead of a forever-blocked terminal.
+//! [`submit_resumed`] layers reconnect-and-resume on top — if the stream
+//! drops mid-sweep it polls `status` until the daemon is back, resubmits
+//! the identical request, and skips the per-spec lines it already
+//! delivered; because finished specs replay byte-identically from the
+//! cache, the concatenation equals a clean single-connection run.
 
 use crate::daemon::ADDR_FILE;
 use crate::proto::{parse_stream_line, StatusInfo, StreamLine, SweepRequest};
 use crate::worker::run_spec;
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::path::Path;
+use std::time::{Duration, Instant};
 
-/// Connects to the daemon owning a service directory by reading its
-/// [`ADDR_FILE`].
-pub fn connect(dir: &Path) -> io::Result<TcpStream> {
+/// Socket timeouts for client operations.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientOptions {
+    /// TCP connect timeout (the daemon should accept instantly; a long
+    /// wait means it is gone or wedged).
+    pub connect_timeout: Duration,
+    /// Per-read timeout on the reply stream. Submit streams idle while a
+    /// spec simulates, so this must cover the slowest single spec — it
+    /// defaults to the daemon's own per-spec deadline.
+    pub read_timeout: Duration,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        Self { connect_timeout: Duration::from_secs(5), read_timeout: crate::daemon::DEFAULT_DEADLINE }
+    }
+}
+
+impl ClientOptions {
+    /// Options for quick control calls (`status`/`shutdown`) whose
+    /// replies are immediate: short read timeout.
+    pub fn control() -> Self {
+        Self { read_timeout: Duration::from_secs(10), ..Self::default() }
+    }
+}
+
+fn read_addr(dir: &Path) -> io::Result<(SocketAddr, std::path::PathBuf)> {
     let addr_path = dir.join(ADDR_FILE);
     let addr = std::fs::read_to_string(&addr_path).map_err(|e| {
         io::Error::new(
@@ -18,7 +52,47 @@ pub fn connect(dir: &Path) -> io::Result<TcpStream> {
             format!("no daemon address at {} (is `experiments serve` running?): {e}", addr_path.display()),
         )
     })?;
-    TcpStream::connect(addr.trim())
+    let addr = addr.trim().parse::<SocketAddr>().map_err(|e| {
+        io::Error::new(
+            ErrorKind::InvalidData,
+            format!("malformed daemon address in {}: {e}", addr_path.display()),
+        )
+    })?;
+    Ok((addr, addr_path))
+}
+
+/// Connects to the daemon owning a service directory by reading its
+/// [`ADDR_FILE`], with default [`ClientOptions`] timeouts.
+pub fn connect(dir: &Path) -> io::Result<TcpStream> {
+    connect_with(dir, ClientOptions::default())
+}
+
+/// [`connect`] with explicit timeouts. A connect that times out (or is
+/// refused — stale addr file, daemon killed) reports the daemon as
+/// unresponsive and names the address file to check.
+pub fn connect_with(dir: &Path, opts: ClientOptions) -> io::Result<TcpStream> {
+    let (addr, addr_path) = read_addr(dir)?;
+    let stream = TcpStream::connect_timeout(&addr, opts.connect_timeout).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!(
+                "daemon unresponsive: connect to {addr} failed within {:?} ({e}); \
+                 if it is dead, remove {} and restart `experiments serve`",
+                opts.connect_timeout,
+                addr_path.display()
+            ),
+        )
+    })?;
+    stream.set_read_timeout(Some(opts.read_timeout))?;
+    Ok(stream)
+}
+
+fn read_error(e: &io::Error, what: &str) -> String {
+    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+        format!("daemon unresponsive: no {what} within the read timeout ({e})")
+    } else {
+        format!("{what} read failed: {e}")
+    }
 }
 
 /// What a finished sweep streamed back.
@@ -32,25 +106,44 @@ pub struct SweepSummary {
     pub results: u64,
     /// How many results came from the cache.
     pub cached: u64,
-    /// Typed error entries.
+    /// Typed `error` + `timeout` entries.
     pub errors: u64,
+    /// Submit connections this sweep burned through (1 = no drops).
+    pub connections: u64,
 }
 
 /// Submits a sweep and streams the response. `on_line` sees every
 /// per-spec line (the raw bytes plus its parsed form) as it arrives —
 /// control lines (`accepted`/`done`) are folded into the returned
-/// summary instead.
+/// summary instead. A dropped or stalled stream is an error here; use
+/// [`submit_resumed`] for the reconnecting variant.
 pub fn submit(
-    mut stream: TcpStream,
+    stream: TcpStream,
     req: &SweepRequest,
     mut on_line: impl FnMut(&str, &StreamLine),
 ) -> Result<SweepSummary, String> {
+    let mut summary = SweepSummary::default();
+    submit_once(stream, req, &mut 0, &mut summary, &mut on_line)?;
+    summary.connections = 1;
+    Ok(summary)
+}
+
+/// One submit attempt, skipping the first `seen` per-spec lines (already
+/// delivered by an earlier connection). On success the summary is
+/// complete; on error `seen` reflects every line delivered so far.
+fn submit_once(
+    mut stream: TcpStream,
+    req: &SweepRequest,
+    seen: &mut u64,
+    summary: &mut SweepSummary,
+    on_line: &mut impl FnMut(&str, &StreamLine),
+) -> Result<(), String> {
     writeln!(stream, "{}", req.to_line()).map_err(|e| format!("submit write failed: {e}"))?;
     stream.flush().map_err(|e| format!("submit write failed: {e}"))?;
     let reader = BufReader::new(stream);
-    let mut summary = SweepSummary::default();
+    let mut spec_lines = 0u64;
     for line in reader.lines() {
-        let line = line.map_err(|e| format!("stream read failed: {e}"))?;
+        let line = line.map_err(|e| read_error(&e, "submit stream"))?;
         match parse_stream_line(&line)? {
             StreamLine::Accepted { job, specs } => {
                 summary.job = job;
@@ -60,22 +153,96 @@ pub fn submit(
                 summary.results = results;
                 summary.cached = cached;
                 summary.errors = errors;
-                return Ok(summary);
+                return Ok(());
             }
             StreamLine::Fault { error } => return Err(error),
-            parsed @ (StreamLine::Result { .. } | StreamLine::Error { .. }) => on_line(&line, &parsed),
+            parsed @ (StreamLine::Result { .. } | StreamLine::Error { .. } | StreamLine::Timeout { .. }) => {
+                spec_lines += 1;
+                if spec_lines > *seen {
+                    *seen = spec_lines;
+                    on_line(&line, &parsed);
+                }
+            }
             other => return Err(format!("unexpected line in submit stream: {other:?}")),
         }
     }
     Err("daemon closed the stream before sending done".into())
 }
 
+/// Submits a sweep, reconnecting and resuming if the connection drops
+/// mid-stream. Each reconnect waits for the daemon to answer `status`
+/// (it may be mid-restart), resubmits the identical request, and
+/// suppresses the per-spec lines already delivered — every finished spec
+/// replays byte-identically from the cache, so `on_line` sees exactly
+/// the clean single-connection sequence. Gives up after `attempts` total
+/// connections with the last error.
+pub fn submit_resumed(
+    dir: &Path,
+    opts: ClientOptions,
+    attempts: u32,
+    req: &SweepRequest,
+    mut on_line: impl FnMut(&str, &StreamLine),
+) -> Result<SweepSummary, String> {
+    let attempts = attempts.max(1);
+    let mut summary = SweepSummary::default();
+    let mut seen = 0u64;
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            eprintln!("svc: submit stream lost ({last}); reconnecting (attempt {}/{attempts})", attempt + 1);
+            if let Err(e) = await_daemon(dir, opts, Duration::from_secs(30)) {
+                return Err(format!("{last}; reconnect failed: {e}"));
+            }
+        }
+        let stream = match connect_with(dir, opts) {
+            Ok(s) => s,
+            // A daemon that was never reachable is not worth retrying —
+            // fail fast with the typed "unresponsive" error (reconnects
+            // are for daemons that answered and then went away).
+            Err(e) if attempt == 0 => return Err(e.to_string()),
+            Err(e) => {
+                last = e.to_string();
+                continue;
+            }
+        };
+        match submit_once(stream, req, &mut seen, &mut summary, &mut on_line) {
+            Ok(()) => {
+                summary.connections = u64::from(attempt) + 1;
+                return Ok(summary);
+            }
+            Err(e) => last = e,
+        }
+    }
+    Err(format!("submit failed after {attempts} connection(s): {last}"))
+}
+
+/// Polls `status` until the daemon answers or `patience` runs out — the
+/// "is it back yet?" half of reconnect-and-resume.
+fn await_daemon(dir: &Path, opts: ClientOptions, patience: Duration) -> Result<StatusInfo, String> {
+    let deadline = Instant::now() + patience;
+    loop {
+        let last = match status_with(dir, ClientOptions { read_timeout: Duration::from_secs(5), ..opts }) {
+            Ok(info) => return Ok(info),
+            Err(e) => e,
+        };
+        if Instant::now() >= deadline {
+            return Err(format!("daemon did not come back within {patience:?}: {last}"));
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
 /// Asks a daemon for its status counters.
 pub fn status(dir: &Path) -> Result<StatusInfo, String> {
-    let mut stream = connect(dir).map_err(|e| e.to_string())?;
+    status_with(dir, ClientOptions::control())
+}
+
+/// [`status`] with explicit timeouts.
+pub fn status_with(dir: &Path, opts: ClientOptions) -> Result<StatusInfo, String> {
+    let mut stream = connect_with(dir, opts).map_err(|e| e.to_string())?;
     writeln!(stream, "{{\"op\":\"status\"}}").map_err(|e| e.to_string())?;
     let mut line = String::new();
-    BufReader::new(stream).read_line(&mut line).map_err(|e| e.to_string())?;
+    BufReader::new(stream).read_line(&mut line).map_err(|e| read_error(&e, "status reply"))?;
     match parse_stream_line(line.trim())? {
         StreamLine::Status(info) => Ok(info),
         other => Err(format!("expected a status line, got {other:?}")),
@@ -84,10 +251,10 @@ pub fn status(dir: &Path) -> Result<StatusInfo, String> {
 
 /// Asks a daemon to shut down.
 pub fn shutdown(dir: &Path) -> Result<(), String> {
-    let mut stream = connect(dir).map_err(|e| e.to_string())?;
+    let mut stream = connect_with(dir, ClientOptions::control()).map_err(|e| e.to_string())?;
     writeln!(stream, "{{\"op\":\"shutdown\"}}").map_err(|e| e.to_string())?;
     let mut line = String::new();
-    BufReader::new(stream).read_line(&mut line).map_err(|e| e.to_string())?;
+    BufReader::new(stream).read_line(&mut line).map_err(|e| read_error(&e, "shutdown reply"))?;
     match parse_stream_line(line.trim())? {
         StreamLine::Ok => Ok(()),
         other => Err(format!("expected an ok line, got {other:?}")),

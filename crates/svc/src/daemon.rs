@@ -9,30 +9,48 @@
 //! in-order release buffer on the handler side keeps the stream in sweep
 //! order no matter which worker finishes first.
 //!
-//! Crash story, both directions:
+//! Crash story, all directions:
 //!
-//! - **Worker dies** (panic/abort/SIGKILL): its dispatcher reports a
-//!   typed `error` entry for the one spec in flight, respawns, and the
-//!   sweep completes.
+//! - **Worker dies** (panic/abort/SIGKILL): its dispatcher re-dispatches
+//!   the spec with exponential backoff up to the retry budget, then
+//!   reports a typed `error` entry; either way it respawns and the sweep
+//!   completes.
+//! - **Worker hangs** (deadlock, livelock, injected hang): the
+//!   per-spec deadline kills it, the same retry ladder applies, and the
+//!   exhausted case is a typed `timeout` entry — a hung worker can stall
+//!   one spec for at most `(retries + 1) × deadline` plus backoff, never
+//!   the shard.
 //! - **Daemon dies**: every accepted job is journaled before its first
 //!   spec runs, and every finished spec is already in the cache. The
 //!   restarted daemon resumes each unfinished journal entry in the
-//!   background, paying only for the specs that never finished.
+//!   background, paying only for the specs that never finished; a
+//!   journal record that no longer reads or parses is skipped with a
+//!   warning (and counted in `status`), never allowed to poison the
+//!   restart.
+//!
+//! The daemon can also turn these failures on *itself*: a
+//! [`FaultPlan`] (from `serve --faults` / `VICTIMA_SVC_FAULTS`) injects
+//! worker hangs/aborts/slowdowns, torn/corrupt/empty cache stores,
+//! truncated journal records, and dropped client connections at
+//! deterministic, seeded decision points — the chaos suite drives every
+//! recovery path above through the real binary.
 
 use crate::cache::ResultCache;
+use crate::fault::FaultPlan;
 use crate::journal::Journal;
 use crate::proto::{
-    accepted_line, done_line, error_line, fault_line, ok_line, parse_request, Request, SpecDesc, StatusInfo,
-    SweepRequest,
+    accepted_line, done_line, error_line, fault_line, ok_line, parse_request, timeout_line, Request,
+    SpecDesc, StatusInfo, SweepRequest,
 };
-use crate::worker::{Executor, WorkerBackend};
+use crate::worker::{ExecError, Executor, WorkerBackend};
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// File (inside the service directory) holding the daemon's bound
 /// address, written on startup — how clients find a daemon whose port
@@ -42,6 +60,20 @@ pub const ADDR_FILE: &str = "daemon.addr";
 /// File holding the daemon's process id (the kill target for the
 /// crash-recovery tests and for operators).
 pub const PID_FILE: &str = "daemon.pid";
+
+/// Default per-spec wall-clock deadline. Generous — a Paper-scale spec
+/// takes minutes, and a false timeout wastes a whole re-simulation —
+/// but finite, so a hung worker can never stall its shard forever.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(600);
+
+/// Default re-dispatch budget after a worker death or timeout.
+pub const DEFAULT_RETRIES: u32 = 2;
+
+/// First backoff pause before a re-dispatch; doubles per attempt.
+const BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// Backoff ceiling (keeps `--retries 10` from sleeping for minutes).
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
 
 /// Startup parameters for a daemon.
 #[derive(Clone, Debug)]
@@ -55,6 +87,34 @@ pub struct DaemonConfig {
     /// TCP port to bind on 127.0.0.1; `0` picks an ephemeral port (the
     /// bound address is always written to [`ADDR_FILE`]).
     pub port: u16,
+    /// Per-spec wall-clock deadline; a worker that misses it is killed
+    /// and the spec re-dispatched (then reported as a typed `timeout`).
+    pub deadline: Duration,
+    /// How many times a failed/timed-out spec is re-dispatched before
+    /// its typed entry is streamed.
+    pub retries: u32,
+    /// Result-cache size bound; oldest entries are evicted past it.
+    pub cache_max_bytes: Option<u64>,
+    /// Faults this daemon injects into itself (chaos testing).
+    pub faults: FaultPlan,
+}
+
+impl DaemonConfig {
+    /// A config with production defaults: 1 worker, ephemeral port,
+    /// [`DEFAULT_DEADLINE`], [`DEFAULT_RETRIES`], unbounded cache, no
+    /// faults. Override fields with struct-update syntax.
+    pub fn new(dir: impl Into<PathBuf>, backend: WorkerBackend) -> Self {
+        Self {
+            dir: dir.into(),
+            backend,
+            workers: 1,
+            port: 0,
+            deadline: DEFAULT_DEADLINE,
+            retries: DEFAULT_RETRIES,
+            cache_max_bytes: None,
+            faults: FaultPlan::none(),
+        }
+    }
 }
 
 /// One queued spec plus its reply route.
@@ -69,8 +129,10 @@ struct Task {
 enum Outcome {
     /// The rendered `result` line (already stored in the cache).
     Line(String),
-    /// The worker died; the message for the typed error entry.
+    /// The worker died (retries exhausted); the typed error message.
     Failed(String),
+    /// The worker missed its deadline (retries exhausted).
+    TimedOut(String),
 }
 
 #[derive(Default)]
@@ -81,6 +143,10 @@ struct Counters {
     specs_simulated: AtomicU64,
     specs_cached: AtomicU64,
     specs_failed: AtomicU64,
+    specs_timed_out: AtomicU64,
+    specs_retried: AtomicU64,
+    journal_skipped: AtomicU64,
+    conn_drops: AtomicU64,
 }
 
 struct State {
@@ -88,6 +154,9 @@ struct State {
     addr: SocketAddr,
     backend: WorkerBackend,
     workers: usize,
+    deadline: Duration,
+    retries: u32,
+    faults: FaultPlan,
     cache: ResultCache,
     journal: Journal,
     next_job: AtomicU64,
@@ -112,6 +181,17 @@ impl State {
         let _ = TcpStream::connect(self.addr);
     }
 
+    /// Consumes one unit of the fault plan's dropped-connection budget.
+    fn take_conn_drop(&self) -> bool {
+        let budget = self.faults.drop_conn_budget();
+        if budget == 0 {
+            return false;
+        }
+        // Racy increments past the budget are harmless: fetch_add hands
+        // out distinct tickets, and only tickets < budget drop.
+        self.counters.conn_drops.fetch_add(1, Ordering::SeqCst) < budget
+    }
+
     fn status(&self) -> StatusInfo {
         StatusInfo {
             engine: sim::ENGINE_ID.to_owned(),
@@ -122,7 +202,13 @@ impl State {
             specs_simulated: self.counters.specs_simulated.load(Ordering::Relaxed),
             specs_cached: self.counters.specs_cached.load(Ordering::Relaxed),
             specs_failed: self.counters.specs_failed.load(Ordering::Relaxed),
+            specs_timed_out: self.counters.specs_timed_out.load(Ordering::Relaxed),
+            specs_retried: self.counters.specs_retried.load(Ordering::Relaxed),
             cache_entries: self.cache.entries().unwrap_or(0),
+            cache_bytes: self.cache.bytes().unwrap_or(0),
+            cache_quarantined: self.cache.quarantined(),
+            cache_evicted: self.cache.evicted(),
+            journal_skipped: self.counters.journal_skipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -164,19 +250,25 @@ impl DaemonHandle {
 /// bound and [`ADDR_FILE`] is written.
 pub fn start(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
     std::fs::create_dir_all(&cfg.dir)?;
-    let cache = ResultCache::open(cfg.dir.join("cache"))?;
+    let cache = ResultCache::open_bounded(cfg.dir.join("cache"), cfg.cache_max_bytes)?;
     let journal = Journal::open(cfg.dir.join("journal"))?;
     let next_job = journal.next_job_number()?;
     let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
     let addr = listener.local_addr()?;
     std::fs::write(cfg.dir.join(ADDR_FILE), format!("{addr}\n"))?;
     std::fs::write(cfg.dir.join(PID_FILE), format!("{}\n", std::process::id()))?;
+    if !cfg.faults.is_empty() {
+        eprintln!("svc: FAULT INJECTION ACTIVE: {}", cfg.faults);
+    }
     let workers = cfg.workers.max(1);
     let state = Arc::new(State {
         dir: cfg.dir,
         addr,
         backend: cfg.backend,
         workers,
+        deadline: cfg.deadline,
+        retries: cfg.retries,
+        faults: cfg.faults,
         cache,
         journal,
         next_job: AtomicU64::new(next_job),
@@ -223,6 +315,60 @@ fn accept_loop(state: &Arc<State>, listener: TcpListener) {
     let _ = std::fs::remove_file(state.dir.join(PID_FILE));
 }
 
+/// Exponential backoff pause before re-dispatching `attempt` (1-based).
+fn backoff(attempt: u32) -> Duration {
+    BACKOFF_BASE.saturating_mul(1u32 << attempt.min(10).saturating_sub(1)).min(BACKOFF_CAP)
+}
+
+/// Runs one task to its final outcome: attempt, and on worker death or
+/// deadline miss, back off and re-dispatch up to the retry budget. The
+/// fault plan is consulted per attempt (the attempt number perturbs
+/// probabilistic draws, so a `@p` fault can clear on retry).
+fn run_task(state: &Arc<State>, exec: &mut Executor, task: &Task) -> Outcome {
+    let key = crate::fault::fnv1a64(task.fingerprint.as_bytes());
+    let attempts = state.retries + 1;
+    let mut last = ExecError::Failed("spec never attempted".to_owned());
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            state.counters.specs_retried.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(backoff(attempt));
+            if state.shutting_down() {
+                break;
+            }
+        }
+        let inject = state.faults.worker_fault(&task.desc.workload, key, attempt);
+        match exec.run(&task.desc, inject.as_ref(), state.deadline) {
+            Ok(line) => {
+                state.counters.specs_simulated.fetch_add(1, Ordering::Relaxed);
+                let fault = state.faults.cache_fault(key, u64::from(attempt));
+                if let Err(e) = state.cache.store_injected(&task.fingerprint, &line, fault) {
+                    eprintln!("svc: cache store failed for {}: {e}", task.fingerprint);
+                }
+                return Outcome::Line(line);
+            }
+            Err(e) => {
+                eprintln!(
+                    "svc: {} attempt {}/{attempts} failed: {}",
+                    task.desc.label(),
+                    attempt + 1,
+                    e.message()
+                );
+                last = e;
+            }
+        }
+    }
+    match last {
+        ExecError::TimedOut(m) => {
+            state.counters.specs_timed_out.fetch_add(1, Ordering::Relaxed);
+            Outcome::TimedOut(format!("{m} (after {attempts} attempt(s))"))
+        }
+        ExecError::Failed(m) => {
+            state.counters.specs_failed.fetch_add(1, Ordering::Relaxed);
+            Outcome::Failed(format!("{m} (after {attempts} attempt(s))"))
+        }
+    }
+}
+
 fn dispatcher(state: &Arc<State>) {
     let mut exec = Executor::new(state.backend.clone());
     loop {
@@ -238,19 +384,7 @@ fn dispatcher(state: &Arc<State>) {
                 }
             }
         };
-        let outcome = match exec.run(&task.desc) {
-            Ok(line) => {
-                state.counters.specs_simulated.fetch_add(1, Ordering::Relaxed);
-                if let Err(e) = state.cache.store(&task.fingerprint, &line) {
-                    eprintln!("svc: cache store failed for {}: {e}", task.fingerprint);
-                }
-                Outcome::Line(line)
-            }
-            Err(msg) => {
-                state.counters.specs_failed.fetch_add(1, Ordering::Relaxed);
-                Outcome::Failed(msg)
-            }
-        };
+        let outcome = run_task(state, &mut exec, &task);
         // A send error just means the job's handler gave up (shutdown);
         // the result is in the cache either way.
         let _ = task.reply.send((task.index, outcome));
@@ -265,7 +399,8 @@ fn resume_pending(state: &Arc<State>, pending: Vec<(String, String)>) {
         let req = match SweepRequest::from_line(&line) {
             Ok(req) => req,
             Err(e) => {
-                eprintln!("svc: journal entry {job} is unreadable ({e}); marking done");
+                eprintln!("svc: journal entry {job} does not parse ({e}); skipping it");
+                state.counters.journal_skipped.fetch_add(1, Ordering::Relaxed);
                 let _ = state.journal.complete(&job);
                 continue;
             }
@@ -273,7 +408,8 @@ fn resume_pending(state: &Arc<State>, pending: Vec<(String, String)>) {
         let specs = match req.specs() {
             Ok(specs) => specs,
             Err(e) => {
-                eprintln!("svc: journal entry {job} no longer expands ({e}); marking done");
+                eprintln!("svc: journal entry {job} no longer expands ({e}); skipping it");
+                state.counters.journal_skipped.fetch_add(1, Ordering::Relaxed);
                 let _ = state.journal.complete(&job);
                 continue;
             }
@@ -321,7 +457,8 @@ fn handle_submit(state: &Arc<State>, req: &SweepRequest, mut sink: Option<&mut T
         }
     };
     let job = Journal::job_id(state.next_job.fetch_add(1, Ordering::SeqCst));
-    if let Err(e) = state.journal.record(&job, &req.to_line()) {
+    let torn = state.faults.journal_truncate(crate::fault::fnv1a64(job.as_bytes()));
+    if let Err(e) = state.journal.record_injected(&job, &req.to_line(), torn) {
         send(&mut sink, &fault_line(&format!("journal write failed: {e}")));
         return;
     }
@@ -341,7 +478,8 @@ fn handle_submit(state: &Arc<State>, req: &SweepRequest, mut sink: Option<&mut T
 
 /// Runs one expanded sweep: cache hits answer immediately, misses fan out
 /// to the dispatchers, and entries are released to `sink` strictly in
-/// sweep order. Returns `(results, cached, errors)`.
+/// sweep order. Returns `(results, cached, errors)` — `errors` counts
+/// both `error` and `timeout` entries.
 fn run_job(state: &Arc<State>, specs: Vec<SpecDesc>, sink: &mut Option<&mut TcpStream>) -> (u64, u64, u64) {
     let total = specs.len();
     let fingerprints: Vec<String> = specs
@@ -382,6 +520,15 @@ fn run_job(state: &Arc<State>, specs: Vec<SpecDesc>, sink: &mut Option<&mut TcpS
             send(sink, &line);
             state.counters.specs_completed.fetch_add(1, Ordering::Relaxed);
             next += 1;
+            // Injected client-facing failure: sever the stream mid-sweep
+            // (the job keeps running; the client must reconnect-resume).
+            if sink.is_some() && state.take_conn_drop() {
+                eprintln!("svc: injected connection drop after spec {next}/{total}");
+                if let Some(stream) = sink {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                *sink = None;
+            }
             continue;
         }
         match rx.recv() {
@@ -389,6 +536,10 @@ fn run_job(state: &Arc<State>, specs: Vec<SpecDesc>, sink: &mut Option<&mut TcpS
             Ok((index, Outcome::Failed(msg))) => {
                 errors += 1;
                 slots[index] = Some(error_line(&fingerprints[index], &specs[index], &msg));
+            }
+            Ok((index, Outcome::TimedOut(msg))) => {
+                errors += 1;
+                slots[index] = Some(timeout_line(&fingerprints[index], &specs[index], &msg));
             }
             Err(_) => {
                 // Every sender is gone with slots still empty: the daemon

@@ -7,6 +7,13 @@
 //! without a `.done` sibling. Re-running a partially finished job is
 //! cheap by construction — its completed specs answer from the result
 //! cache and only the genuinely unfinished remainder simulates.
+//!
+//! The journal is hardened against its own corruption: an entry file
+//! that cannot be *read* is skipped with a warning instead of failing
+//! the whole restart scan (entries that read but fail to *parse* are
+//! skipped by the daemon's resume loop, same policy), and job numbering
+//! counts `.done` markers too, so a stray marker whose `.json` vanished
+//! still pins its id as used.
 
 use std::fs;
 use std::io;
@@ -39,8 +46,18 @@ impl Journal {
     /// Persists an accepted job (atomic temp + rename, same discipline as
     /// the cache: a killed daemon never leaves a torn request to resume).
     pub fn record(&self, job: &str, request_line: &str) -> io::Result<()> {
+        self.record_injected(job, request_line, false)
+    }
+
+    /// [`Journal::record`] with an injected fault: when `truncate` is
+    /// set, only the first half of the request line reaches disk —
+    /// exactly the torn record a disk-full daemon leaves behind, which
+    /// the restart scan must skip rather than choke on.
+    pub fn record_injected(&self, job: &str, request_line: &str, truncate: bool) -> io::Result<()> {
+        let full = format!("{request_line}\n");
+        let bytes = if truncate { &full.as_bytes()[..full.len() / 2] } else { full.as_bytes() };
         let tmp = self.dir.join(format!(".{job}.tmp"));
-        fs::write(&tmp, format!("{request_line}\n"))?;
+        fs::write(&tmp, bytes)?;
         fs::rename(&tmp, self.dir.join(format!("{job}.json")))
     }
 
@@ -50,7 +67,9 @@ impl Journal {
     }
 
     /// Jobs recorded but never completed, as `(job id, request line)`
-    /// pairs in id order — the restart work list.
+    /// pairs in id order — the restart work list. An entry whose file
+    /// cannot be read is skipped with a warning: one bad record must
+    /// never poison the whole restart.
     pub fn pending(&self) -> io::Result<Vec<(String, String)>> {
         let mut jobs = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
@@ -59,20 +78,25 @@ impl Journal {
             if job.starts_with('.') || self.dir.join(format!("{job}.done")).exists() {
                 continue;
             }
-            let line = fs::read_to_string(self.dir.join(&name))?;
-            jobs.push((job.to_owned(), line.trim_end_matches('\n').to_owned()));
+            match fs::read_to_string(self.dir.join(&name)) {
+                Ok(line) => jobs.push((job.to_owned(), line.trim_end_matches('\n').to_owned())),
+                Err(e) => eprintln!("svc: journal entry {job} is unreadable ({e}); skipping it"),
+            }
         }
         jobs.sort();
         Ok(jobs)
     }
 
     /// The next unused job number (one past the highest recorded), so a
-    /// restarted daemon never reuses a journaled id.
+    /// restarted daemon never reuses a journaled id. Both `.json` records
+    /// and `.done` markers count: a stray marker without its record still
+    /// proves its id was issued.
     pub fn next_job_number(&self) -> io::Result<u64> {
         let mut next = 1;
         for entry in fs::read_dir(&self.dir)? {
             let name = entry?.file_name().to_string_lossy().into_owned();
-            if let Some(n) = name.strip_suffix(".json").and_then(|j| j.strip_prefix("job-")) {
+            let job = name.strip_suffix(".json").or_else(|| name.strip_suffix(".done"));
+            if let Some(n) = job.and_then(|j| j.strip_prefix("job-")) {
                 if let Ok(n) = n.parse::<u64>() {
                     next = next.max(n + 1);
                 }
@@ -110,6 +134,33 @@ mod tests {
         assert!(j.pending().unwrap().is_empty());
         // Completion never recycles ids.
         assert_eq!(j.next_job_number().unwrap(), 3);
+        fs::remove_dir_all(j.dir()).unwrap();
+    }
+
+    #[test]
+    fn stray_done_markers_pin_their_job_number() {
+        let j = Journal::open(tmp_dir("stray")).unwrap();
+        // A `.done` whose `.json` was lost (partial cleanup, disk repair):
+        // the id must stay burned and the marker must not list as pending.
+        j.complete(&Journal::job_id(41)).unwrap();
+        assert_eq!(j.next_job_number().unwrap(), 42);
+        assert!(j.pending().unwrap().is_empty());
+        fs::remove_dir_all(j.dir()).unwrap();
+    }
+
+    #[test]
+    fn truncated_records_reach_pending_for_the_resume_loop_to_skip() {
+        let j = Journal::open(tmp_dir("torn")).unwrap();
+        let line = "{\"op\":\"submit\",\"configs\":[\"radix\"]}";
+        j.record_injected(&Journal::job_id(5), line, true).unwrap();
+        let pending = j.pending().unwrap();
+        // The torn record still lists (the daemon's resume loop owns the
+        // parse-and-skip policy) but carries only the surviving prefix.
+        assert_eq!(pending.len(), 1);
+        assert!(line.starts_with(&pending[0].1), "torn record must be a prefix: {:?}", pending[0].1);
+        assert!(pending[0].1.len() < line.len());
+        // And its number is still burned.
+        assert_eq!(j.next_job_number().unwrap(), 6);
         fs::remove_dir_all(j.dir()).unwrap();
     }
 }

@@ -20,23 +20,32 @@
 //!
 //! Crash isolation is structural: a spec that panics kills one worker
 //! process, its dispatcher reports a typed `error` entry and respawns,
-//! and the rest of the sweep completes. The crate is std-only, like the
-//! whole workspace. The CLI surface lives in `victima-bench`
-//! (`experiments serve` / `submit` / `status`); see DESIGN.md, "Sweep
-//! service".
+//! and the rest of the sweep completes. A spec that *hangs* is bounded
+//! by a per-spec wall-clock deadline (kill → typed `timeout` entry), a
+//! failed or timed-out spec is re-dispatched with exponential backoff up
+//! to a retry budget, and cache entries carry a length + FNV-1a checksum
+//! trailer so torn or corrupt files are quarantined and re-simulated,
+//! never served. All of those failure paths are exercised by [`fault`] —
+//! a seeded, deterministic fault-injection plan the daemon runs against
+//! itself. The crate is std-only, like the whole workspace. The CLI
+//! surface lives in `victima-bench` (`experiments serve` / `submit` /
+//! `status`); see DESIGN.md, "Sweep service" and "Failure model & fault
+//! injection".
 
 #![deny(missing_docs)]
 
 pub mod cache;
 pub mod client;
 pub mod daemon;
+pub mod fault;
 pub mod journal;
 pub mod proto;
 pub mod worker;
 
 pub use cache::ResultCache;
-pub use client::{connect, run_local, shutdown, status, submit, SweepSummary};
+pub use client::{connect, run_local, shutdown, status, submit, ClientOptions, SweepSummary};
 pub use daemon::{run, start, DaemonConfig, DaemonHandle, ADDR_FILE, PID_FILE};
+pub use fault::{fnv1a64, CacheFault, FaultPlan, WorkerFault, FAULTS_ENV};
 pub use journal::Journal;
 pub use proto::{
     parse_request, parse_stream_line, Request, SpecDesc, StatusInfo, StreamLine, SweepRequest, PROTO_ID,

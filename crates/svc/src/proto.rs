@@ -14,17 +14,24 @@
 //! shutdown := {"op":"shutdown"}
 //! ```
 //!
-//! A submit elicits `accepted`, then one `result` or `error` line per
-//! spec **in sweep order** (configs-major, workloads minor — regardless
-//! of which worker finishes first), then `done`:
+//! A submit elicits `accepted`, then one `result`, `error` or `timeout`
+//! line per spec **in sweep order** (configs-major, workloads minor —
+//! regardless of which worker finishes first), then `done`:
 //!
 //! ```text
 //! accepted := {"svc":ID,"type":"accepted","job":J,"specs":N}
 //! result   := {"svc":ID,"type":"result","fingerprint":F,"report":{..}}
 //! error    := {"svc":ID,"type":"error","fingerprint":F,"config":C,
 //!              "workload":W,"error":MSG}
+//! timeout  := {"svc":ID,"type":"timeout","fingerprint":F,"config":C,
+//!              "workload":W,"error":MSG}
 //! done     := {"svc":ID,"type":"done","job":J,"results":N,"cached":N,"errors":N}
 //! ```
+//!
+//! `timeout` is an `error` whose cause is a missed per-spec deadline (a
+//! *hung*, killed-and-respawned worker, as opposed to a dead one) —
+//! typed separately so clients and dashboards can tell overload from
+//! breakage. Both count as `errors` in the `done` tally.
 //!
 //! The `report` member of a `result` line is a complete
 //! [`ExperimentReport`] in the `victima-report/1` artifact schema — the
@@ -362,6 +369,19 @@ pub fn error_line(fingerprint: &str, desc: &SpecDesc, error: &str) -> String {
     ]))
 }
 
+/// Renders a typed `timeout` stream line for a spec whose worker missed
+/// the per-spec deadline (killed and respawned; retries exhausted).
+pub fn timeout_line(fingerprint: &str, desc: &SpecDesc, error: &str) -> String {
+    write_json_compact(&obj(vec![
+        ("svc", JsonValue::Str(PROTO_ID.into())),
+        ("type", JsonValue::Str("timeout".into())),
+        ("fingerprint", JsonValue::Str(fingerprint.into())),
+        ("config", JsonValue::Str(desc.config.clone())),
+        ("workload", JsonValue::Str(desc.workload.clone())),
+        ("error", JsonValue::Str(error.into())),
+    ]))
+}
+
 /// Renders the `accepted` line that opens a submit response.
 pub fn accepted_line(job: &str, specs: u64) -> String {
     write_json_compact(&obj(vec![
@@ -419,10 +439,22 @@ pub struct StatusInfo {
     pub specs_simulated: u64,
     /// Specs answered straight from the cache.
     pub specs_cached: u64,
-    /// Specs that failed (worker death, panic).
+    /// Specs that failed (worker death, panic) after exhausting retries.
     pub specs_failed: u64,
+    /// Specs that missed their deadline after exhausting retries.
+    pub specs_timed_out: u64,
+    /// Spec attempts re-dispatched after a failure or timeout.
+    pub specs_retried: u64,
     /// Result lines currently in the on-disk cache.
     pub cache_entries: u64,
+    /// Total bytes of live cache entries.
+    pub cache_bytes: u64,
+    /// Invalid cache entries quarantined since daemon start.
+    pub cache_quarantined: u64,
+    /// Cache entries evicted by the size bound since daemon start.
+    pub cache_evicted: u64,
+    /// Journal records skipped as unreadable/unparseable on restart.
+    pub journal_skipped: u64,
 }
 
 impl StatusInfo {
@@ -439,7 +471,13 @@ impl StatusInfo {
             ("specs_simulated", JsonValue::Int(self.specs_simulated as i64)),
             ("specs_cached", JsonValue::Int(self.specs_cached as i64)),
             ("specs_failed", JsonValue::Int(self.specs_failed as i64)),
+            ("specs_timed_out", JsonValue::Int(self.specs_timed_out as i64)),
+            ("specs_retried", JsonValue::Int(self.specs_retried as i64)),
             ("cache_entries", JsonValue::Int(self.cache_entries as i64)),
+            ("cache_bytes", JsonValue::Int(self.cache_bytes as i64)),
+            ("cache_quarantined", JsonValue::Int(self.cache_quarantined as i64)),
+            ("cache_evicted", JsonValue::Int(self.cache_evicted as i64)),
+            ("journal_skipped", JsonValue::Int(self.journal_skipped as i64)),
         ]))
     }
 
@@ -453,7 +491,13 @@ impl StatusInfo {
             specs_simulated: req_u64(doc, "specs_simulated")?,
             specs_cached: req_u64(doc, "specs_cached")?,
             specs_failed: req_u64(doc, "specs_failed")?,
+            specs_timed_out: req_u64(doc, "specs_timed_out")?,
+            specs_retried: req_u64(doc, "specs_retried")?,
             cache_entries: req_u64(doc, "cache_entries")?,
+            cache_bytes: req_u64(doc, "cache_bytes")?,
+            cache_quarantined: req_u64(doc, "cache_quarantined")?,
+            cache_evicted: req_u64(doc, "cache_evicted")?,
+            journal_skipped: req_u64(doc, "journal_skipped")?,
         })
     }
 }
@@ -485,6 +529,18 @@ pub enum StreamLine {
         /// Workload abbreviation.
         workload: String,
         /// What went wrong.
+        error: String,
+    },
+    /// One spec's worker missed the per-spec deadline (killed and
+    /// respawned); the rest of the sweep is unaffected.
+    Timeout {
+        /// Content address of the spec.
+        fingerprint: String,
+        /// Config registry key.
+        config: String,
+        /// Workload abbreviation.
+        workload: String,
+        /// Deadline details (budget, attempts).
         error: String,
     },
     /// The sweep finished.
@@ -523,6 +579,12 @@ pub fn parse_stream_line(line: &str) -> Result<StreamLine, String> {
             report: Box::new(value_to_report(req(&doc, "report")?)?),
         }),
         "error" => Ok(StreamLine::Error {
+            fingerprint: req_str(&doc, "fingerprint")?,
+            config: req_str(&doc, "config")?,
+            workload: req_str(&doc, "workload")?,
+            error: req_str(&doc, "error")?,
+        }),
+        "timeout" => Ok(StreamLine::Timeout {
             fingerprint: req_str(&doc, "fingerprint")?,
             config: req_str(&doc, "config")?,
             workload: req_str(&doc, "workload")?,
@@ -634,6 +696,15 @@ mod tests {
                     config: "radix".into(),
                     workload: "RND".into(),
                     error: "worker died".into(),
+                },
+            ),
+            (
+                timeout_line("ab", &desc, "missed the 500ms deadline"),
+                StreamLine::Timeout {
+                    fingerprint: "ab".into(),
+                    config: "radix".into(),
+                    workload: "RND".into(),
+                    error: "missed the 500ms deadline".into(),
                 },
             ),
             (fault_line("bad request"), StreamLine::Fault { error: "bad request".into() }),

@@ -13,13 +13,11 @@ fn tmp_dir(tag: &str) -> PathBuf {
 }
 
 fn start_daemon(dir: &Path) -> DaemonHandle {
-    svc::start(DaemonConfig {
-        dir: dir.to_path_buf(),
-        backend: WorkerBackend::InProcess,
-        workers: 2,
-        port: 0,
-    })
-    .expect("daemon starts")
+    // from_env picks up the legacy CRASH_ENV knob (crash test below) the
+    // same way the real `serve` entry point does.
+    let faults = svc::FaultPlan::from_env().expect("fault env parses");
+    svc::start(DaemonConfig { workers: 2, faults, ..DaemonConfig::new(dir, WorkerBackend::InProcess) })
+        .expect("daemon starts")
 }
 
 fn tiny_request(workloads: &[&str]) -> SweepRequest {
