@@ -13,8 +13,9 @@
 //! experiments trace replay rnd.vtrace [--config victima]
 //! experiments trace info rnd.vtrace [--format json --out DIR]
 //! experiments serve                                  # resident sweep daemon (localhost TCP)
-//! experiments submit --configs radix,victima --workloads RND,XS
-//! experiments status [--shutdown]
+//! experiments submit --configs radix,victima --workloads RND,XS [--watch]
+//! experiments status [--metrics] [--shutdown]
+//! experiments profile [ids...]                       # per-phase span profile -> BENCH_obs.json
 //! ```
 //!
 //! Budgets: `VICTIMA_INSTR` / `VICTIMA_WARMUP` env vars (defaults
@@ -89,10 +90,13 @@ fn usage() -> ! {
     eprintln!("       experiments ckpt info <FILE> [--format F] [--out DIR]");
     eprintln!("       experiments serve [--dir DIR] [--port N] [--workers N] [--deadline-ms N]");
     eprintln!("                   [--retries N] [--cache-max-bytes N] [--faults PLAN]");
-    eprintln!("       experiments submit [--dir DIR] [--local] [--configs a,b] [--workloads X,Y|all]");
+    eprintln!(
+        "       experiments submit [--dir DIR] [--local] [--watch] [--configs a,b] [--workloads X,Y|all]"
+    );
     eprintln!("                   [--scale S] [--warmup N] [--instr N] [--seed N] [--sampling U:D[:W]]");
     eprintln!("                   [--out FILE] [--attempts N]");
-    eprintln!("       experiments status [--dir DIR] [--shutdown]");
+    eprintln!("       experiments status [--dir DIR] [--metrics] [--shutdown]");
+    eprintln!("       experiments profile [ids...] [--jobs N] [--scale S] [--format F] [--out FILE]");
     std::process::exit(2);
 }
 
@@ -138,6 +142,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("status") {
         std::process::exit(victima_bench::service::status_cli(args.split_off(1)));
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        std::process::exit(profile_cli(args.split_off(1)));
     }
     let quick = take_flag(&mut args, "--quick");
     let check = take_flag(&mut args, "--check");
@@ -358,6 +365,68 @@ fn run_check(reports: &[ExperimentReport]) -> i32 {
     } else {
         println!("check passed: {} experiment(s) match their baselines", reports.len());
         0
+    }
+}
+
+/// `experiments profile [ids...] [--jobs N] [--scale S] [--format F]
+/// [--out FILE]` — run experiments with full observability and write the
+/// per-phase span breakdown to `BENCH_obs.json` (`VICTIMA_OBS_OUT` or
+/// `--out` override), plus a human rendering on stdout. Defaults to the
+/// pinned `--check` profile over every checked experiment, so a bare
+/// `profile` answers "where does the regression gate spend its time?".
+fn profile_cli(mut args: Vec<String>) -> i32 {
+    let jobs: Option<usize> = flag_value(&mut args, "--jobs").map(|v| {
+        v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!("--jobs needs a positive integer");
+            std::process::exit(2);
+        })
+    });
+    let scale = parse_scale(&mut args);
+    let format = flag_value(&mut args, "--format")
+        .map(|v| {
+            Format::parse(&v).unwrap_or_else(|| {
+                eprintln!("unknown format {v:?} (pick text, json, jsonl, csv or md)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(Format::Text);
+    let out = flag_value(&mut args, "--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(victima_bench::profile::artifact_path);
+    if let Some(unknown) = args.iter().find(|a| a.starts_with('-')) {
+        eprintln!("profile: unknown flag {unknown}");
+        usage();
+    }
+    let ids: Vec<&str> =
+        if args.is_empty() { experiments::checked_ids() } else { args.iter().map(String::as_str).collect() };
+    let mut ctx = match scale {
+        Some(s) => ExpCtx::at_scale(s),
+        None => ExpCtx::check(),
+    };
+    if let Some(n) = jobs {
+        ctx = ctx.with_jobs(n);
+    }
+    let ctx = ctx.with_obs();
+    let start = std::time::Instant::now();
+    match victima_bench::profile::profile_report(&ctx, &ids) {
+        Ok(r) => {
+            if let Err(e) = std::fs::write(&out, report::json::to_json(&r)) {
+                eprintln!("cannot write {}: {e}", out.display());
+                return 1;
+            }
+            print!("{}", format.render(&r));
+            eprintln!(
+                "[profiled {} experiment(s) in {:.1}s; artifact at {}]",
+                ids.len(),
+                start.elapsed().as_secs_f64(),
+                out.display()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("profile failed: {e}");
+            2
+        }
     }
 }
 

@@ -11,16 +11,27 @@
 pub mod ckpt;
 pub mod experiments;
 pub mod perf;
+pub mod profile;
 pub mod service;
 pub mod trace;
 
+use obs::{merge_snapshots, MetricValue, SpanEvent};
 use report::Provenance;
-use sim::{RunSpec, Runner, SamplingConfig, SimEngine, SimStats, SystemConfig};
+use sim::{ObsMode, RunSpec, Runner, SamplingConfig, SimEngine, SimStats, SystemConfig};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use workloads::{registry::WORKLOAD_NAMES, Scale};
 
 pub use report::{Column, ExperimentReport, Metric, Unit, Value};
+
+/// Observability captured across a context's runs: every phase span plus
+/// the merged metric snapshot (counters summed, gauges high-watered,
+/// histograms merged — `obs::merge_snapshots`).
+#[derive(Default)]
+struct ObsData {
+    spans: Vec<SpanEvent>,
+    metrics: Vec<(String, MetricValue)>,
+}
 
 /// Shared context for all experiments.
 #[derive(Clone)]
@@ -31,6 +42,9 @@ pub struct ExpCtx {
     /// (the `--sampling` flag) instead of full detail.
     sampling: Option<SamplingConfig>,
     cache: Arc<Mutex<HashMap<(String, &'static str), SimStats>>>,
+    /// When set (`with_obs`), every engine run collects spans + metrics
+    /// here. Diagnostics only — `SimStats` and artifacts never read it.
+    obs: Option<Arc<Mutex<ObsData>>>,
 }
 
 impl ExpCtx {
@@ -73,6 +87,7 @@ impl ExpCtx {
             engine: SimEngine::with_jobs(jobs),
             sampling: None,
             cache: Arc::new(Mutex::new(HashMap::new())),
+            obs: None,
         }
     }
 
@@ -81,8 +96,30 @@ impl ExpCtx {
     /// don't depend on environment state. Results are identical at any
     /// worker count; this only changes wall-clock.
     pub fn with_jobs(mut self, jobs: usize) -> Self {
-        self.engine = SimEngine::with_jobs(jobs);
+        // Preserve the enablement `with_obs` (or the env) already chose.
+        let obs = self.engine.obs();
+        self.engine = SimEngine::with_jobs(jobs).with_obs(obs);
         self
+    }
+
+    /// Enables full observability (metrics + phase spans) on every run
+    /// this context executes, collecting them for [`ExpCtx::obs_spans`] /
+    /// [`ExpCtx::obs_metrics`] — the `experiments profile` path. Results
+    /// (`SimStats`, artifacts, `--check` bytes) are unchanged.
+    pub fn with_obs(mut self) -> Self {
+        self.engine = self.engine.with_obs(ObsMode::Full);
+        self.obs = Some(Arc::new(Mutex::new(ObsData::default())));
+        self
+    }
+
+    /// Every phase span collected so far (empty without `with_obs`).
+    pub fn obs_spans(&self) -> Vec<SpanEvent> {
+        self.obs.as_ref().map_or_else(Vec::new, |o| o.lock().expect("obs collector poisoned").spans.clone())
+    }
+
+    /// The merged metric snapshot so far (empty without `with_obs`).
+    pub fn obs_metrics(&self) -> Vec<(String, MetricValue)> {
+        self.obs.as_ref().map_or_else(Vec::new, |o| o.lock().expect("obs collector poisoned").metrics.clone())
     }
 
     /// Runs every suite simulation under SMARTS-style interval sampling
@@ -95,7 +132,13 @@ impl ExpCtx {
     }
 
     fn with_runner(runner: Runner) -> Self {
-        Self { runner, engine: SimEngine::new(), sampling: None, cache: Arc::new(Mutex::new(HashMap::new())) }
+        Self {
+            runner,
+            engine: SimEngine::new(),
+            sampling: None,
+            cache: Arc::new(Mutex::new(HashMap::new())),
+            obs: None,
+        }
     }
 
     /// The underlying runner (scale + budget defaults).
@@ -188,6 +231,15 @@ impl ExpCtx {
             })
             .collect();
         let results = self.engine.run_batch(specs);
+        if let Some(col) = &self.obs {
+            let mut data = col.lock().expect("obs collector poisoned");
+            for r in &results {
+                data.spans.extend(r.spans.iter().cloned());
+                if let Some(m) = &r.metrics {
+                    merge_snapshots(&mut data.metrics, m);
+                }
+            }
+        }
         let mut cache = self.cache.lock().expect("run cache poisoned");
         for ((cfg, w), r) in jobs.into_iter().zip(results) {
             cache.insert((cfg.name, w), r.stats);

@@ -141,12 +141,14 @@ fn parse_request(args: &mut Vec<String>) -> SweepRequest {
 
 /// `experiments submit [--dir DIR] [--configs a,b] [--workloads X,Y|all]
 /// [--scale S] [--warmup N] [--instr N] [--seed N] [--sampling U:D[:W]]
-/// [--out FILE] [--local] [--attempts N]` — submit a sweep and stream
-/// its results.
+/// [--out FILE] [--local] [--watch] [--attempts N]` — submit a sweep and
+/// stream its results.
 ///
 /// Every per-spec line goes to stdout as it arrives; `--out` appends the
 /// same lines to a file (results and errors only — no control lines, so
-/// two outputs of the same sweep diff clean). `--local` skips the daemon
+/// two outputs of the same sweep diff clean). `--watch` adds a live
+/// per-spec progress line on stderr (`[watch done/total] config/workload
+/// …`) without touching the machine stream. `--local` skips the daemon
 /// and runs the identical sweep in-process, emitting identical bytes.
 /// `--attempts N` (default 3) bounds total submit connections: if the
 /// stream drops mid-sweep the client reconnects, resubmits, and resumes
@@ -156,6 +158,7 @@ fn parse_request(args: &mut Vec<String>) -> SweepRequest {
 pub fn submit_cli(mut args: Vec<String>) -> i32 {
     let dir = service_dir(&mut args);
     let local = take_flag(&mut args, "--local");
+    let watch = take_flag(&mut args, "--watch");
     let out_path = flag_value(&mut args, "--out").map(PathBuf::from);
     let attempts = parse_u64(&mut args, "--attempts").map_or(3u32, |n| match u32::try_from(n.max(1)) {
         Ok(n) => n,
@@ -176,12 +179,46 @@ pub fn submit_cli(mut args: Vec<String>) -> i32 {
             }
         }
     };
+    // `--watch` progress: one stderr line per spec as it lands. The
+    // total is the sweep's own size (configs × workloads) — the stream
+    // carries exactly one Result/Error/Timeout line per spec.
+    let total = (req.configs.len() * req.workloads.len()) as u64;
+    let mut done = 0u64;
+    let mut watch_note = |parsed: &StreamLine| {
+        if !watch {
+            return;
+        }
+        let what = match parsed {
+            StreamLine::Result { report, .. } => {
+                let p = &report.provenance;
+                format!("{}/{} ok", p.configs.join("+"), p.workloads.join("+"))
+            }
+            StreamLine::Error { config, workload, error, .. } => {
+                format!("{config}/{workload} ERROR: {error}")
+            }
+            StreamLine::Timeout { config, workload, error, .. } => {
+                format!("{config}/{workload} TIMEOUT: {error}")
+            }
+            _ => return,
+        };
+        done += 1;
+        eprintln!("[watch {done}/{total}] {what}");
+    };
 
     let summary = if local {
-        svc::run_local(&req, &mut emit)
+        svc::run_local(&req, |line| {
+            emit(line);
+            if watch {
+                match svc::parse_stream_line(line) {
+                    Ok(parsed) => watch_note(&parsed),
+                    Err(e) => eprintln!("[watch] unparseable line: {e}"),
+                }
+            }
+        })
     } else {
-        svc::client::submit_resumed(&dir, ClientOptions::default(), attempts, &req, |line, _: &StreamLine| {
-            emit(line)
+        svc::client::submit_resumed(&dir, ClientOptions::default(), attempts, &req, |line, parsed| {
+            emit(line);
+            watch_note(parsed);
         })
     };
     match summary {
@@ -204,13 +241,45 @@ pub fn submit_cli(mut args: Vec<String>) -> i32 {
     }
 }
 
-/// `experiments status [--dir DIR] [--shutdown]` — print the daemon's
-/// status line (stdout, machine-readable) plus a human summary (stderr);
-/// `--shutdown` asks the daemon to exit instead.
+/// `experiments status [--dir DIR] [--metrics] [--shutdown]` — print the
+/// daemon's status line (stdout, machine-readable) plus a human summary
+/// (stderr); `--metrics` asks for the observability registry (queue
+/// depth, latency histogram, worker utilization, cache hit ratio)
+/// instead; `--shutdown` asks the daemon to exit.
 pub fn status_cli(mut args: Vec<String>) -> i32 {
     let dir = service_dir(&mut args);
     let stop = take_flag(&mut args, "--shutdown");
+    let want_metrics = take_flag(&mut args, "--metrics");
     reject_leftovers(&args, "status");
+    if want_metrics {
+        return match svc::metrics(&dir) {
+            Ok(m) => {
+                println!("{}", m.to_line());
+                eprintln!(
+                    "[up {:.1}s: queue {}, {} worker(s) at {:.0}% busy, latency mean {:.1} ms over {} spec(s), cache hit ratio {:.0}% ({} hit/{} miss), {} retried, {} timed out, {} failed, {} quarantined, {} respawn(s)]",
+                    m.uptime_ms as f64 / 1_000.0,
+                    m.queue_depth,
+                    m.workers,
+                    100.0 * m.worker_utilization(),
+                    m.mean_latency_ms(),
+                    m.latency_count,
+                    100.0 * m.cache_hit_ratio(),
+                    m.cache_hits,
+                    m.cache_misses,
+                    m.retries,
+                    m.timeouts,
+                    m.failures,
+                    m.quarantined,
+                    m.worker_respawns
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("metrics failed: {e}");
+                1
+            }
+        };
+    }
     if stop {
         return match svc::shutdown(&dir) {
             Ok(()) => {

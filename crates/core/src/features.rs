@@ -200,11 +200,17 @@ impl FeatureTracker {
     /// Builds the labelled dataset: walked pages only, labelled costly if
     /// in the top `costly_fraction` (default 0.3) by total PTW cycles.
     pub fn dataset(&self, costly_fraction: f64) -> Vec<Sample> {
-        let mut walked: Vec<&PageFeatures> = self.pages.values().filter(|p| p.ptw_frequency > 0).collect();
+        let mut walked: Vec<(&PageKey, &PageFeatures)> =
+            self.pages.iter().filter(|(_, p)| p.ptw_frequency > 0).collect();
         if walked.is_empty() {
             return Vec::new();
         }
-        walked.sort_by_key(|p| std::cmp::Reverse(p.total_ptw_cycles));
+        // Total order: cost descending, then the page key — the map
+        // iterates in arbitrary (hash-seeded) order, and a cost-only
+        // sort would leave ties in that order, making the dataset (and
+        // everything trained on it) run-to-run nondeterministic.
+        walked.sort_by_key(|&(k, p)| (std::cmp::Reverse(p.total_ptw_cycles), *k));
+        let walked: Vec<&PageFeatures> = walked.into_iter().map(|(_, p)| p).collect();
         let cut = ((walked.len() as f64 * costly_fraction).ceil() as usize).clamp(1, walked.len());
         let threshold = walked[cut - 1].total_ptw_cycles;
         walked

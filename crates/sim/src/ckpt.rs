@@ -119,6 +119,15 @@ fn apply(name: &str, r: Result<(), String>) -> Result<(), TraceError> {
 /// for a different geometry, or when the frame-allocator fingerprint
 /// shows the rebuild allocated differently.
 pub fn restore_into(sys: &mut System, ck: &Checkpoint, scale: Scale) -> Result<(), TraceError> {
+    let span = sys.span_start();
+    let r = restore_into_inner(sys, ck, scale);
+    if r.is_ok() {
+        sys.span_end("checkpoint_restore", span, &[("refs", ck.meta.refs_consumed)]);
+    }
+    r
+}
+
+fn restore_into_inner(sys: &mut System, ck: &Checkpoint, scale: Scale) -> Result<(), TraceError> {
     if sys.cfg.mode != ExecMode::Native {
         return Err(bad("virtualised systems cannot be checkpointed (native mode only)"));
     }

@@ -29,9 +29,11 @@
 //! ```
 
 use crate::config::SystemConfig;
+use crate::obs::ObsMode;
 use crate::sampling::{run_sampled, SamplingConfig};
 use crate::stats::SimStats;
 use crate::system::System;
+use obs::{MetricValue, SpanEvent};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -219,12 +221,20 @@ pub struct RunResult {
     pub wall: Duration,
     /// The feature tracker, when the spec asked for collection.
     pub features: Option<FeatureTracker>,
+    /// Phase spans recorded when tracing was enabled (empty otherwise).
+    /// Wall-clock payload: never folded into [`SimStats`] or `--check`
+    /// artifacts.
+    pub spans: Vec<SpanEvent>,
+    /// Metric-registry snapshot when metrics were enabled (`None`
+    /// otherwise). Deterministic: mirrors simulation events only.
+    pub metrics: Option<Vec<(String, MetricValue)>>,
 }
 
 /// Multi-threaded batch runner over [`RunSpec`]s.
 #[derive(Clone, Debug)]
 pub struct SimEngine {
     jobs: usize,
+    obs: ObsMode,
 }
 
 fn env_jobs() -> usize {
@@ -243,8 +253,23 @@ impl SimEngine {
     }
 
     /// Creates an engine with an explicit worker count (clamped to ≥ 1).
+    /// Observability defaults to the ambient `VICTIMA_OBS` knob
+    /// ([`ObsMode::from_env`]); [`SimEngine::with_obs`] overrides it.
     pub fn with_jobs(jobs: usize) -> Self {
-        Self { jobs: jobs.max(1) }
+        Self { jobs: jobs.max(1), obs: ObsMode::from_env() }
+    }
+
+    /// Overrides the observability mode for every run this engine
+    /// executes. Metrics and spans ride back on the [`RunResult`];
+    /// statistics are identical in every mode.
+    pub fn with_obs(mut self, obs: ObsMode) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The engine's observability mode.
+    pub fn obs(&self) -> ObsMode {
+        self.obs
     }
 
     /// The configured worker count.
@@ -269,6 +294,20 @@ impl SimEngine {
     /// worker-pool entry point, which recycles each worker's buffers
     /// across the specs it executes.
     pub fn run_one_reusing(index: usize, spec: &RunSpec, scratch: &mut RunScratch) -> RunResult {
+        Self::run_one_observed(index, spec, scratch, ObsMode::from_env())
+    }
+
+    /// [`SimEngine::run_one_reusing`] with an explicit observability
+    /// mode. Enablement is post-construction system state (like the
+    /// record hook), so the spec fingerprint and the statistics are
+    /// untouched in every mode; metrics and spans come back on the
+    /// result as side channels.
+    pub fn run_one_observed(
+        index: usize,
+        spec: &RunSpec,
+        scratch: &mut RunScratch,
+        obs: ObsMode,
+    ) -> RunResult {
         let start = Instant::now();
         let mut cfg = spec.config.clone();
         cfg.seed = spec.seed;
@@ -279,6 +318,12 @@ impl SimEngine {
         sys.hier.set_prefetch_scratch(std::mem::take(&mut scratch.prefetch));
         if spec.collect_features {
             sys.enable_feature_tracking();
+        }
+        if obs.metrics_enabled() {
+            sys.enable_metrics();
+        }
+        if obs.tracing_enabled() {
+            sys.enable_tracing();
         }
         match &spec.sampling {
             Some(sampling) => run_sampled(&mut sys, spec.warmup, spec.instructions, sampling),
@@ -295,6 +340,8 @@ impl SimEngine {
             stats: sys.stats.clone(),
             wall: start.elapsed(),
             features: sys.tracker.take(),
+            spans: sys.take_tracer().map(|mut t| t.take()).unwrap_or_default(),
+            metrics: sys.take_metrics().map(|m| m.snapshot()),
         }
     }
 
@@ -317,7 +364,10 @@ impl SimEngine {
     /// assert!(results[0].stats.instructions >= 20_000);
     /// ```
     pub fn run_batch(&self, specs: Vec<RunSpec>) -> Vec<RunResult> {
-        self.map_reusing(specs, RunScratch::default, Self::run_one_reusing)
+        let obs = self.obs;
+        self.map_reusing(specs, RunScratch::default, move |i, spec, scratch| {
+            Self::run_one_observed(i, spec, scratch, obs)
+        })
     }
 
     /// Deterministic parallel map over arbitrary work items: applies `f`

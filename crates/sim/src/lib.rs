@@ -39,6 +39,7 @@ pub mod config;
 pub mod engine;
 pub mod epochs;
 pub mod multicore;
+pub mod obs;
 pub mod runner;
 pub mod sampling;
 pub mod scheduler;
@@ -50,6 +51,7 @@ pub use config::{ExecMode, SystemConfig, TimingConfig, TranslationMechanism};
 pub use engine::{suite_specs, RunResult, RunScratch, RunSpec, SimEngine, ENGINE_ID};
 pub use epochs::EpochTracker;
 pub use multicore::{slot_seed, MultiCoreStats, MultiCoreSystem, ProcSummary};
+pub use obs::{ObsMode, SimMetrics};
 pub use runner::Runner;
 pub use sampling::SamplingConfig;
 pub use scheduler::{CtxSwitchPolicy, SchedConfig, SchedMode, Scheduler};

@@ -136,7 +136,9 @@ fn ci95(samples: &[f64]) -> f64 {
 ///
 /// Panics in virtualised mode (see [`System::fast_forward`]).
 pub fn run_sampled(sys: &mut System, warmup: u64, measured: u64, cfg: &SamplingConfig) {
+    let t0 = sys.span_start();
     sys.run(warmup);
+    sys.span_end("warmup", t0, &[("instr", warmup)]);
     let mut agg = SimStats::default();
     let mut window_ipc = Vec::new();
     let mut measured_done = 0u64;
@@ -146,8 +148,10 @@ pub fn run_sampled(sys: &mut System, warmup: u64, measured: u64, cfg: &SamplingC
         let window = cfg.detailed.min(measured - measured_done);
         sys.reset_stats();
         sys.process_mut().reset_counters();
+        let t0 = sys.span_start();
         sys.run(window);
         sys.finalize_stats();
+        sys.span_end("detailed_window", t0, &[("window", window_ipc.len() as u64), ("instr", window)]);
         window_ipc.push(sys.stats.ipc());
         agg.absorb_window(&sys.stats);
         measured_done += window;
@@ -155,10 +159,14 @@ pub fn run_sampled(sys: &mut System, warmup: u64, measured: u64, cfg: &SamplingC
             break;
         }
         let tail = cfg.fast.min(FUNC_WARM);
+        let t0 = sys.span_start();
         sys.skip(cfg.fast - tail);
         sys.fast_forward(tail);
+        sys.span_end("fast_forward", t0, &[("instr", cfg.fast), ("func_warm_tail", tail)]);
         skipped += cfg.fast;
+        let t0 = sys.span_start();
         sys.run(cfg.warm);
+        sys.span_end("detailed_warm", t0, &[("instr", cfg.warm)]);
         warmed += cfg.warm;
     }
     agg.sampling = Some(SamplingMeta {

@@ -1,0 +1,97 @@
+//! Observability overhead gate: with hot-path metrics ENABLED, the
+//! steady-state simulation loop must still perform zero heap
+//! allocations — every counter, gauge and histogram bucket is a
+//! preallocated word in the system's single-writer `obs::LocalBuf`,
+//! so recording is a plain `Cell` add, never an alloc (and never an
+//! atomic RMW; deltas drain to the shared registry at snapshot time).
+//! (The disabled path is pinned separately by `no_alloc.rs`: obs off is
+//! the default, so that gate already runs with `metrics == None`.)
+//!
+//! The second gate is the determinism contract: enabling metrics (and
+//! tracing) must not change a single simulated statistic — the
+//! instrumentation observes events, it never participates in them.
+//!
+//! Lives alone in its binary so no concurrent test can disturb the
+//! global allocation counter.
+
+use sim::{ObsMode, RunSpec, SimEngine, System, SystemConfig};
+use std::alloc::{GlobalAlloc, Layout, System as SysAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+use workloads::{registry, Scale};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SysAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SysAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SysAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Warm a system up with metrics recording live, then assert the
+/// measured window allocates nothing: metric recording must be as
+/// silent as the uninstrumented hot path (`no_alloc.rs`).
+fn assert_metrics_path_alloc_free(config: SystemConfig, workload: &str) {
+    let w = registry::by_name_seeded(workload, Scale::Tiny, config.seed).expect("known workload");
+    let mut sys = System::new(config, w);
+    sys.enable_metrics();
+    sys.run(200_000);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    sys.run(400_000);
+    let got = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        got, 0,
+        "{workload}: metric recording must be allocation-free in steady state \
+         (got {got} allocation(s) over 400K instructions)"
+    );
+    // The window actually exercised the instrumented paths.
+    let m = sys.metrics().expect("metrics enabled");
+    let snap = m.snapshot();
+    let total: u64 = snap
+        .iter()
+        .filter_map(|(_, v)| match v {
+            obs::MetricValue::Counter(n) => Some(*n),
+            _ => None,
+        })
+        .sum();
+    assert!(total > 0, "{workload}: instrumented run recorded no events at all");
+}
+
+#[test]
+fn metric_recording_is_allocation_free_in_steady_state() {
+    // RND under Victima: the TLB-hostile worst case drives every
+    // instrumented flow — L1/L2 TLB misses, demand walks, PWC probes,
+    // Victima inserts, prefetch fills, cache miss counters.
+    assert_metrics_path_alloc_free(SystemConfig::victima(), "RND");
+    // The radix baseline's pure walk path.
+    assert_metrics_path_alloc_free(SystemConfig::radix(), "RND");
+}
+
+#[test]
+fn observability_cannot_change_results() {
+    for config in ["radix", "victima", "pom"] {
+        let cfg = SystemConfig::by_name(config).expect("known config");
+        let spec = RunSpec::new("RND", cfg, Scale::Tiny, 2_000, 20_000);
+        let off = SimEngine::run_one_observed(0, &spec, &mut Default::default(), ObsMode::Off);
+        let full = SimEngine::run_one_observed(0, &spec, &mut Default::default(), ObsMode::Full);
+        assert_eq!(off.stats, full.stats, "{config}: obs must be invisible to SimStats");
+        assert!(off.spans.is_empty() && off.metrics.is_none(), "{config}: Off collects nothing");
+        assert!(!full.spans.is_empty(), "{config}: Full collects phase spans");
+        assert!(full.metrics.is_some(), "{config}: Full collects metrics");
+    }
+}

@@ -11,7 +11,7 @@
 //! cache, the concatenation equals a clean single-connection run.
 
 use crate::daemon::ADDR_FILE;
-use crate::proto::{parse_stream_line, StatusInfo, StreamLine, SweepRequest};
+use crate::proto::{parse_stream_line, MetricsInfo, StatusInfo, StreamLine, SweepRequest};
 use crate::worker::run_spec;
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -246,6 +246,24 @@ pub fn status_with(dir: &Path, opts: ClientOptions) -> Result<StatusInfo, String
     match parse_stream_line(line.trim())? {
         StreamLine::Status(info) => Ok(info),
         other => Err(format!("expected a status line, got {other:?}")),
+    }
+}
+
+/// Asks a daemon for its observability registry (queue depth, latency
+/// histogram, per-worker utilization, cache hit ratio).
+pub fn metrics(dir: &Path) -> Result<MetricsInfo, String> {
+    metrics_with(dir, ClientOptions::control())
+}
+
+/// [`metrics`] with explicit timeouts.
+pub fn metrics_with(dir: &Path, opts: ClientOptions) -> Result<MetricsInfo, String> {
+    let mut stream = connect_with(dir, opts).map_err(|e| e.to_string())?;
+    writeln!(stream, "{{\"op\":\"metrics\"}}").map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).map_err(|e| read_error(&e, "metrics reply"))?;
+    match parse_stream_line(line.trim())? {
+        StreamLine::Metrics(info) => Ok(info),
+        other => Err(format!("expected a metrics line, got {other:?}")),
     }
 }
 

@@ -38,11 +38,14 @@
 use crate::cache::ResultCache;
 use crate::fault::FaultPlan;
 use crate::journal::Journal;
+use crate::log::Logger;
 use crate::proto::{
-    accepted_line, done_line, error_line, fault_line, ok_line, parse_request, timeout_line, Request,
-    SpecDesc, StatusInfo, SweepRequest,
+    accepted_line, done_line, error_line, fault_line, ok_line, parse_request, timeout_line, MetricsInfo,
+    Request, SpecDesc, StatusInfo, SweepRequest,
 };
 use crate::worker::{ExecError, Executor, WorkerBackend};
+use obs::{MetricId, Registry};
+use report::json::JsonValue;
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -50,7 +53,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// File (inside the service directory) holding the daemon's bound
 /// address, written on startup — how clients find a daemon whose port
@@ -135,6 +138,44 @@ enum Outcome {
     TimedOut(String),
 }
 
+/// The daemon's own observability registry (`svc.`-rooted, mirroring the
+/// simulator's `sim.` namespace — DESIGN.md "Observability"): the spec
+/// latency distribution, cache effectiveness, respawn pressure, and
+/// per-worker utilization. Served verbatim by the `metrics` op; never
+/// consulted by anything that produces result bytes.
+struct SvcMetrics {
+    reg: Registry,
+    /// Histogram: wall-clock latency of successful spec executions, ms.
+    latency_ms: MetricId,
+    /// Worker processes discarded (death or deadline) and respawned.
+    respawns: MetricId,
+    /// Specs answered straight from the result cache.
+    cache_hit: MetricId,
+    /// Specs dispatched to a worker (cache misses).
+    cache_miss: MetricId,
+    /// Per-worker milliseconds spent inside spec execution.
+    worker_busy_ms: Vec<MetricId>,
+    /// Per-worker specs run to a final outcome.
+    worker_specs: Vec<MetricId>,
+}
+
+impl SvcMetrics {
+    fn install(workers: usize) -> Self {
+        let mut reg = Registry::new();
+        let latency_ms = reg.histogram("svc.spec.latency_ms");
+        let respawns = reg.counter("svc.worker.respawns");
+        let cache_hit = reg.counter("svc.cache.hit");
+        let cache_miss = reg.counter("svc.cache.miss");
+        let mut worker_busy_ms = Vec::with_capacity(workers);
+        let mut worker_specs = Vec::with_capacity(workers);
+        for i in 0..workers {
+            worker_busy_ms.push(reg.counter(&format!("svc.worker.{i}.busy_ms")));
+            worker_specs.push(reg.counter(&format!("svc.worker.{i}.specs")));
+        }
+        Self { reg, latency_ms, respawns, cache_hit, cache_miss, worker_busy_ms, worker_specs }
+    }
+}
+
 #[derive(Default)]
 struct Counters {
     jobs_accepted: AtomicU64,
@@ -164,6 +205,8 @@ struct State {
     queue_cv: Condvar,
     shutdown: AtomicBool,
     counters: Counters,
+    log: Logger,
+    metrics: SvcMetrics,
 }
 
 impl State {
@@ -193,11 +236,13 @@ impl State {
     }
 
     fn status(&self) -> StatusInfo {
+        let jobs_accepted = self.counters.jobs_accepted.load(Ordering::Relaxed);
+        let jobs_completed = self.counters.jobs_completed.load(Ordering::Relaxed);
         StatusInfo {
             engine: sim::ENGINE_ID.to_owned(),
             workers: self.workers as u64,
-            jobs_accepted: self.counters.jobs_accepted.load(Ordering::Relaxed),
-            jobs_completed: self.counters.jobs_completed.load(Ordering::Relaxed),
+            jobs_accepted,
+            jobs_completed,
             specs_completed: self.counters.specs_completed.load(Ordering::Relaxed),
             specs_simulated: self.counters.specs_simulated.load(Ordering::Relaxed),
             specs_cached: self.counters.specs_cached.load(Ordering::Relaxed),
@@ -209,6 +254,31 @@ impl State {
             cache_quarantined: self.cache.quarantined(),
             cache_evicted: self.cache.evicted(),
             journal_skipped: self.counters.journal_skipped.load(Ordering::Relaxed),
+            uptime_ms: self.log.uptime_ms(),
+            jobs_pending: jobs_accepted.saturating_sub(jobs_completed),
+        }
+    }
+
+    /// Snapshots the observability registry for the `metrics` op.
+    fn metrics_info(&self) -> MetricsInfo {
+        let m = &self.metrics;
+        let latency = m.reg.histogram_snapshot(m.latency_ms);
+        MetricsInfo {
+            uptime_ms: self.log.uptime_ms(),
+            queue_depth: self.queue.lock().expect("task queue poisoned").len() as u64,
+            workers: self.workers as u64,
+            worker_busy_ms: m.worker_busy_ms.iter().map(|&id| m.reg.value(id)).collect(),
+            worker_specs: m.worker_specs.iter().map(|&id| m.reg.value(id)).collect(),
+            latency_count: latency.count,
+            latency_sum_ms: latency.sum,
+            latency_buckets: latency.buckets.to_vec(),
+            cache_hits: m.reg.value(m.cache_hit),
+            cache_misses: m.reg.value(m.cache_miss),
+            retries: self.counters.specs_retried.load(Ordering::Relaxed),
+            timeouts: self.counters.specs_timed_out.load(Ordering::Relaxed),
+            failures: self.counters.specs_failed.load(Ordering::Relaxed),
+            quarantined: self.cache.quarantined(),
+            worker_respawns: m.reg.value(m.respawns),
         }
     }
 }
@@ -257,10 +327,24 @@ pub fn start(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
     let addr = listener.local_addr()?;
     std::fs::write(cfg.dir.join(ADDR_FILE), format!("{addr}\n"))?;
     std::fs::write(cfg.dir.join(PID_FILE), format!("{}\n", std::process::id()))?;
-    if !cfg.faults.is_empty() {
-        eprintln!("svc: FAULT INJECTION ACTIVE: {}", cfg.faults);
-    }
     let workers = cfg.workers.max(1);
+    let log = Logger::new(&cfg.dir);
+    if !cfg.faults.is_empty() {
+        log.warn(
+            "fault_injection",
+            "FAULT INJECTION ACTIVE",
+            &[("plan", JsonValue::Str(cfg.faults.to_string()))],
+        );
+    }
+    log.info(
+        "listening",
+        "daemon up",
+        &[
+            ("addr", JsonValue::Str(addr.to_string())),
+            ("workers", JsonValue::Int(workers as i64)),
+            ("backend", JsonValue::Str(format!("{:?}", cfg.backend))),
+        ],
+    );
     let state = Arc::new(State {
         dir: cfg.dir,
         addr,
@@ -276,11 +360,13 @@ pub fn start(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
         queue_cv: Condvar::new(),
         shutdown: AtomicBool::new(false),
         counters: Counters::default(),
+        log,
+        metrics: SvcMetrics::install(workers),
     });
     let mut threads = Vec::with_capacity(workers + 2);
-    for _ in 0..workers {
+    for slot in 0..workers {
         let st = Arc::clone(&state);
-        threads.push(std::thread::spawn(move || dispatcher(&st)));
+        threads.push(std::thread::spawn(move || dispatcher(&st, slot)));
     }
     let pending = state.journal.pending()?;
     if !pending.is_empty() {
@@ -295,8 +381,9 @@ pub fn start(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
 /// Runs a daemon in the foreground until a client shuts it down — the
 /// `experiments serve` entry point.
 pub fn run(cfg: DaemonConfig) -> io::Result<()> {
+    // The structured `listening` event (with the address) is emitted by
+    // `start`; everything after this is driven by client requests.
     let handle = start(cfg)?;
-    eprintln!("svc: listening on {} (send {{\"op\":\"shutdown\"}} to stop)", handle.addr());
     handle.join();
     Ok(())
 }
@@ -337,21 +424,37 @@ fn run_task(state: &Arc<State>, exec: &mut Executor, task: &Task) -> Outcome {
             }
         }
         let inject = state.faults.worker_fault(&task.desc.workload, key, attempt);
+        let t0 = Instant::now();
         match exec.run(&task.desc, inject.as_ref(), state.deadline) {
             Ok(line) => {
+                let m = &state.metrics;
+                m.reg.observe(m.latency_ms, t0.elapsed().as_millis() as u64);
                 state.counters.specs_simulated.fetch_add(1, Ordering::Relaxed);
                 let fault = state.faults.cache_fault(key, u64::from(attempt));
                 if let Err(e) = state.cache.store_injected(&task.fingerprint, &line, fault) {
-                    eprintln!("svc: cache store failed for {}: {e}", task.fingerprint);
+                    state.log.error(
+                        "cache_store_failed",
+                        &format!("cache store failed: {e}"),
+                        &[("fingerprint", JsonValue::Str(task.fingerprint.clone()))],
+                    );
                 }
                 return Outcome::Line(line);
             }
             Err(e) => {
-                eprintln!(
-                    "svc: {} attempt {}/{attempts} failed: {}",
-                    task.desc.label(),
-                    attempt + 1,
-                    e.message()
+                // The executor discarded its worker (death or deadline
+                // kill) and will spawn a fresh one on the next attempt —
+                // the structured respawn event names the spec and attempt
+                // so a respawn storm is attributable from the log alone.
+                state.metrics.reg.inc(state.metrics.respawns);
+                state.log.warn(
+                    "worker_respawn",
+                    e.message(),
+                    &[
+                        ("fingerprint", JsonValue::Str(task.fingerprint.clone())),
+                        ("spec", JsonValue::Str(task.desc.label())),
+                        ("attempt", JsonValue::Int(i64::from(attempt) + 1)),
+                        ("attempts", JsonValue::Int(i64::from(attempts))),
+                    ],
                 );
                 last = e;
             }
@@ -369,7 +472,7 @@ fn run_task(state: &Arc<State>, exec: &mut Executor, task: &Task) -> Outcome {
     }
 }
 
-fn dispatcher(state: &Arc<State>) {
+fn dispatcher(state: &Arc<State>, slot: usize) {
     let mut exec = Executor::new(state.backend.clone());
     loop {
         let task = {
@@ -384,7 +487,11 @@ fn dispatcher(state: &Arc<State>) {
                 }
             }
         };
+        let t0 = Instant::now();
         let outcome = run_task(state, &mut exec, &task);
+        let m = &state.metrics;
+        m.reg.add(m.worker_busy_ms[slot], t0.elapsed().as_millis() as u64);
+        m.reg.inc(m.worker_specs[slot]);
         // A send error just means the job's handler gave up (shutdown);
         // the result is in the cache either way.
         let _ = task.reply.send((task.index, outcome));
@@ -399,7 +506,11 @@ fn resume_pending(state: &Arc<State>, pending: Vec<(String, String)>) {
         let req = match SweepRequest::from_line(&line) {
             Ok(req) => req,
             Err(e) => {
-                eprintln!("svc: journal entry {job} does not parse ({e}); skipping it");
+                state.log.warn(
+                    "journal_skipped",
+                    &format!("journal entry does not parse ({e}); skipping it"),
+                    &[("job", JsonValue::Str(job.clone()))],
+                );
                 state.counters.journal_skipped.fetch_add(1, Ordering::Relaxed);
                 let _ = state.journal.complete(&job);
                 continue;
@@ -408,13 +519,21 @@ fn resume_pending(state: &Arc<State>, pending: Vec<(String, String)>) {
         let specs = match req.specs() {
             Ok(specs) => specs,
             Err(e) => {
-                eprintln!("svc: journal entry {job} no longer expands ({e}); skipping it");
+                state.log.warn(
+                    "journal_skipped",
+                    &format!("journal entry no longer expands ({e}); skipping it"),
+                    &[("job", JsonValue::Str(job.clone()))],
+                );
                 state.counters.journal_skipped.fetch_add(1, Ordering::Relaxed);
                 let _ = state.journal.complete(&job);
                 continue;
             }
         };
-        eprintln!("svc: resuming journaled {job} ({} specs)", specs.len());
+        state.log.info(
+            "journal_resume",
+            "resuming journaled job",
+            &[("job", JsonValue::Str(job.clone())), ("specs", JsonValue::Int(specs.len() as i64))],
+        );
         state.counters.jobs_accepted.fetch_add(1, Ordering::Relaxed);
         let (_, _, errors) = run_job(state, specs, &mut None);
         if state.shutting_down() && errors > 0 {
@@ -440,6 +559,7 @@ fn handle_conn(state: &Arc<State>, mut stream: TcpStream) {
     match parse_request(line.trim()) {
         Err(e) => send(&mut sink, &fault_line(&e)),
         Ok(Request::Status) => send(&mut sink, &state.status().to_line()),
+        Ok(Request::Metrics) => send(&mut sink, &state.metrics_info().to_line()),
         Ok(Request::Shutdown) => {
             send(&mut sink, &ok_line());
             state.begin_shutdown();
@@ -495,6 +615,8 @@ fn run_job(state: &Arc<State>, specs: Vec<SpecDesc>, sink: &mut Option<&mut TcpS
         }
     }
     state.counters.specs_cached.fetch_add(cached, Ordering::Relaxed);
+    state.metrics.reg.add(state.metrics.cache_hit, cached);
+    state.metrics.reg.add(state.metrics.cache_miss, total as u64 - cached);
     let (tx, rx) = mpsc::channel();
     {
         let mut queue = state.queue.lock().expect("task queue poisoned");
@@ -523,7 +645,11 @@ fn run_job(state: &Arc<State>, specs: Vec<SpecDesc>, sink: &mut Option<&mut TcpS
             // Injected client-facing failure: sever the stream mid-sweep
             // (the job keeps running; the client must reconnect-resume).
             if sink.is_some() && state.take_conn_drop() {
-                eprintln!("svc: injected connection drop after spec {next}/{total}");
+                state.log.warn(
+                    "conn_drop_injected",
+                    "injected connection drop mid-stream",
+                    &[("spec", JsonValue::Int(next as i64)), ("total", JsonValue::Int(total as i64))],
+                );
                 if let Some(stream) = sink {
                     let _ = stream.shutdown(Shutdown::Both);
                 }

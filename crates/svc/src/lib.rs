@@ -39,15 +39,18 @@ pub mod client;
 pub mod daemon;
 pub mod fault;
 pub mod journal;
+pub mod log;
 pub mod proto;
 pub mod worker;
 
 pub use cache::ResultCache;
-pub use client::{connect, run_local, shutdown, status, submit, ClientOptions, SweepSummary};
+pub use client::{connect, metrics, run_local, shutdown, status, submit, ClientOptions, SweepSummary};
 pub use daemon::{run, start, DaemonConfig, DaemonHandle, ADDR_FILE, PID_FILE};
 pub use fault::{fnv1a64, CacheFault, FaultPlan, WorkerFault, FAULTS_ENV};
 pub use journal::Journal;
+pub use log::{Level, Logger, LOG_FILE};
 pub use proto::{
-    parse_request, parse_stream_line, Request, SpecDesc, StatusInfo, StreamLine, SweepRequest, PROTO_ID,
+    parse_request, parse_stream_line, MetricsInfo, Request, SpecDesc, StatusInfo, StreamLine, SweepRequest,
+    PROTO_ID,
 };
 pub use worker::{run_spec, worker_main, WorkerBackend, CRASH_ENV, WORKER_ARG};

@@ -1,0 +1,169 @@
+//! Structured daemon logging: levelled, newline-delimited JSON events.
+//!
+//! Every operational message the daemon emits — startup, journal
+//! resumes, worker respawns, cache trouble, injected faults — is one
+//! compact JSON object on one line, written to stderr and (best-effort)
+//! teed to `daemon.log` inside the service directory. The shape is
+//! stable and machine-parseable, so the CI smoke job can validate the
+//! whole log with a one-line `jq` pass and dashboards can filter by
+//! `event` without regex archaeology:
+//!
+//! ```text
+//! {"svc":"victima-svc/1","type":"log","level":"info","ts_ms":T,
+//!  "uptime_ms":U,"event":"listening","msg":"...","addr":"127.0.0.1:..."}
+//! ```
+//!
+//! `ts_ms` is a wall-clock Unix stamp for humans correlating across
+//! machines; `uptime_ms` is the daemon's own monotonic clock
+//! ([`vm_types::MonotonicClock`]) for ordering and latency arithmetic.
+//! Neither ever feeds a `--check` artifact or a spec fingerprint — log
+//! lines are operational exhaust, strictly outside the determinism
+//! boundary (DESIGN.md, "Observability").
+
+use report::json::{write_json_compact, JsonValue};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+use vm_types::{unix_millis, MonotonicClock};
+
+/// Name of the JSONL log file inside the service directory.
+pub const LOG_FILE: &str = "daemon.log";
+
+/// Severity of a log event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Routine operational narration (startup, job accepted, resume).
+    Info,
+    /// Something recovered from: a respawned worker, a skipped journal
+    /// record, an injected fault firing.
+    Warn,
+    /// An operation failed and stayed failed (cache store error).
+    Error,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// The daemon's structured logger: stderr always, `daemon.log` when the
+/// service directory is writable. Cheap to share behind the daemon's
+/// `Arc<State>`; each emit is one formatted line and two writes.
+#[derive(Debug)]
+pub struct Logger {
+    clock: MonotonicClock,
+    file: Option<Mutex<File>>,
+}
+
+impl Logger {
+    /// A logger teeing to `dir/daemon.log` (appending across restarts —
+    /// the log is an operational history, not per-run state). Falls back
+    /// to stderr-only if the file cannot be opened.
+    pub fn new(dir: &Path) -> Self {
+        let file = OpenOptions::new().create(true).append(true).open(dir.join(LOG_FILE)).ok();
+        Self { clock: MonotonicClock::new(), file: file.map(Mutex::new) }
+    }
+
+    /// A stderr-only logger (tests, `run_local`).
+    pub fn stderr_only() -> Self {
+        Self { clock: MonotonicClock::new(), file: None }
+    }
+
+    /// Milliseconds since this logger (≈ the daemon) started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    /// Emits one event at [`Level::Info`].
+    pub fn info(&self, event: &str, msg: &str, fields: &[(&str, JsonValue)]) {
+        self.emit(Level::Info, event, msg, fields);
+    }
+
+    /// Emits one event at [`Level::Warn`].
+    pub fn warn(&self, event: &str, msg: &str, fields: &[(&str, JsonValue)]) {
+        self.emit(Level::Warn, event, msg, fields);
+    }
+
+    /// Emits one event at [`Level::Error`].
+    pub fn error(&self, event: &str, msg: &str, fields: &[(&str, JsonValue)]) {
+        self.emit(Level::Error, event, msg, fields);
+    }
+
+    /// Formats and writes one event line.
+    pub fn emit(&self, level: Level, event: &str, msg: &str, fields: &[(&str, JsonValue)]) {
+        let line = self.render(level, event, msg, fields);
+        eprintln!("{line}");
+        if let Some(file) = &self.file {
+            if let Ok(mut f) = file.lock() {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+    }
+
+    /// Renders the line without writing it (tests).
+    pub fn render(&self, level: Level, event: &str, msg: &str, fields: &[(&str, JsonValue)]) -> String {
+        let mut members = vec![
+            ("svc".to_owned(), JsonValue::Str(crate::proto::PROTO_ID.into())),
+            ("type".to_owned(), JsonValue::Str("log".into())),
+            ("level".to_owned(), JsonValue::Str(level.tag().into())),
+            ("ts_ms".to_owned(), JsonValue::Int(unix_millis() as i64)),
+            ("uptime_ms".to_owned(), JsonValue::Int(self.clock.now_ms() as i64)),
+            ("event".to_owned(), JsonValue::Str(event.into())),
+            ("msg".to_owned(), JsonValue::Str(msg.into())),
+        ];
+        for (k, v) in fields {
+            members.push(((*k).to_owned(), v.clone()));
+        }
+        write_json_compact(&JsonValue::Obj(members))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use report::json::parse_json;
+
+    #[test]
+    fn rendered_lines_are_one_line_json_with_the_fixed_envelope() {
+        let log = Logger::stderr_only();
+        let line = log.render(
+            Level::Warn,
+            "worker_respawn",
+            "worker died",
+            &[("fingerprint", JsonValue::Str("ab12".into())), ("attempt", JsonValue::Int(2))],
+        );
+        assert!(!line.contains('\n'));
+        let doc = parse_json(&line).unwrap();
+        assert_eq!(doc.get("svc").and_then(JsonValue::as_str), Some(crate::proto::PROTO_ID));
+        assert_eq!(doc.get("type").and_then(JsonValue::as_str), Some("log"));
+        assert_eq!(doc.get("level").and_then(JsonValue::as_str), Some("warn"));
+        assert_eq!(doc.get("event").and_then(JsonValue::as_str), Some("worker_respawn"));
+        assert_eq!(doc.get("fingerprint").and_then(JsonValue::as_str), Some("ab12"));
+        assert_eq!(doc.get("attempt").and_then(JsonValue::as_u64), Some(2));
+        assert!(doc.get("ts_ms").and_then(JsonValue::as_u64).is_some());
+        assert!(doc.get("uptime_ms").and_then(JsonValue::as_u64).is_some());
+    }
+
+    #[test]
+    fn file_tee_appends_parseable_lines() {
+        let dir = std::env::temp_dir().join(format!("victima-log-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = Logger::new(&dir);
+        log.info("listening", "daemon up", &[("addr", JsonValue::Str("127.0.0.1:9".into()))]);
+        log.error("cache_store_failed", "disk full", &[]);
+        let text = std::fs::read_to_string(dir.join(LOG_FILE)).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let doc = parse_json(line).unwrap();
+            assert_eq!(doc.get("type").and_then(JsonValue::as_str), Some("log"));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -70,6 +70,28 @@ fn req_u64(doc: &JsonValue, key: &str) -> Result<u64, String> {
     req(doc, key)?.as_u64().ok_or_else(|| format!("{key:?} must be a non-negative integer"))
 }
 
+/// Reads an integer member that newer daemons emit and older ones do not
+/// (additive `victima-svc/1` extensions); absent means zero.
+fn opt_u64(doc: &JsonValue, key: &str) -> Result<u64, String> {
+    match doc.get(key) {
+        None => Ok(0),
+        Some(v) => v.as_u64().ok_or_else(|| format!("{key:?} must be a non-negative integer")),
+    }
+}
+
+fn req_u64_arr(doc: &JsonValue, key: &str) -> Result<Vec<u64>, String> {
+    req(doc, key)?
+        .as_arr()
+        .ok_or_else(|| format!("{key:?} must be an array"))?
+        .iter()
+        .map(|v| v.as_u64().ok_or_else(|| format!("{key:?} entries must be non-negative integers")))
+        .collect()
+}
+
+fn u64_arr(items: &[u64]) -> JsonValue {
+    JsonValue::Arr(items.iter().map(|&v| JsonValue::Int(v as i64)).collect())
+}
+
 fn req_str_arr(doc: &JsonValue, key: &str) -> Result<Vec<String>, String> {
     req(doc, key)?
         .as_arr()
@@ -297,6 +319,9 @@ pub enum Request {
     Submit(SweepRequest),
     /// Report daemon counters.
     Status,
+    /// Report the daemon's observability registry: queue depth, spec
+    /// latency histogram, per-worker utilization, cache hit ratio.
+    Metrics,
     /// Stop accepting work and exit.
     Shutdown,
 }
@@ -307,8 +332,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match req_str(&doc, "op")?.as_str() {
         "submit" => Ok(Request::Submit(SweepRequest::from_value(&doc)?)),
         "status" => Ok(Request::Status),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
-        other => Err(format!("unknown op {other:?} (submit|status|shutdown)")),
+        other => Err(format!("unknown op {other:?} (submit|status|metrics|shutdown)")),
     }
 }
 
@@ -455,6 +481,12 @@ pub struct StatusInfo {
     pub cache_evicted: u64,
     /// Journal records skipped as unreadable/unparseable on restart.
     pub journal_skipped: u64,
+    /// Milliseconds since the daemon started (additive `victima-svc/1`
+    /// extension; absent from pre-extension daemons parses as 0).
+    pub uptime_ms: u64,
+    /// Jobs accepted but not yet completed (queue + in flight; additive
+    /// extension, same compatibility rule).
+    pub jobs_pending: u64,
 }
 
 impl StatusInfo {
@@ -478,6 +510,8 @@ impl StatusInfo {
             ("cache_quarantined", JsonValue::Int(self.cache_quarantined as i64)),
             ("cache_evicted", JsonValue::Int(self.cache_evicted as i64)),
             ("journal_skipped", JsonValue::Int(self.journal_skipped as i64)),
+            ("uptime_ms", JsonValue::Int(self.uptime_ms as i64)),
+            ("jobs_pending", JsonValue::Int(self.jobs_pending as i64)),
         ]))
     }
 
@@ -498,6 +532,125 @@ impl StatusInfo {
             cache_quarantined: req_u64(doc, "cache_quarantined")?,
             cache_evicted: req_u64(doc, "cache_evicted")?,
             journal_skipped: req_u64(doc, "journal_skipped")?,
+            uptime_ms: opt_u64(doc, "uptime_ms")?,
+            jobs_pending: opt_u64(doc, "jobs_pending")?,
+        })
+    }
+}
+
+/// The daemon's observability registry, reported by the `metrics` op:
+/// everything `status` cannot answer — live queue depth, the spec
+/// latency distribution, per-worker utilization, and cache
+/// effectiveness. All values are diagnostics over the daemon's own
+/// monotonic clock; nothing here touches result bytes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsInfo {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Specs sitting in the dispatch queue right now.
+    pub queue_depth: u64,
+    /// Worker slots (= lengths of the per-worker vectors).
+    pub workers: u64,
+    /// Per-worker milliseconds spent executing specs.
+    pub worker_busy_ms: Vec<u64>,
+    /// Per-worker specs run to a final outcome.
+    pub worker_specs: Vec<u64>,
+    /// Successful spec executions observed by the latency histogram.
+    pub latency_count: u64,
+    /// Sum of observed spec latencies, in milliseconds.
+    pub latency_sum_ms: u64,
+    /// Power-of-two latency buckets (ms): bucket `i` counts latencies
+    /// whose floor is `2^(i-1)` ms (bucket 0 is `< 1 ms`, the last
+    /// bucket is open-ended). Same geometry as `obs::HistSnapshot`.
+    pub latency_buckets: Vec<u64>,
+    /// Specs answered straight from the result cache.
+    pub cache_hits: u64,
+    /// Specs that missed the cache and were dispatched to a worker.
+    pub cache_misses: u64,
+    /// Spec attempts re-dispatched after a failure or timeout.
+    pub retries: u64,
+    /// Specs that exhausted retries on the deadline path.
+    pub timeouts: u64,
+    /// Specs that exhausted retries on the worker-death path.
+    pub failures: u64,
+    /// Cache entries quarantined as corrupt since start.
+    pub quarantined: u64,
+    /// Worker processes discarded and respawned (death or deadline).
+    pub worker_respawns: u64,
+}
+
+impl MetricsInfo {
+    /// Cache hit ratio in `[0, 1]` (0 when nothing was looked up).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean spec latency in milliseconds (0 with no observations).
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.latency_count == 0 {
+            0.0
+        } else {
+            self.latency_sum_ms as f64 / self.latency_count as f64
+        }
+    }
+
+    /// Mean worker utilization in `[0, 1]`: busy time over wall time,
+    /// averaged across the pool (0 before the clock has ticked).
+    pub fn worker_utilization(&self) -> f64 {
+        if self.uptime_ms == 0 || self.worker_busy_ms.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.worker_busy_ms.iter().sum();
+        busy as f64 / (self.uptime_ms as f64 * self.worker_busy_ms.len() as f64)
+    }
+
+    /// Renders the `metrics` response line.
+    pub fn to_line(&self) -> String {
+        write_json_compact(&obj(vec![
+            ("svc", JsonValue::Str(PROTO_ID.into())),
+            ("type", JsonValue::Str("metrics".into())),
+            ("uptime_ms", JsonValue::Int(self.uptime_ms as i64)),
+            ("queue_depth", JsonValue::Int(self.queue_depth as i64)),
+            ("workers", JsonValue::Int(self.workers as i64)),
+            ("worker_busy_ms", u64_arr(&self.worker_busy_ms)),
+            ("worker_specs", u64_arr(&self.worker_specs)),
+            ("latency_count", JsonValue::Int(self.latency_count as i64)),
+            ("latency_sum_ms", JsonValue::Int(self.latency_sum_ms as i64)),
+            ("latency_buckets", u64_arr(&self.latency_buckets)),
+            ("cache_hits", JsonValue::Int(self.cache_hits as i64)),
+            ("cache_misses", JsonValue::Int(self.cache_misses as i64)),
+            ("cache_hit_ratio", JsonValue::Num(self.cache_hit_ratio())),
+            ("retries", JsonValue::Int(self.retries as i64)),
+            ("timeouts", JsonValue::Int(self.timeouts as i64)),
+            ("failures", JsonValue::Int(self.failures as i64)),
+            ("quarantined", JsonValue::Int(self.quarantined as i64)),
+            ("worker_respawns", JsonValue::Int(self.worker_respawns as i64)),
+        ]))
+    }
+
+    fn from_value(doc: &JsonValue) -> Result<Self, String> {
+        // `cache_hit_ratio` is derived on render and recomputed on read.
+        Ok(Self {
+            uptime_ms: req_u64(doc, "uptime_ms")?,
+            queue_depth: req_u64(doc, "queue_depth")?,
+            workers: req_u64(doc, "workers")?,
+            worker_busy_ms: req_u64_arr(doc, "worker_busy_ms")?,
+            worker_specs: req_u64_arr(doc, "worker_specs")?,
+            latency_count: req_u64(doc, "latency_count")?,
+            latency_sum_ms: req_u64(doc, "latency_sum_ms")?,
+            latency_buckets: req_u64_arr(doc, "latency_buckets")?,
+            cache_hits: req_u64(doc, "cache_hits")?,
+            cache_misses: req_u64(doc, "cache_misses")?,
+            retries: req_u64(doc, "retries")?,
+            timeouts: req_u64(doc, "timeouts")?,
+            failures: req_u64(doc, "failures")?,
+            quarantined: req_u64(doc, "quarantined")?,
+            worker_respawns: req_u64(doc, "worker_respawns")?,
         })
     }
 }
@@ -556,6 +709,8 @@ pub enum StreamLine {
     },
     /// Status counters.
     Status(StatusInfo),
+    /// Observability registry dump.
+    Metrics(MetricsInfo),
     /// The request itself was rejected.
     Fault {
         /// Why the request was rejected.
@@ -597,6 +752,7 @@ pub fn parse_stream_line(line: &str) -> Result<StreamLine, String> {
             errors: req_u64(&doc, "errors")?,
         }),
         "status" => Ok(StreamLine::Status(StatusInfo::from_value(&doc)?)),
+        "metrics" => Ok(StreamLine::Metrics(MetricsInfo::from_value(&doc)?)),
         "fault" => Ok(StreamLine::Fault { error: req_str(&doc, "error")? }),
         "ok" => Ok(StreamLine::Ok),
         other => Err(format!("unknown stream line type {other:?}")),
@@ -713,6 +869,59 @@ mod tests {
         ];
         for (line, want) in cases {
             assert_eq!(parse_stream_line(&line).unwrap(), want, "{line}");
+        }
+    }
+
+    #[test]
+    fn metrics_line_round_trips_and_derives_ratios() {
+        let info = MetricsInfo {
+            uptime_ms: 10_000,
+            queue_depth: 3,
+            workers: 2,
+            worker_busy_ms: vec![4_000, 6_000],
+            worker_specs: vec![7, 9],
+            latency_count: 16,
+            latency_sum_ms: 800,
+            latency_buckets: vec![0; 16],
+            cache_hits: 30,
+            cache_misses: 10,
+            retries: 2,
+            timeouts: 1,
+            failures: 1,
+            quarantined: 0,
+            worker_respawns: 2,
+        };
+        assert_eq!(info.cache_hit_ratio(), 0.75);
+        assert_eq!(info.mean_latency_ms(), 50.0);
+        assert_eq!(info.worker_utilization(), 0.5);
+        let line = info.to_line();
+        assert!(!line.contains('\n'));
+        match parse_stream_line(&line).unwrap() {
+            StreamLine::Metrics(parsed) => assert_eq!(parsed, info),
+            other => panic!("expected a metrics line, got {other:?}"),
+        }
+        // Zero denominators never divide.
+        let empty = MetricsInfo::default();
+        assert_eq!(empty.cache_hit_ratio(), 0.0);
+        assert_eq!(empty.mean_latency_ms(), 0.0);
+        assert_eq!(empty.worker_utilization(), 0.0);
+    }
+
+    #[test]
+    fn status_line_tolerates_missing_additive_fields() {
+        // A pre-extension daemon's status line (no uptime_ms /
+        // jobs_pending) must still parse — the proto id did not bump.
+        let status =
+            StatusInfo { engine: ENGINE_ID.into(), uptime_ms: 123, jobs_pending: 1, ..Default::default() };
+        let line = status.to_line();
+        let stripped = line.replace(",\"uptime_ms\":123", "").replace(",\"jobs_pending\":1", "");
+        match parse_stream_line(&stripped).unwrap() {
+            StreamLine::Status(parsed) => {
+                assert_eq!(parsed.uptime_ms, 0);
+                assert_eq!(parsed.jobs_pending, 0);
+                assert_eq!(parsed.engine, ENGINE_ID);
+            }
+            other => panic!("expected a status line, got {other:?}"),
         }
     }
 

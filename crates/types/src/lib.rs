@@ -30,6 +30,7 @@ pub mod ident;
 pub mod page;
 pub mod rng;
 pub mod stats;
+pub mod time;
 
 pub use access::{AccessKind, MemRef};
 pub use addr::{PhysAddr, VirtAddr, CACHE_BLOCK_BYTES, PA_BITS, VA_BITS};
@@ -37,6 +38,7 @@ pub use ident::{Asid, Vmid};
 pub use page::PageSize;
 pub use rng::{mix2, mix64, SplitMix64, DEFAULT_SEED};
 pub use stats::{geomean, Histogram, ReuseHistogram, RunningMean, REUSE_BUCKET_LABELS};
+pub use time::{unix_millis, MonotonicClock};
 
 /// Simulated clock cycles. A plain alias keeps arithmetic friction-free in
 /// the hot simulation loops while the address types stay strongly typed.

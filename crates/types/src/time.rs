@@ -1,0 +1,94 @@
+//! Monotonic clock abstraction for observability.
+//!
+//! Every simulation result in this workspace is a pure function of its
+//! [`RunSpec`](../sim) — wall-clock time must never leak into
+//! fingerprints, `SimStats`, or `--check` artifacts. This module is the
+//! one sanctioned doorway to the host clock: a [`MonotonicClock`] hands
+//! out microsecond offsets from its own origin, which makes span timings
+//! self-consistent within a run while keeping absolute time (and with it
+//! any cross-run nondeterminism) out of the data. Consumers that need a
+//! calendar timestamp (the daemon log) combine these offsets with one
+//! [`unix_millis`] stamp taken at process start.
+//!
+//! # Examples
+//!
+//! ```
+//! use vm_types::MonotonicClock;
+//!
+//! let clock = MonotonicClock::new();
+//! let a = clock.now_us();
+//! let b = clock.now_us();
+//! assert!(b >= a);
+//! ```
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// A monotonic stopwatch: microseconds since the clock was created.
+///
+/// Offsets from one clock are comparable to each other and nothing else;
+/// serialising them is safe because they carry no absolute-time
+/// information a replay could diverge on.
+#[derive(Clone, Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// Starts a new stopwatch at zero.
+    pub fn new() -> Self {
+        Self { origin: Instant::now() }
+    }
+
+    /// Microseconds elapsed since this clock was created.
+    pub fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Milliseconds elapsed since this clock was created.
+    pub fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Milliseconds since the Unix epoch (for log-line stamps only — never
+/// for anything that feeds a `--check` artifact or a fingerprint).
+pub fn unix_millis() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = MonotonicClock::new();
+        let mut last = 0;
+        for _ in 0..100 {
+            let now = c.now_us();
+            assert!(now >= last);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn ms_lags_us_by_a_factor_of_1000() {
+        let c = MonotonicClock::new();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let us = c.now_us();
+        let ms = c.now_ms();
+        assert!(us >= 2_000);
+        assert!(ms <= us / 1000 + 1);
+    }
+
+    #[test]
+    fn unix_millis_is_past_2020() {
+        assert!(unix_millis() > 1_577_836_800_000);
+    }
+}
